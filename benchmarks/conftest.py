@@ -1,0 +1,48 @@
+"""Shared benchmark fixtures.
+
+The expensive artefact — a full six-week study over a bench-scale
+population — is computed once per session and shared by every
+per-table/per-figure bench.  Population size is controlled with
+``REPRO_BENCH_POP`` (default 8000, i.e. a 1:125 scale model of the
+paper's top-1M list); larger values tighten the small-count artifacts
+(Incapsula's Table VI row, Fig. 9) at linear cost.
+
+Each bench asserts the *shape* of its artifact against the paper (who
+wins, rough ratios) and times a representative slice of the pipeline.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.core.report import render_full_report
+from repro.core.study import SixWeekStudy, StudyConfig
+from repro.world import SimulatedInternet, WorldConfig
+
+BENCH_POP = int(os.environ.get("REPRO_BENCH_POP", "8000"))
+BENCH_SEED = int(os.environ.get("REPRO_BENCH_SEED", "2018"))
+
+
+@pytest.fixture(scope="session")
+def bench_world() -> SimulatedInternet:
+    return SimulatedInternet(WorldConfig(population_size=BENCH_POP, seed=BENCH_SEED))
+
+
+@pytest.fixture(scope="session")
+def study(bench_world):
+    """The full study: warm-up, 42 daily collections, 6 weekly scans."""
+    report = SixWeekStudy(bench_world, StudyConfig()).run()
+    print()
+    print("=" * 72)
+    print(f"Six-week study at population {BENCH_POP} (scale 1:{report.scale_factor:.0f})")
+    print("=" * 72)
+    print(render_full_report(report))
+    return report
+
+
+@pytest.fixture(scope="session")
+def small_world() -> SimulatedInternet:
+    """A second, small world for benches that mutate state."""
+    return SimulatedInternet(WorldConfig(population_size=400, seed=7))

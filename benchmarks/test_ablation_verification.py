@@ -1,0 +1,91 @@
+"""Ablation — HTML-verification strictness (DESIGN.md §6).
+
+The paper's title+meta comparison is a strict lower bound: dynamic meta
+attributes hide true origins.  Relaxing to title-only recovers those
+misses (at the cost of possible false positives on same-titled sites).
+This bench quantifies the gap on identical hidden-record sets.
+"""
+
+import pytest
+
+from repro.core.htmlverify import HtmlVerifier
+from repro.core.pipeline import FilterPipeline, RetrievedRecord
+from repro.dps.portal import ReroutingMethod
+from repro.world import SimulatedInternet, WorldConfig
+
+COHORT = 25
+
+
+@pytest.fixture(scope="module")
+def hidden_record_set():
+    """A cohort of switchers (guaranteed hidden records), some with
+    dynamic-meta origins."""
+    world = SimulatedInternet(
+        WorldConfig(population_size=800, seed=81, dynamic_meta_fraction=0.35)
+    )
+    cf, inc = world.provider("cloudflare"), world.provider("incapsula")
+    from repro.dps.plans import PlanTier
+
+    records = []
+    count = 0
+    for site in world.population:
+        if count >= COHORT:
+            break
+        if (site.provider is not None or not site.alive or site.multicdn
+                or site.firewall_inclined or site.is_rotating):
+            continue
+        site.join(cf, ReroutingMethod.NS_BASED)
+        origin_ip = site.origin.ip
+        site.switch(inc, ReroutingMethod.CNAME_BASED, PlanTier.BUSINESS, informed=True)
+        records.append(RetrievedRecord(str(site.www), "cloudflare", (origin_ip,)))
+        count += 1
+    return world, records
+
+
+def _verified_count(world, records, strictness):
+    verifier = HtmlVerifier(world.http_client("oregon"), strictness=strictness)
+    pipeline = FilterPipeline(
+        world.provider("cloudflare").prefixes, world.make_resolver(), verifier
+    )
+    return pipeline.run(records, "cloudflare", week=0).verified_count
+
+
+def test_title_only_recovers_dynamic_meta_misses(hidden_record_set):
+    world, records = hidden_record_set
+    strict = _verified_count(world, records, "title-and-meta")
+    lax = _verified_count(world, records, "title-only")
+    # Every record here IS a live origin; the strict comparison misses
+    # the dynamic-meta ones, the lax one verifies all.
+    assert lax == len(records)
+    assert strict < lax
+    print(f"\nverified: title-and-meta {strict}/{len(records)}, "
+          f"title-only {lax}/{len(records)} "
+          f"(strict misses {lax - strict} dynamic-meta origins)")
+
+
+def test_strict_verification_never_false_positives(hidden_record_set):
+    """The strict comparison's virtue: pointing a hidden record at a
+    *different* site's origin never verifies."""
+    world, records = hidden_record_set
+    other = next(
+        s for s in world.population
+        if s.provider is None and s.alive and not s.multicdn
+        and not s.dynamic_meta
+    )
+    wrong = [
+        RetrievedRecord(r.www, r.provider, (other.origin.ip,)) for r in records
+    ]
+    assert _verified_count(world, wrong, "title-and-meta") == 0
+
+
+def test_ablation_benchmark(benchmark, hidden_record_set):
+    world, records = hidden_record_set
+
+    def run_both():
+        return (
+            _verified_count(world, records, "title-and-meta"),
+            _verified_count(world, records, "title-only"),
+        )
+
+    strict, lax = benchmark(run_both)
+    assert strict <= lax

@@ -1,0 +1,97 @@
+"""E12 — §VI-B: countermeasure ablations (beyond-paper quantification).
+
+For a cohort of switching customers, measure how many origins an
+attacker can discover under each configuration:
+
+* baseline (answer-with-origin — the vulnerable wild configuration);
+* provider-side silent termination;
+* provider-side track-and-compare;
+* customer-side fake-A-before-leaving;
+* customer-side rotate-after-switch.
+"""
+
+import pytest
+
+from repro.core.attacker import ResidualResolutionAttacker
+from repro.core.countermeasures import (
+    leave_with_fake_a,
+    silent_termination,
+    track_and_compare,
+)
+from repro.core.matching import ProviderMatcher
+from repro.dps.plans import PlanTier
+from repro.dps.portal import ReroutingMethod
+from repro.world import SimulatedInternet, WorldConfig
+
+COHORT = 12
+
+
+def _run_scenario(seed, configure=None, leave_action=None, rotate=False):
+    """Returns (discovered, cohort_size) for one configuration."""
+    world = SimulatedInternet(WorldConfig(population_size=600, seed=seed))
+    cf, inc = world.provider("cloudflare"), world.provider("incapsula")
+    if configure is not None:
+        configure(cf)
+    matcher = ProviderMatcher(world.specs, world.routeviews)
+    attacker = ResidualResolutionAttacker(world.dns_client(), matcher)
+
+    cohort = [
+        s for s in world.population
+        if s.provider is None and s.alive and not s.multicdn
+    ][:COHORT]
+    discovered = 0
+    for site in cohort:
+        site.join(cf, ReroutingMethod.NS_BASED)
+        real_origin = site.origin.ip
+        if leave_action is not None:
+            leave_action(world, site)
+            site.join(inc, ReroutingMethod.CNAME_BASED, PlanTier.BUSINESS)
+        else:
+            site.switch(
+                inc, ReroutingMethod.CNAME_BASED, PlanTier.BUSINESS,
+                informed=True, rotate_origin_ip=rotate,
+            )
+        result = attacker.probe_nameservers(
+            site.www, cf.customer_fleet.all_addresses()[:10]
+        )
+        if rotate or leave_action is not None:
+            # Discovery only counts if it finds the *live* origin.
+            if site.origin.ip in result.candidate_origins:
+                discovered += 1
+        elif real_origin in result.candidate_origins:
+            discovered += 1
+    return discovered, len(cohort)
+
+
+class TestAblation:
+    def test_baseline_leaks_most_origins(self):
+        discovered, cohort = _run_scenario(seed=201)
+        assert discovered == cohort  # every informed switcher exposed
+
+    def test_silent_termination_eliminates_exposure(self):
+        discovered, _ = _run_scenario(seed=202, configure=silent_termination)
+        assert discovered == 0
+
+    def test_track_and_compare_eliminates_exposure_for_switchers(self):
+        discovered, _ = _run_scenario(seed=203, configure=track_and_compare)
+        assert discovered == 0
+
+    def test_fake_a_record_eliminates_exposure(self):
+        def leave_with_decoy(world, site):
+            decoy = world.vantage_point("tokyo").source_ip
+            leave_with_fake_a(site, decoy)
+
+        discovered, _ = _run_scenario(seed=204, leave_action=leave_with_decoy)
+        assert discovered == 0
+
+    def test_rotation_eliminates_exposure(self):
+        discovered, _ = _run_scenario(seed=205, rotate=True)
+        assert discovered == 0
+
+
+def test_countermeasure_ablation_benchmark(benchmark):
+    def baseline():
+        return _run_scenario(seed=206)
+
+    discovered, cohort = benchmark.pedantic(baseline, rounds=1, iterations=1)
+    assert discovered == cohort

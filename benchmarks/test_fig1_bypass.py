@@ -1,0 +1,95 @@
+"""E11 — Fig. 1 / §III: the end-to-end bypass demonstration.
+
+(a) With DPS in effect, a flood at the resolved (edge) address is
+scrubbed and the origin stays up.  (b) After a switch, the previous
+provider's residual record leaks the origin; the same flood aimed there
+takes the site down — the *new* DPS never sees a packet.
+"""
+
+import pytest
+
+from repro.core.attacker import DdosSimulator, ResidualResolutionAttacker
+from repro.core.matching import ProviderMatcher
+from repro.dps.plans import PlanTier
+from repro.dps.portal import ReroutingMethod
+from repro.world import SimulatedInternet, WorldConfig
+
+ATTACK_GBPS = 900.0
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    world = SimulatedInternet(WorldConfig(population_size=200, seed=107))
+    site = next(
+        s for s in world.population
+        if s.provider is None and s.alive and not s.multicdn
+        and not s.dynamic_meta and not s.firewall_inclined
+    )
+    matcher = ProviderMatcher(world.specs, world.routeviews)
+    return world, site, matcher
+
+
+def test_fig1a_protected_site_survives(scenario):
+    world, site, matcher = scenario
+    cf = world.provider("cloudflare")
+    site.join(cf, ReroutingMethod.NS_BASED)
+    public = world.make_resolver().resolve(site.www)
+    outcome = DdosSimulator(world.providers, matcher).attack(
+        public.addresses[0], attack_gbps=ATTACK_GBPS
+    )
+    assert outcome.path == "scrubbed"
+    assert not outcome.attack_succeeded
+    assert outcome.origin_availability > 0.9
+
+
+def test_fig1b_residual_bypass_kills_origin(scenario):
+    world, site, matcher = scenario
+    cf, inc = world.provider("cloudflare"), world.provider("incapsula")
+    if site.provider is None:  # robust under test selection
+        site.join(cf, ReroutingMethod.NS_BASED)
+    site.switch(inc, ReroutingMethod.CNAME_BASED, PlanTier.BUSINESS, informed=True)
+
+    attacker = ResidualResolutionAttacker(world.dns_client("london"), matcher)
+    discovery = attacker.probe_nameservers(
+        site.www, cf.customer_fleet.all_addresses()[:20]
+    )
+    assert discovery.succeeded
+
+    outcome = DdosSimulator(world.providers, matcher).attack(
+        discovery.candidate_origins[0], attack_gbps=ATTACK_GBPS
+    )
+    assert outcome.path == "direct"
+    assert outcome.attack_succeeded
+    assert outcome.origin_saturated
+
+
+def test_fig1_discovery_benchmark(benchmark, scenario):
+    world, _, matcher = scenario
+    cf, inc = world.provider("cloudflare"), world.provider("incapsula")
+    # Self-contained residual state (independent of the other tests,
+    # which --benchmark-only skips).
+    victim = next(
+        s for s in world.population
+        if s.provider is None and s.alive and not s.multicdn
+    )
+    victim.join(cf, ReroutingMethod.NS_BASED)
+    victim.switch(inc, ReroutingMethod.CNAME_BASED, PlanTier.BUSINESS, informed=True)
+    attacker = ResidualResolutionAttacker(world.dns_client("tokyo"), matcher)
+    ns_ips = cf.customer_fleet.all_addresses()[:20]
+
+    def discover():
+        return attacker.probe_nameservers(victim.www, ns_ips)
+
+    result = benchmark(discover)
+    assert result.succeeded
+
+
+def test_fig1_attack_simulation_benchmark(benchmark, scenario):
+    world, site, matcher = scenario
+    simulator = DdosSimulator(world.providers, matcher)
+
+    def flood():
+        return simulator.attack(site.origin.ip, attack_gbps=ATTACK_GBPS)
+
+    outcome = benchmark(flood)
+    assert outcome.path == "direct"

@@ -1,0 +1,42 @@
+"""E4 — Fig. 5: CDF of pause periods (exposure windows).
+
+Paper: less than half of customers resume within one day; ~30% of pause
+periods exceed 5 days; Incapsula's pauses are slightly shorter than
+Cloudflare's.
+"""
+
+from repro.core.pause import PauseAnalyzer, empirical_cdf
+from repro.core.report import render_fig5_pause_cdf
+
+
+def test_fig5_pause_cdf_shape(study):
+    durations = study.pause_durations_overall
+    assert len(durations) >= 8, "need completed pauses at bench scale"
+    one_day = sum(1 for d in durations if d <= 1) / len(durations)
+    assert one_day < 0.70            # "less than half" (loose at this n)
+    over5 = PauseAnalyzer.fraction_longer_than(durations, 5)
+    assert 0.08 < over5 < 0.55       # paper ~30%
+    cdf = empirical_cdf(durations)
+    assert cdf[-1][1] == 1.0
+    print()
+    print(render_fig5_pause_cdf(study))
+
+
+def test_fig5_provider_split(study):
+    cf = study.pause_durations_by_provider.get("cloudflare", [])
+    incap = study.pause_durations_by_provider.get("incapsula", [])
+    # Only the two pause-capable providers ever produce windows.
+    assert set(study.pause_durations_by_provider) <= {"cloudflare", "incapsula"}
+    assert len(cf) + len(incap) <= len(study.pause_durations_overall)
+    if len(cf) >= 10 and len(incap) >= 5:
+        assert sum(incap) / len(incap) <= sum(cf) / len(cf) * 1.5
+
+
+def test_fig5_cdf_benchmark(benchmark, study):
+    durations = study.pause_durations_overall * 200  # amplify the workload
+
+    def compute():
+        return empirical_cdf(durations)
+
+    cdf = benchmark(compute)
+    assert cdf

@@ -1,0 +1,78 @@
+"""E8 — Table VI + Fig. 8: residual resolution in the wild.
+
+Paper: 3,504 hidden records at Cloudflare over six weekly scans, 24.8%
+verified as live origins; 42 hidden at Incapsula, 69% verified (small
+but sharply more verifiable).  At bench scale (1:250 by default) the
+Cloudflare counts scale linearly; the Incapsula row is tiny and asserted
+loosely — raise REPRO_BENCH_POP to tighten it.
+"""
+
+from repro.core.report import render_table6_residual
+
+
+def test_table6_cloudflare_magnitude(study):
+    totals = study.cloudflare_totals
+    scaled_hidden = totals["hidden"] * study.scale_factor
+    # Paper: 3,504 distinct hidden records.  Accept a 2.5× band — the
+    # substrate is a calibrated model, not the authors' testbed.
+    assert 3504 / 2.5 < scaled_hidden < 3504 * 2.5, scaled_hidden
+
+    assert totals["verified"] > 0
+    verified_fraction = totals["verified"] / totals["hidden"]
+    # Paper: 24.8% of hidden records verify as live origins.  The band
+    # widens at small sample sizes (binomial noise at bench scale).
+    tolerance = 0.20 + 1.2 * (0.25 / totals["hidden"]) ** 0.5
+    assert abs(verified_fraction - 0.248) < tolerance, (
+        verified_fraction, totals["hidden"],
+    )
+    print()
+    print(render_table6_residual(study))
+
+
+def test_table6_weekly_scans_stationary(study):
+    weekly = study.cloudflare_weekly
+    assert len(weekly) == 6
+    counts = [w.hidden_count for w in weekly]
+    assert all(c > 0 for c in counts)
+    # Warmed-up steady state: no week dominates (paper: 1,356-1,893).
+    assert max(counts) < 3 * min(counts)
+
+
+def test_table6_filters_remove_most_records(study):
+    """Fig. 8 shape: the overwhelming majority of retrieved records are
+    IP-filtered (active customers) — hidden records are the rare tail."""
+    for weekly in study.cloudflare_weekly:
+        assert weekly.dropped_ip_filter > weekly.hidden_count
+
+
+def test_table6_incapsula_row(study):
+    totals = study.incapsula_totals
+    # Tiny at 1:250 scale (paper found only 42 at full scale).
+    assert totals["hidden"] * study.scale_factor < 42 * 6
+    if totals["hidden"] >= 3:
+        # When there is enough signal, Incapsula verifies more often
+        # than Cloudflare (69% vs 24.8%).
+        cf = study.cloudflare_totals
+        assert (
+            totals["verified"] / totals["hidden"]
+            > cf["verified"] / cf["hidden"]
+        )
+
+
+def test_table6_pipeline_benchmark(benchmark, study, bench_world):
+    from repro.core.htmlverify import HtmlVerifier
+    from repro.core.pipeline import FilterPipeline, RetrievedRecord
+
+    cf = bench_world.provider("cloudflare")
+    verifier = HtmlVerifier(bench_world.http_client("oregon"))
+    pipeline = FilterPipeline(cf.prefixes, bench_world.make_resolver(), verifier)
+    records = [
+        RetrievedRecord(str(s.www), "cloudflare", (s.origin.ip,))
+        for s in bench_world.population[:300]
+    ]
+
+    def run():
+        return pipeline.run(records, "cloudflare", week=0)
+
+    report = benchmark(run)
+    assert report.retrieved == 300

@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Fig. 1 as a narrative: how residual resolution nullifies a DPS.
+
+Walks one website through the paper's threat model:
+
+1. the site is protected by a Cloudflare-like DPS — a 900 Gbps flood at
+   its public address is scrubbed and the site stays up;
+2. the site switches to an Incapsula-like DPS and properly closes its
+   old account;
+3. the attacker queries the *previous* provider's nameservers directly,
+   obtains the stored origin address, and aims the same flood there —
+   the new DPS never sees a packet, and the origin dies;
+4. the previous provider deploys the track-and-compare countermeasure
+   and the discovery fails.
+"""
+
+from repro import SimulatedInternet, WorldConfig
+from repro.core import (
+    DdosSimulator,
+    ProviderMatcher,
+    ResidualResolutionAttacker,
+    track_and_compare,
+)
+from repro.dps import PlanTier, ReroutingMethod
+
+ATTACK_GBPS = 900.0
+
+
+def main() -> None:
+    world = SimulatedInternet(WorldConfig(population_size=300, seed=4))
+    cloudflare = world.provider("cloudflare")
+    incapsula = world.provider("incapsula")
+    matcher = ProviderMatcher(world.specs, world.routeviews)
+    simulator = DdosSimulator(world.providers, matcher)
+
+    victim = next(
+        s for s in world.population
+        if s.provider is None and s.alive and not s.multicdn
+        and not s.dynamic_meta and not s.firewall_inclined
+    )
+    print(f"Victim: {victim.www} (origin {victim.origin.ip})\n")
+
+    # -- Act 1: protection works -------------------------------------------
+    victim.join(cloudflare, ReroutingMethod.NS_BASED)
+    public = world.make_resolver().resolve(victim.www)
+    print(f"[1] Protected by {cloudflare.name}: public resolution -> "
+          f"{public.addresses[0]} (edge)")
+    outcome = simulator.attack(public.addresses[0], attack_gbps=ATTACK_GBPS)
+    print(f"    {ATTACK_GBPS:.0f} Gbps flood at the edge: path={outcome.path}, "
+          f"origin availability {outcome.origin_availability:.0%} -> "
+          f"{'ATTACK FAILED' if not outcome.attack_succeeded else 'site down'}\n")
+
+    # -- Act 2: the switch ----------------------------------------------------
+    victim.switch(incapsula, ReroutingMethod.CNAME_BASED, PlanTier.BUSINESS,
+                  informed=True)
+    public = world.make_resolver().resolve(victim.www)
+    print(f"[2] Switched to {incapsula.name}: public resolution -> "
+          f"{public.addresses[0]} (new provider's edge)\n")
+
+    # -- Act 3: residual resolution ------------------------------------------------
+    attacker = ResidualResolutionAttacker(world.dns_client("singapore"), matcher)
+    discovery = attacker.probe_nameservers(
+        victim.www, cloudflare.customer_fleet.all_addresses()[:10]
+    )
+    print(f"[3] Attacker queries {cloudflare.name}'s nameservers directly:")
+    print(f"    discovered candidate origins: "
+          f"{[str(ip) for ip in discovery.candidate_origins]}")
+    outcome = simulator.attack(discovery.candidate_origins[0], attack_gbps=ATTACK_GBPS)
+    print(f"    {ATTACK_GBPS:.0f} Gbps flood straight at the origin: "
+          f"path={outcome.path}, availability "
+          f"{outcome.origin_availability:.0%} -> "
+          f"{'SITE DOWN — new DPS bypassed' if outcome.attack_succeeded else 'survived'}\n")
+
+    # -- Act 4: the countermeasure ----------------------------------------------------
+    track_and_compare(cloudflare)
+    retry = attacker.probe_nameservers(
+        victim.www, cloudflare.customer_fleet.all_addresses()[:10]
+    )
+    print(f"[4] {cloudflare.name} deploys track-and-compare (§VI-B): "
+          f"discovery now "
+          f"{'FAILS — hole closed' if not retry.succeeded else 'still works'}")
+
+
+if __name__ == "__main__":
+    main()

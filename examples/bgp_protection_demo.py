@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""The other rerouting mechanism: BGP-based infrastructure protection.
+
+§II-A names two rerouting families. The paper studies the DNS-based one
+because it dominates — and because it is the one with the residual-
+resolution hole. This demo shows the contrast: with BGP-based
+protection, even a *fully exposed* origin address is unattackable,
+because the protected block itself routes through the scrubbers.
+
+Sequence:
+
+1. a site leaves a DNS-based DPS; the residual record exposes its origin;
+2. a direct flood at that origin kills the site (the paper's Fig. 1b);
+3. the site buys BGP-based protection for its address block;
+4. the very same flood at the very same address is now scrubbed.
+"""
+
+from repro import SimulatedInternet, WorldConfig
+from repro.core import DdosSimulator, ProviderMatcher, ResidualResolutionAttacker
+from repro.dps import BgpProtectionService, ReroutingMethod
+from repro.net.ipaddr import IPv4Prefix
+
+
+def main() -> None:
+    world = SimulatedInternet(WorldConfig(population_size=300, seed=6))
+    cloudflare = world.provider("cloudflare")
+    incapsula = world.provider("incapsula")
+    matcher = ProviderMatcher(world.specs, world.routeviews)
+    simulator = DdosSimulator(world.providers, matcher)
+
+    victim = next(
+        s for s in world.population
+        if s.provider is None and s.alive and not s.multicdn
+        and not s.is_rotating and not s.dynamic_meta and not s.firewall_inclined
+    )
+    print(f"Victim: {victim.www} (origin {victim.origin.ip})\n")
+
+    # 1. Residual exposure after leaving a DNS-based DPS.
+    victim.join(cloudflare, ReroutingMethod.NS_BASED)
+    victim.leave(informed=True)
+    attacker = ResidualResolutionAttacker(world.dns_client(), matcher)
+    discovery = attacker.probe_nameservers(
+        victim.www, cloudflare.customer_fleet.all_addresses()[:10]
+    )
+    exposed = discovery.candidate_origins[0]
+    print(f"[1] Residual record at {cloudflare.name} exposes: {exposed}")
+
+    # 2. The flood works.
+    outcome = simulator.attack(exposed, attack_gbps=800.0)
+    print(f"[2] 800 Gbps at the exposed origin: availability "
+          f"{outcome.origin_availability:.0%} -> "
+          f"{'SITE DOWN' if outcome.attack_succeeded else 'survived'}")
+
+    # 3. BGP-based protection for the origin's block.
+    block = IPv4Prefix.from_int(victim.origin.ip.value & ~0xF, 28)
+    bgp = BgpProtectionService(incapsula, world.routeviews)
+    bgp.protect(block)
+    print(f"[3] {incapsula.name} now announces {block} from its AS "
+          f"(origination: AS{world.routeviews.lookup(victim.origin.ip)})")
+
+    # 4. The same flood at the same address is scrubbed.
+    matcher_after = ProviderMatcher(world.specs, world.routeviews)
+    simulator_after = DdosSimulator(world.providers, matcher_after)
+    outcome = simulator_after.attack(exposed, attack_gbps=800.0)
+    print(f"[4] Same 800 Gbps at the same address: path={outcome.path}, "
+          f"availability {outcome.origin_availability:.0%} -> "
+          f"{'survived — exposure neutralised' if not outcome.attack_succeeded else 'down'}")
+    print("\nResidual resolution only matters for DNS-based rerouting "
+          "(§III: 'With the A-based rerouting, there is no such threat' — "
+          "and with BGP-based rerouting, exposure itself is harmless).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,50 @@
+#!/usr/bin/env python3
+"""Quickstart: build a simulated Internet, run the paper's six-week
+study at small scale, and print every table and figure.
+
+Usage::
+
+    python examples/quickstart.py [population] [seed]
+
+Defaults to a 2,000-site world (a 1:500 scale model of the paper's
+top-1M list) — takes well under a minute.
+"""
+
+import sys
+import time
+
+from repro import SimulatedInternet, SixWeekStudy, StudyConfig, WorldConfig
+from repro.core import render_full_report
+
+
+def main() -> None:
+    population = int(sys.argv[1]) if len(sys.argv) > 1 else 2000
+    seed = int(sys.argv[2]) if len(sys.argv) > 2 else 2018
+
+    print(f"Building a simulated Internet with {population:,} websites "
+          f"(seed {seed})…")
+    started = time.perf_counter()
+    world = SimulatedInternet(WorldConfig(population_size=population, seed=seed))
+    print(f"  {len(world.providers)} DPS platforms, "
+          f"{len(world.hosting_providers)} hosting providers, "
+          f"{len(world.dps_customers()):,} initial DPS customers "
+          f"({time.perf_counter() - started:.1f}s)")
+
+    print("Running the six-week measurement campaign "
+          "(warm-up, 42 daily collections, 6 weekly scans)…")
+    started = time.perf_counter()
+    report = SixWeekStudy(world, StudyConfig()).run()
+    print(f"  done in {time.perf_counter() - started:.1f}s\n")
+
+    print(render_full_report(report))
+
+    totals = report.cloudflare_totals
+    print()
+    print(f"Headline: {totals['hidden']} hidden records at the "
+          f"Cloudflare-like platform, {totals['verified']} verified live "
+          f"origins — residual resolution reproduced at 1:"
+          f"{report.scale_factor:.0f} scale.")
+
+
+if __name__ == "__main__":
+    main()

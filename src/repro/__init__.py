@@ -1,0 +1,58 @@
+"""repro — reproduction of *"Your Remnant Tells Secret: Residual
+Resolution in DDoS Protection Services"* (Jin, Hao, Wang, Cotton —
+DSN 2018).
+
+The library has two halves:
+
+* **substrates** (:mod:`repro.net`, :mod:`repro.dns`, :mod:`repro.web`,
+  :mod:`repro.dps`, :mod:`repro.world`) — a deterministic simulated
+  Internet: addressing and BGP data, a full DNS ecosystem, an HTTP
+  layer, eleven DPS/CDN platforms, and a ranked website population with
+  realistic usage dynamics;
+* **the core** (:mod:`repro.core`) — the paper's measurement
+  methodology: daily DNS collection, A/CNAME/NS matching, usage-
+  behaviour inference, the hidden-record filter pipeline, the residual-
+  resolution scanners, the attacker, and the countermeasures.
+
+Quickstart::
+
+    from repro import SimulatedInternet, WorldConfig, SixWeekStudy
+
+    world = SimulatedInternet(WorldConfig(population_size=5000, seed=1))
+    report = SixWeekStudy(world).run()
+    print(report.cloudflare_totals)
+"""
+
+from .clock import SimulationClock
+from .core import (
+    DdosSimulator,
+    ProviderMatcher,
+    PurgeProbe,
+    ResidualResolutionAttacker,
+    SixWeekStudy,
+    StudyConfig,
+    StudyReport,
+    render_full_report,
+)
+from .errors import ReproError
+from .rng import SeededRng
+from .world import SimulatedInternet, WorldConfig
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "SimulationClock",
+    "DdosSimulator",
+    "ProviderMatcher",
+    "PurgeProbe",
+    "ResidualResolutionAttacker",
+    "SixWeekStudy",
+    "StudyConfig",
+    "StudyReport",
+    "render_full_report",
+    "ReproError",
+    "SeededRng",
+    "SimulatedInternet",
+    "WorldConfig",
+    "__version__",
+]

@@ -1,0 +1,178 @@
+"""Command-line interface.
+
+::
+
+    python -m repro study  [--population N] [--seed S] [--days D] [--warmup W]
+    python -m repro scan   [--population N] [--seed S]
+    python -m repro attack [--population N] [--seed S] [--gbps G]
+    python -m repro purge-probe [--trials T] [--plan PLAN]
+
+``study`` runs the full six-week campaign and prints every table and
+figure; ``scan`` runs one §V residual-resolution sweep; ``attack``
+demonstrates the Fig. 1 bypass; ``purge-probe`` reruns the §V-A-3
+controlled purge measurement.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import List, Optional
+
+from .core.attacker import DdosSimulator, ResidualResolutionAttacker
+from .core.collector import DnsRecordCollector
+from .core.htmlverify import HtmlVerifier
+from .core.matching import ProviderMatcher
+from .core.pipeline import FilterPipeline
+from .core.purge_probe import PurgeProbe
+from .core.report import render_full_report
+from .core.residual_scan import CloudflareScanner, NameserverHarvest
+from .core.study import SixWeekStudy, StudyConfig
+from .dps.plans import PlanTier
+from .dps.portal import ReroutingMethod
+from .net.geo import PAPER_VANTAGE_REGIONS
+from .world import SimulatedInternet, WorldConfig
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI's argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Your Remnant Tells Secret' (DSN 2018)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    def add_world_args(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument("--population", type=int, default=2000,
+                         help="number of websites (default 2000)")
+        sub.add_argument("--seed", type=int, default=2018,
+                         help="world seed (default 2018)")
+
+    study = subparsers.add_parser("study", help="run the full six-week campaign")
+    add_world_args(study)
+    study.add_argument("--days", type=int, default=42,
+                       help="study length in days (default 42)")
+    study.add_argument("--warmup", type=int, default=56,
+                       help="warm-up days before the study (default 56)")
+    study.add_argument("--export", metavar="PATH", default=None,
+                       help="also write the report as JSON to PATH")
+
+    scan = subparsers.add_parser("scan", help="one residual-resolution sweep")
+    add_world_args(scan)
+    scan.add_argument("--warmup", type=int, default=45,
+                      help="days of dynamics before the sweep (default 45)")
+
+    attack = subparsers.add_parser("attack", help="demonstrate the Fig. 1 bypass")
+    add_world_args(attack)
+    attack.add_argument("--gbps", type=float, default=900.0,
+                        help="attack volume in Gbps (default 900)")
+
+    probe = subparsers.add_parser("purge-probe", help="the §V-A-3 purge probe")
+    add_world_args(probe)
+    probe.add_argument("--trials", type=int, default=3)
+    probe.add_argument(
+        "--plan", choices=[t.value for t in PlanTier], default="free"
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    world = SimulatedInternet(
+        WorldConfig(population_size=args.population, seed=args.seed)
+    )
+    if args.command == "study":
+        return _cmd_study(world, args)
+    if args.command == "scan":
+        return _cmd_scan(world, args)
+    if args.command == "attack":
+        return _cmd_attack(world, args)
+    return _cmd_purge_probe(world, args)
+
+
+def _cmd_study(world: SimulatedInternet, args) -> int:
+    config = StudyConfig(warmup_days=args.warmup, study_days=args.days)
+    report = SixWeekStudy(world, config).run()
+    print(render_full_report(report))
+    if args.export:
+        from .core.export import save_report
+
+        path = save_report(report, args.export)
+        print(f"\nreport exported to {path}")
+    return 0
+
+
+def _cmd_scan(world: SimulatedInternet, args) -> int:
+    world.engine.run_days(args.warmup)
+    hostnames = [str(s.www) for s in world.population]
+    collector = DnsRecordCollector(world.make_resolver())
+    snapshot = collector.collect(hostnames, day=world.clock.day)
+    harvest = NameserverHarvest()
+    harvest.ingest([snapshot])
+    if len(harvest) == 0:
+        print("no nameservers harvested; increase --population")
+        return 1
+    scanner = CloudflareScanner(
+        harvest.resolve_addresses(world.make_resolver()),
+        [world.dns_client(region) for region in PAPER_VANTAGE_REGIONS],
+    )
+    retrieved = scanner.scan(hostnames)
+    pipeline = FilterPipeline(
+        world.provider("cloudflare").prefixes,
+        world.make_resolver(),
+        HtmlVerifier(world.http_client(PAPER_VANTAGE_REGIONS[0])),
+    )
+    report = pipeline.run(retrieved, "cloudflare", week=0)
+    print(f"retrieved={report.retrieved} ip-filtered={report.dropped_ip_filter} "
+          f"a-filtered={report.dropped_a_filter} hidden={report.hidden_count} "
+          f"verified={report.verified_count}")
+    for record in report.hidden:
+        verdict = "EXPOSED" if record.verified_origin else record.reason
+        print(f"  {record.www} -> {record.address} [{verdict}]")
+    return 0
+
+
+def _cmd_attack(world: SimulatedInternet, args) -> int:
+    cloudflare = world.provider("cloudflare")
+    incapsula = world.provider("incapsula")
+    matcher = ProviderMatcher(world.specs, world.routeviews)
+    victim = next(
+        s for s in world.population
+        if s.provider is None and s.alive and not s.multicdn
+        and not s.dynamic_meta and not s.firewall_inclined
+    )
+    victim.join(cloudflare, ReroutingMethod.NS_BASED)
+    simulator = DdosSimulator(world.providers, matcher)
+    public = world.make_resolver().resolve(victim.www)
+    frontal = simulator.attack(public.addresses[0], attack_gbps=args.gbps)
+    print(f"frontal flood at edge: path={frontal.path} "
+          f"availability={frontal.origin_availability:.0%}")
+    victim.switch(incapsula, ReroutingMethod.CNAME_BASED, PlanTier.BUSINESS)
+    attacker = ResidualResolutionAttacker(world.dns_client(), matcher)
+    discovery = attacker.probe_nameservers(
+        victim.www, cloudflare.customer_fleet.all_addresses()[:10]
+    )
+    if not discovery.succeeded:
+        print("discovery failed")
+        return 1
+    bypass = simulator.attack(discovery.candidate_origins[0], attack_gbps=args.gbps)
+    print(f"bypass flood at residual origin: path={bypass.path} "
+          f"availability={bypass.origin_availability:.0%} "
+          f"-> {'site down' if bypass.attack_succeeded else 'survived'}")
+    return 0
+
+
+def _cmd_purge_probe(world: SimulatedInternet, args) -> int:
+    probe = PurgeProbe(world)
+    trials = probe.run_trials(count=args.trials, plan=PlanTier(args.plan))
+    for trial in trials:
+        purged = (
+            f"purged in week {trial.purged_in_week}"
+            if trial.purged_in_week is not None
+            else "never purged within the probe horizon"
+        )
+        print(f"trial {trial.trial} ({trial.plan}): answered weeks "
+              f"{trial.answered_weeks}, {purged}")
+    return 0

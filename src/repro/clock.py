@@ -1,0 +1,84 @@
+"""Simulation clock.
+
+The paper's experiments are organised around *days* (daily DNS collection
+for six weeks) and *weeks* (weekly residual-resolution sweeps).  The
+:class:`SimulationClock` provides a single logical time source measured in
+seconds since simulation epoch, with day/week helpers, so that DNS TTLs,
+pause windows, and purge horizons all share one notion of time.
+
+Nothing in the library reads the wall clock.
+"""
+
+from __future__ import annotations
+
+from .errors import SimulationError
+
+__all__ = ["SimulationClock", "SECONDS_PER_DAY", "SECONDS_PER_HOUR", "DAYS_PER_WEEK"]
+
+SECONDS_PER_HOUR = 3600
+SECONDS_PER_DAY = 24 * SECONDS_PER_HOUR
+DAYS_PER_WEEK = 7
+
+
+class SimulationClock:
+    """Monotonic logical clock, measured in seconds since epoch.
+
+    The clock only moves forward; attempts to rewind raise
+    :class:`~repro.errors.SimulationError` so that accidental time travel
+    (a classic source of impossible cache states) fails loudly.
+    """
+
+    def __init__(self, start: int = 0) -> None:
+        if start < 0:
+            raise SimulationError(f"clock cannot start before epoch: {start}")
+        self._now = int(start)
+
+    # -- reading ------------------------------------------------------
+
+    @property
+    def now(self) -> int:
+        """Current time in seconds since simulation epoch."""
+        return self._now
+
+    @property
+    def day(self) -> int:
+        """Current day index (day 0 starts at epoch)."""
+        return self._now // SECONDS_PER_DAY
+
+    @property
+    def week(self) -> int:
+        """Current week index (week 0 starts at epoch)."""
+        return self.day // DAYS_PER_WEEK
+
+    def seconds_into_day(self) -> int:
+        """Seconds elapsed since the current day began."""
+        return self._now % SECONDS_PER_DAY
+
+    # -- advancing ----------------------------------------------------
+
+    def advance(self, seconds: int) -> int:
+        """Move time forward by ``seconds`` and return the new time."""
+        if seconds < 0:
+            raise SimulationError(f"cannot advance clock by {seconds} seconds")
+        self._now += int(seconds)
+        return self._now
+
+    def advance_to(self, timestamp: int) -> int:
+        """Move time forward to an absolute ``timestamp``."""
+        if timestamp < self._now:
+            raise SimulationError(
+                f"cannot rewind clock from {self._now} to {timestamp}"
+            )
+        self._now = int(timestamp)
+        return self._now
+
+    def advance_days(self, days: int) -> int:
+        """Move time forward by a whole number of days."""
+        return self.advance(days * SECONDS_PER_DAY)
+
+    def advance_to_day(self, day: int) -> int:
+        """Move to 00:00 of the given day index."""
+        return self.advance_to(day * SECONDS_PER_DAY)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SimulationClock(now={self._now}, day={self.day})"

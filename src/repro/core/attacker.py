@@ -1,0 +1,172 @@
+"""The adversary of the threat model (§III, Fig. 1).
+
+Two pieces:
+
+* :class:`ResidualResolutionAttacker` — discovers a protected site's
+  origin by querying the *previous* DPS provider's nameservers directly
+  (NS-based rerouting) or by resolving a previously-collected canonical
+  name (CNAME-based rerouting), then filters out answers that are just
+  provider edge addresses.
+* :class:`DdosSimulator` — launches a volumetric flood at an address.
+  If the address belongs to a DPS platform, the traffic is rerouted
+  through scrubbing centres and absorbed; if it is a raw origin
+  address, the origin's uplink saturates and legitimate traffic dies —
+  the protection of the *current* DPS never enters the path, which is
+  precisely how residual resolution nullifies it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from ..dns.client import DnsClient
+from ..dns.message import Rcode
+from ..dns.name import DomainName
+from ..dns.records import RecordType
+from ..dns.resolver import RecursiveResolver
+from ..dps.provider import DpsProvider
+from ..net.ipaddr import IPv4Address
+from ..net.traffic import CapacityTarget, TrafficFlow
+from .matching import ProviderMatcher
+
+__all__ = ["DiscoveryResult", "ResidualResolutionAttacker", "AttackOutcome", "DdosSimulator"]
+
+
+@dataclass(frozen=True)
+class DiscoveryResult:
+    """What the attacker learned about a target."""
+
+    www: str
+    candidate_origins: tuple
+    queried_nameservers: int
+
+    @property
+    def succeeded(self) -> bool:
+        """True when at least one non-DPS address was obtained."""
+        return bool(self.candidate_origins)
+
+
+class ResidualResolutionAttacker:
+    """Implements the attacker model of §III-B."""
+
+    def __init__(self, client: DnsClient, matcher: ProviderMatcher) -> None:
+        self._client = client
+        self._matcher = matcher
+
+    def probe_nameservers(
+        self,
+        www: "DomainName | str",
+        nameserver_ips: Sequence["IPv4Address | str"],
+        max_attempts: Optional[int] = None,
+    ) -> DiscoveryResult:
+        """NS-based path: ask the previous provider's nameservers directly."""
+        hostname = DomainName(www)
+        candidates: List[IPv4Address] = []
+        attempts = 0
+        for ns_ip in nameserver_ips:
+            if max_attempts is not None and attempts >= max_attempts:
+                break
+            attempts += 1
+            response = self._client.query(ns_ip, hostname, RecordType.A)
+            if response is None or response.rcode is not Rcode.NOERROR:
+                continue
+            for record in response.answers:
+                if record.rtype is not RecordType.A:
+                    continue
+                if self._matcher.in_provider_ranges(record.address):
+                    continue  # just an edge address — no exposure
+                if record.address not in candidates:
+                    candidates.append(record.address)
+            if candidates:
+                break
+        return DiscoveryResult(str(hostname), tuple(candidates), attempts)
+
+    def probe_canonical(
+        self,
+        www: "DomainName | str",
+        canonical: "DomainName | str",
+        resolver: RecursiveResolver,
+    ) -> DiscoveryResult:
+        """CNAME-based path: resolve a previously-collected canonical."""
+        resolver.purge_cache()
+        result = resolver.resolve(DomainName(canonical), RecordType.A)
+        candidates = tuple(
+            address
+            for address in result.addresses
+            if not self._matcher.in_provider_ranges(address)
+        )
+        return DiscoveryResult(str(DomainName(www)), candidates, 1)
+
+
+@dataclass(frozen=True)
+class AttackOutcome:
+    """The result of one volumetric attack."""
+
+    target: IPv4Address
+    path: str  # "scrubbed" or "direct"
+    origin_saturated: bool
+    origin_availability: float
+    attack_gbps_reaching_origin: float
+
+    @property
+    def attack_succeeded(self) -> bool:
+        """True when the origin went down (availability below half)."""
+        return self.origin_availability < 0.5
+
+
+class DdosSimulator:
+    """Launches floods and reports what survives."""
+
+    def __init__(
+        self,
+        providers: Dict[str, DpsProvider],
+        matcher: ProviderMatcher,
+    ) -> None:
+        self._providers = providers
+        self._matcher = matcher
+
+    def attack(
+        self,
+        target: "IPv4Address | str",
+        attack_gbps: float,
+        legitimate_gbps: float = 1.0,
+        origin_capacity_gbps: float = 10.0,
+        bot_regions: Optional[Sequence] = None,
+    ) -> AttackOutcome:
+        """Flood ``target`` and compute the origin's fate.
+
+        A DPS-owned target address reroutes everything through the
+        owner's scrubbing network first (Fig. 1a); a raw address hits
+        the origin uplink directly (Fig. 1b).  ``bot_regions`` places
+        the botnet geographically: a concentrated botnet lands on one
+        anycast catchment and can overwhelm a single scrubbing centre
+        at a fraction of the network's aggregate capacity.
+        """
+        address = IPv4Address(target)
+        flow = TrafficFlow(legitimate_gbps=legitimate_gbps, attack_gbps=attack_gbps)
+        origin = CapacityTarget("origin-uplink", origin_capacity_gbps)
+        provider_name = self._matcher.a_match(address)
+        if provider_name is not None and provider_name in self._providers:
+            provider = self._providers[provider_name]
+            if bot_regions:
+                scrubbed = provider.absorb_attack_from(flow, list(bot_regions))
+            else:
+                scrubbed = provider.absorb_attack(flow)
+            delivery = origin.offer(scrubbed.forwarded)
+            return AttackOutcome(
+                target=address,
+                path="scrubbed",
+                origin_saturated=delivery.saturated,
+                origin_availability=delivery.availability
+                * scrubbed.legitimate_survival,
+                attack_gbps_reaching_origin=delivery.delivered_attack_gbps,
+            )
+        delivery = origin.offer(flow)
+        return AttackOutcome(
+            target=address,
+            path="direct",
+            origin_saturated=delivery.saturated,
+            origin_availability=delivery.availability,
+            attack_gbps_reaching_origin=delivery.delivered_attack_gbps,
+        )

@@ -1,0 +1,106 @@
+"""The daily DNS record collector (§IV-B-1).
+
+The paper runs a recursive resolver in a cloud zone, purges its cache
+before each run, and collects the A, CNAME, and NS records of every
+tested ``www`` hostname once per day for six weeks.
+:class:`DnsRecordCollector` does exactly this against the simulated
+Internet: one :class:`DomainSnapshot` per site per day, aggregated into
+a :class:`DailySnapshot`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+from ..dns.message import Rcode
+from ..dns.name import DomainName
+from ..dns.records import RecordType
+from ..dns.resolver import RecursiveResolver
+from ..net.ipaddr import IPv4Address
+
+__all__ = ["DomainSnapshot", "DailySnapshot", "DnsRecordCollector"]
+
+
+@dataclass(frozen=True, slots=True)
+class DomainSnapshot:
+    """One site's A/CNAME/NS view on one day."""
+
+    day: int
+    www: DomainName
+    a_records: tuple
+    cnames: tuple
+    ns_targets: tuple
+    rcode: Rcode = Rcode.NOERROR
+
+    @property
+    def resolved(self) -> bool:
+        """True when the hostname resolved to at least one address."""
+        return bool(self.a_records)
+
+
+@dataclass
+class DailySnapshot:
+    """All sites' snapshots for one collection day."""
+
+    day: int
+    domains: Dict[str, DomainSnapshot] = field(default_factory=dict)
+
+    def get(self, www: "DomainName | str") -> Optional[DomainSnapshot]:
+        """Snapshot for one hostname, if collected."""
+        return self.domains.get(str(DomainName(www)))
+
+    def __len__(self) -> int:
+        return len(self.domains)
+
+    def __iter__(self):
+        return iter(self.domains.values())
+
+
+class DnsRecordCollector:
+    """Collects daily A/CNAME/NS snapshots through a recursive resolver."""
+
+    def __init__(self, resolver: RecursiveResolver) -> None:
+        self._resolver = resolver
+        self.runs = 0
+
+    def collect(
+        self, hostnames: Iterable["DomainName | str"], day: int
+    ) -> DailySnapshot:
+        """One full collection run.
+
+        The resolver cache is purged first so each day's records are
+        independent of the previous day's (NS TTLs exceed a day).
+        """
+        self._resolver.purge_cache()
+        self.runs += 1
+        snapshot = DailySnapshot(day=day)
+        for hostname in hostnames:
+            record = self.collect_one(DomainName(hostname), day)
+            snapshot.domains[str(record.www)] = record
+        return snapshot
+
+    def collect_one(self, www: DomainName, day: int) -> DomainSnapshot:
+        """Collect A (with the CNAME chain) and apex NS for one site."""
+        result = self._resolver.resolve(www, RecordType.A)
+        a_records = tuple(result.addresses)
+        cnames = tuple(result.cname_targets)
+        ns_result = self._resolver.resolve(www.apex, RecordType.NS)
+        ns_targets = tuple(
+            record.target
+            for record in ns_result.records
+            if record.rtype is RecordType.NS
+        )
+        return DomainSnapshot(
+            day=day,
+            www=www,
+            a_records=a_records,
+            cnames=cnames,
+            ns_targets=ns_targets,
+            rcode=result.rcode,
+        )
+
+    @staticmethod
+    def addresses_of(snapshot: DomainSnapshot) -> List[IPv4Address]:
+        """Convenience accessor returning a mutable address list."""
+        return list(snapshot.a_records)

@@ -1,0 +1,118 @@
+"""Exposure-duration tracking (Fig. 9, §V-A-3).
+
+Tracks which verified exposed origins appear in which weekly scans and
+derives the paper's three headline quantities:
+
+* the number of *newly* exposed origins each week;
+* the origins exposed in **every** scan ("always exposed", lower-bounding
+  their exposure at the full study length);
+* the origins whose exposure both appeared and disappeared within the
+  study window (admins rotated the origin, or the provider purged the
+  record).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence, Set
+
+__all__ = ["ExposureTimeline", "ExposureSummary"]
+
+
+@dataclass(frozen=True)
+class ExposureSummary:
+    """Fig. 9's aggregate numbers."""
+
+    weeks: int
+    total_distinct: int
+    always_exposed: int
+    bounded_exposures: int
+    new_per_week: Dict[int, int]
+
+    @property
+    def average_new_per_week(self) -> float:
+        """Mean newly-exposed count over weeks 2..N."""
+        later_weeks = [count for week, count in self.new_per_week.items() if week > 0]
+        if not later_weeks:
+            return 0.0
+        return sum(later_weeks) / len(later_weeks)
+
+
+class ExposureTimeline:
+    """Accumulates weekly verified-origin sets."""
+
+    def __init__(self) -> None:
+        self._weeks: List[Set[str]] = []
+
+    def record_week(self, verified_websites: Iterable[str]) -> None:
+        """Add one weekly scan's verified set."""
+        self._weeks.append(set(verified_websites))
+
+    @property
+    def num_weeks(self) -> int:
+        """Weeks recorded so far."""
+        return len(self._weeks)
+
+    def week(self, index: int) -> Set[str]:
+        """The verified set of one week (0-based)."""
+        return set(self._weeks[index])
+
+    # ------------------------------------------------------------------
+
+    def all_websites(self) -> Set[str]:
+        """Every site verified at least once."""
+        combined: Set[str] = set()
+        for week in self._weeks:
+            combined |= week
+        return combined
+
+    def always_exposed(self) -> Set[str]:
+        """Sites verified in *every* week."""
+        if not self._weeks:
+            return set()
+        intersection = set(self._weeks[0])
+        for week in self._weeks[1:]:
+            intersection &= week
+        return intersection
+
+    def newly_exposed(self) -> Dict[int, Set[str]]:
+        """Week → sites first seen that week (week 0 = baseline)."""
+        seen: Set[str] = set()
+        new_by_week: Dict[int, Set[str]] = {}
+        for index, week in enumerate(self._weeks):
+            fresh = week - seen
+            new_by_week[index] = fresh
+            seen |= week
+        return new_by_week
+
+    def bounded_exposures(self) -> Set[str]:
+        """Sites whose first and last sightings are both strictly inside
+        the study (appearance *and* disappearance observed)."""
+        if len(self._weeks) < 3:
+            return set()
+        bounded: Set[str] = set()
+        for site in self.all_websites():
+            present = [i for i, week in enumerate(self._weeks) if site in week]
+            first, last = present[0], present[-1]
+            if first > 0 and last < len(self._weeks) - 1:
+                bounded.add(site)
+        return bounded
+
+    def exposure_spans(self) -> Dict[str, int]:
+        """Site → observed exposure span in weeks (last - first + 1)."""
+        spans: Dict[str, int] = {}
+        for site in self.all_websites():
+            present = [i for i, week in enumerate(self._weeks) if site in week]
+            spans[site] = present[-1] - present[0] + 1
+        return spans
+
+    def summary(self) -> ExposureSummary:
+        """The Fig. 9 aggregate."""
+        new_by_week = {week: len(sites) for week, sites in self.newly_exposed().items()}
+        return ExposureSummary(
+            weeks=len(self._weeks),
+            total_distinct=len(self.all_websites()),
+            always_exposed=len(self.always_exposed()),
+            bounded_exposures=len(self.bounded_exposures()),
+            new_per_week=new_by_week,
+        )

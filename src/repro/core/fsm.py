@@ -1,0 +1,99 @@
+"""The DPS usage finite state machine (Fig. 4).
+
+States are (status, provider-slot) pairs; transitions are labelled with
+behaviour combinations.  The FSM serves two purposes:
+
+* as executable documentation of Fig. 4;
+* as a validator — every (previous, current) observation pair produced
+  by the measurement pipeline must correspond to a legal transition, and
+  the behaviours the detector emits for it must match the edge label.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ..errors import MeasurementError
+from ..world.admin import BehaviorKind
+from .status import DpsObservation, DpsStatus
+
+__all__ = ["FsmState", "DpsUsageFsm"]
+
+
+@dataclass(frozen=True)
+class FsmState:
+    """One FSM state: a status plus which provider slot holds the site.
+
+    Provider identity is abstracted to slots ("P1", "P2") exactly as in
+    Fig. 4 — what matters is *same provider or different*, not which.
+    """
+
+    status: str
+    provider_slot: Optional[str]  # None for NONE-status states
+
+    def __post_init__(self) -> None:
+        if self.status == DpsStatus.NONE and self.provider_slot is not None:
+            raise MeasurementError("NONE state cannot carry a provider")
+        if self.status != DpsStatus.NONE and self.provider_slot is None:
+            raise MeasurementError(f"{self.status} state needs a provider slot")
+
+
+class DpsUsageFsm:
+    """Fig. 4's machine: classify transitions and validate sequences."""
+
+    @staticmethod
+    def state_of(observation: DpsObservation, slot: str = "P1") -> FsmState:
+        """Abstract an observation into an FSM state."""
+        if observation.status == DpsStatus.NONE:
+            return FsmState(DpsStatus.NONE, None)
+        return FsmState(observation.status, slot)
+
+    @staticmethod
+    def classify(
+        prev: DpsObservation, curr: DpsObservation
+    ) -> Tuple[BehaviorKind, ...]:
+        """The behaviour label of the edge from ``prev`` to ``curr``.
+
+        Returns an empty tuple for the NULL self-loop.  Raises
+        :class:`~repro.errors.MeasurementError` for an impossible pair
+        (none exist in the 3-status model, but guard anyway).
+        """
+        p, c = prev.status, curr.status
+        same_provider = prev.provider == curr.provider
+
+        if p == c and same_provider:
+            return ()
+        if p == DpsStatus.NONE:
+            if c == DpsStatus.ON:
+                return (BehaviorKind.JOIN,)
+            if c == DpsStatus.OFF:
+                return (BehaviorKind.JOIN, BehaviorKind.PAUSE)
+        if c == DpsStatus.NONE:
+            return (BehaviorKind.LEAVE,)
+        if same_provider:
+            if p == DpsStatus.ON and c == DpsStatus.OFF:
+                return (BehaviorKind.PAUSE,)
+            if p == DpsStatus.OFF and c == DpsStatus.ON:
+                return (BehaviorKind.RESUME,)
+        else:
+            if c == DpsStatus.ON:
+                return (BehaviorKind.SWITCH,)
+            return (BehaviorKind.SWITCH, BehaviorKind.PAUSE)
+        raise MeasurementError(f"impossible transition {p}->{c}")
+
+    @classmethod
+    def validate_sequence(cls, observations: List[DpsObservation]) -> List[Tuple[BehaviorKind, ...]]:
+        """Classify every consecutive pair of one site's observations.
+
+        Raises on any pair the FSM cannot explain; returns the edge
+        labels otherwise.
+        """
+        labels: List[Tuple[BehaviorKind, ...]] = []
+        for prev, curr in zip(observations, observations[1:]):
+            if prev.www != curr.www:
+                raise MeasurementError(
+                    f"sequence mixes sites: {prev.www} vs {curr.www}"
+                )
+            labels.append(cls.classify(prev, curr))
+        return labels

@@ -1,0 +1,102 @@
+"""HTML verification (§IV-C-3).
+
+The primitive behind both Table V and the residual-resolution pipeline:
+decide whether a candidate IP address hosts the same site as the one
+served through a DPS edge, by downloading the landing page twice and
+comparing titles and meta tags.
+
+The comparison is deliberately strict (exact title + exact meta set);
+dynamic meta attributes and origin-side firewalls make it fail for some
+true origins, so every count built on it is a *lower bound* — the
+property the paper states and our tests assert.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..dns.name import DomainName
+from ..net.ipaddr import IPv4Address
+from ..web.html import HtmlDocument
+from ..web.http import HttpClient
+
+__all__ = ["VerificationOutcome", "HtmlVerifier"]
+
+
+@dataclass(frozen=True)
+class VerificationOutcome:
+    """Result of one verification attempt, with the failure reason."""
+
+    verified: bool
+    reason: str
+
+    @classmethod
+    def success(cls) -> "VerificationOutcome":
+        return cls(True, "match")
+
+
+class HtmlVerifier:
+    """Compares a through-edge fetch with a direct-to-IP fetch.
+
+    ``strictness`` selects the comparison:
+
+    * ``"title-and-meta"`` (default, the paper's §IV-C-3 check) —
+      identical title *and* identical meta set; strict, so dynamic meta
+      produces false negatives and every count is a lower bound;
+    * ``"title-only"`` — identical title; tolerant of dynamic meta, but
+      admits false positives for same-titled different sites (the
+      ablation DESIGN.md calls out).
+    """
+
+    def __init__(self, client: HttpClient, strictness: str = "title-and-meta") -> None:
+        if strictness not in ("title-and-meta", "title-only"):
+            raise ValueError(f"unknown strictness: {strictness!r}")
+        self._client = client
+        self.strictness = strictness
+        self.attempts = 0
+
+    def verify(
+        self,
+        host: "DomainName | str",
+        reference_ip: "IPv4Address | str",
+        candidate_ip: "IPv4Address | str",
+    ) -> VerificationOutcome:
+        """Is ``candidate_ip`` serving the same site as ``reference_ip``?
+
+        ``reference_ip`` is IP2 in the paper's notation (the DPS edge
+        currently serving the site); ``candidate_ip`` is IP1 (the
+        suspected origin).  The reference fetch supplies the landing-page
+        URL replayed against the candidate.
+        """
+        self.attempts += 1
+        hostname = DomainName(host)
+        reference = self._client.get(reference_ip, hostname)
+        if reference is None or not reference.ok:
+            return VerificationOutcome(False, "reference-fetch-failed")
+        landing_path = self._path_of(reference.landing_url) or "/"
+        candidate = self._client.get(candidate_ip, hostname, landing_path)
+        if candidate is None:
+            return VerificationOutcome(False, "candidate-unreachable")
+        if not candidate.ok:
+            return VerificationOutcome(False, f"candidate-status-{candidate.status}")
+        reference_doc = HtmlDocument.parse(reference.body)
+        candidate_doc = HtmlDocument.parse(candidate.body)
+        if reference_doc.matches(candidate_doc):
+            return VerificationOutcome.success()
+        if reference_doc.title == candidate_doc.title:
+            if self.strictness == "title-only":
+                return VerificationOutcome.success()
+            # Same title, differing meta: almost always dynamic meta
+            # attributes — a missed true origin (§IV-C-3).
+            return VerificationOutcome(False, "meta-mismatch")
+        return VerificationOutcome(False, "content-mismatch")
+
+    @staticmethod
+    def _path_of(url: Optional[str]) -> Optional[str]:
+        if url is None:
+            return None
+        # http://host/path → /path
+        without_scheme = url.split("://", 1)[-1]
+        slash = without_scheme.find("/")
+        return without_scheme[slash:] if slash >= 0 else "/"

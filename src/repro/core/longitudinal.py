@@ -1,0 +1,108 @@
+"""Longitudinal adoption tracking (the Jonker et al. measurement).
+
+The paper's related work (§VII) cites Jonker et al. (IMC 2016), who
+measured DPS adoption growing by a factor of **1.24 over 1.5 years**.
+Our world's behaviour model implies the same kind of secular growth:
+the planted JOIN rate exceeds the LEAVE rate (195 vs 145 per day at 1M
+scale), compounding to roughly +1.2% over the paper's six weeks and
+~1.2× over 1.5 years.
+
+:class:`LongitudinalStudy` measures that trajectory the way Jonker et
+al. did — periodic DNS snapshots classified through the same Table III
+pipeline — and reports the observed growth factor next to the
+behaviour-model prediction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..world.config import BehaviorRates
+from ..world.internet import SimulatedInternet
+from .collector import DnsRecordCollector
+from .matching import ProviderMatcher
+from .status import StatusDeterminer
+
+__all__ = ["AdoptionPoint", "LongitudinalStudy", "predicted_growth_factor"]
+
+
+@dataclass(frozen=True)
+class AdoptionPoint:
+    """One periodic adoption measurement."""
+
+    day: int
+    adopted: int
+    population: int
+
+    @property
+    def rate(self) -> float:
+        """Adoption as a fraction of the population."""
+        return self.adopted / self.population if self.population else 0.0
+
+
+def predicted_growth_factor(
+    days: int,
+    base_rate: float = 0.1485,
+    rates: Optional[BehaviorRates] = None,
+) -> float:
+    """The behaviour model's closed-form growth prediction.
+
+    Daily net inflow = join_rate·(1−adopted) − leave_rate·adopted,
+    integrated linearly (the drift is tiny relative to the pools, so
+    compounding is negligible on these horizons).  Over 1.5 years this
+    yields ≈1.2×, matching Jonker et al.'s measured 1.24×.
+    """
+    r = rates or BehaviorRates()
+    net_daily = r.join_daily * (1 - base_rate) - r.leave_daily * base_rate
+    return (base_rate + net_daily * days) / base_rate
+
+
+class LongitudinalStudy:
+    """Periodic adoption snapshots over a long horizon."""
+
+    def __init__(
+        self,
+        world: SimulatedInternet,
+        sample_every_days: int = 14,
+    ) -> None:
+        if sample_every_days < 1:
+            raise ValueError("sampling interval must be at least one day")
+        self.world = world
+        self.sample_every_days = sample_every_days
+        matcher = ProviderMatcher(world.specs, world.routeviews)
+        shared = frozenset(
+            ip for p in world.providers.values() for ip in p.offnet_edge_ips
+        )
+        self._determiner = StatusDeterminer(matcher, shared)
+        self._collector = DnsRecordCollector(world.make_resolver())
+        self._hostnames = [str(site.www) for site in world.population]
+
+    def _sample(self) -> AdoptionPoint:
+        snapshot = self._collector.collect(self._hostnames, self.world.clock.day)
+        adopted = sum(
+            1
+            for domain in snapshot
+            if self._determiner.observe(domain).provider is not None
+        )
+        return AdoptionPoint(
+            day=snapshot.day, adopted=adopted, population=len(self._hostnames)
+        )
+
+    def run(self, total_days: int) -> List[AdoptionPoint]:
+        """Sample adoption every ``sample_every_days`` for ``total_days``."""
+        points = [self._sample()]
+        elapsed = 0
+        while elapsed < total_days:
+            step = min(self.sample_every_days, total_days - elapsed)
+            self.world.engine.run_days(step)
+            elapsed += step
+            points.append(self._sample())
+        return points
+
+    @staticmethod
+    def growth_factor(points: List[AdoptionPoint]) -> float:
+        """Last-over-first adoption ratio (Jonker et al.'s statistic)."""
+        if len(points) < 2 or points[0].adopted == 0:
+            return 1.0
+        return points[-1].adopted / points[0].adopted

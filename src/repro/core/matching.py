@@ -1,0 +1,114 @@
+"""A/CNAME/NS matching (§IV-B-2).
+
+Maps collected DNS records onto DPS providers using the Table II data:
+
+* **A-matching** — is the address inside a provider's announced ranges?
+  Answered with a RouteViews longest-prefix match and the providers' AS
+  numbers, exactly as the paper did with the RouteView archive.
+* **CNAME-matching** — does the *second-level domain* of a CNAME target
+  contain one of a provider's unique substrings?
+* **NS-matching** — same, for nameserver hostnames.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..dns.name import DomainName
+from ..dps.catalog import ProviderSpec
+from ..net.ipaddr import IPv4Address
+from ..net.routeviews import RouteViewsDb
+
+__all__ = ["ProviderMatcher"]
+
+
+class ProviderMatcher:
+    """Implements the three matching processes against Table II data."""
+
+    def __init__(self, specs: Iterable[ProviderSpec], routeviews: RouteViewsDb) -> None:
+        self._specs: List[ProviderSpec] = list(specs)
+        self._routeviews = routeviews
+        self._asn_to_provider: Dict[int, str] = {}
+        for spec in self._specs:
+            for asn in spec.as_numbers:
+                self._asn_to_provider[asn] = spec.name
+        self._cname_substrings: List[Tuple[str, str]] = [
+            (substring, spec.name)
+            for spec in self._specs
+            for substring in spec.cname_substrings
+        ]
+        self._ns_substrings: List[Tuple[str, str]] = [
+            (substring, spec.name)
+            for spec in self._specs
+            for substring in spec.ns_substrings
+        ]
+
+    @property
+    def specs(self) -> List[ProviderSpec]:
+        """The provider specs this matcher was built from."""
+        return list(self._specs)
+
+    # -- A-matching -----------------------------------------------------
+
+    def a_match(self, address: "IPv4Address | str") -> Optional[str]:
+        """Provider owning the address's announced prefix, if any."""
+        asn = self._routeviews.lookup(address)
+        if asn is None:
+            return None
+        return self._asn_to_provider.get(asn)
+
+    def a_match_any(self, addresses: Iterable["IPv4Address | str"]) -> Optional[str]:
+        """First A-matched provider across several addresses."""
+        for address in addresses:
+            provider = self.a_match(address)
+            if provider is not None:
+                return provider
+        return None
+
+    def in_provider_ranges(self, address: "IPv4Address | str") -> bool:
+        """True when the address belongs to *any* studied provider."""
+        return self.a_match(address) is not None
+
+    # -- CNAME-matching ---------------------------------------------------
+
+    @staticmethod
+    def _second_level_label(name: DomainName) -> Optional[str]:
+        labels = name.labels
+        return labels[-2] if len(labels) >= 2 else None
+
+    def cname_match(self, target: "DomainName | str") -> Optional[str]:
+        """Provider whose unique substring appears in the CNAME's SLD."""
+        sld = self._second_level_label(DomainName(target))
+        if sld is None:
+            return None
+        for substring, provider in self._cname_substrings:
+            if substring in sld:
+                return provider
+        return None
+
+    def cname_match_any(self, targets: Iterable["DomainName | str"]) -> Optional[str]:
+        """First CNAME-matched provider across a CNAME chain."""
+        for target in targets:
+            provider = self.cname_match(target)
+            if provider is not None:
+                return provider
+        return None
+
+    # -- NS-matching ----------------------------------------------------------
+
+    def ns_match(self, nameserver: "DomainName | str") -> Optional[str]:
+        """Provider whose unique substring appears in the NS hostname."""
+        name = DomainName(nameserver)
+        for label in name.labels[:-1]:  # skip the TLD label
+            for substring, provider in self._ns_substrings:
+                if substring in label:
+                    return provider
+        return None
+
+    def ns_match_any(self, nameservers: Iterable["DomainName | str"]) -> Optional[str]:
+        """First NS-matched provider across a delegation's NS set."""
+        for nameserver in nameservers:
+            provider = self.ns_match(nameserver)
+            if provider is not None:
+                return provider
+        return None

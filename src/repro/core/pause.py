@@ -1,0 +1,114 @@
+"""Pause-period (exposure-window) analysis (§IV-C-1, Fig. 5).
+
+When a customer pauses its DPS, Cloudflare and Incapsula answer name
+resolutions with the origin address — an exposure window that lasts
+until the RESUME.  This module pairs measured PAUSE behaviours with
+their subsequent RESUMEs and computes the duration distribution.
+
+"Overall" pairs a PAUSE with the next RESUME regardless of provider
+(covering pause-at-Cloudflare / resume-at-Incapsula sequences); the
+per-provider views require both endpoints at the same provider, as in
+the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from ..world.admin import BehaviorKind
+from .behaviors import MeasuredBehavior
+
+__all__ = ["PauseWindow", "PauseAnalyzer", "empirical_cdf"]
+
+
+@dataclass(frozen=True)
+class PauseWindow:
+    """One completed pause: site, provider(s), duration in days."""
+
+    www: str
+    paused_day: int
+    resumed_day: int
+    pause_provider: Optional[str]
+    resume_provider: Optional[str]
+
+    @property
+    def duration_days(self) -> int:
+        """Length of the exposure window."""
+        return self.resumed_day - self.paused_day
+
+    @property
+    def same_provider(self) -> bool:
+        """True when pause and resume happened at the same platform."""
+        return (
+            self.pause_provider is not None
+            and self.pause_provider == self.resume_provider
+        )
+
+
+class PauseAnalyzer:
+    """Extracts pause windows from a measured behaviour stream."""
+
+    def windows(self, behaviors: Iterable[MeasuredBehavior]) -> List[PauseWindow]:
+        """Pair each PAUSE with the site's next RESUME."""
+        by_site: Dict[str, List[MeasuredBehavior]] = {}
+        for behavior in behaviors:
+            if behavior.kind in (BehaviorKind.PAUSE, BehaviorKind.RESUME):
+                by_site.setdefault(behavior.www, []).append(behavior)
+        windows: List[PauseWindow] = []
+        for www, events in by_site.items():
+            events.sort(key=lambda b: b.day)
+            open_pause: Optional[MeasuredBehavior] = None
+            for event in events:
+                if event.kind is BehaviorKind.PAUSE:
+                    open_pause = event
+                elif open_pause is not None:
+                    windows.append(
+                        PauseWindow(
+                            www=www,
+                            paused_day=open_pause.day,
+                            resumed_day=event.day,
+                            pause_provider=open_pause.from_provider,
+                            resume_provider=event.to_provider,
+                        )
+                    )
+                    open_pause = None
+        return windows
+
+    def durations(
+        self,
+        behaviors: Iterable[MeasuredBehavior],
+        provider: Optional[str] = None,
+    ) -> List[int]:
+        """Pause durations in days; restricted to one provider when given
+        (both PAUSE and RESUME at that provider, as in Fig. 5)."""
+        selected = []
+        for window in self.windows(behaviors):
+            if provider is None:
+                selected.append(window.duration_days)
+            elif window.same_provider and window.pause_provider == provider:
+                selected.append(window.duration_days)
+        return selected
+
+    @staticmethod
+    def fraction_longer_than(durations: Sequence[int], days: int) -> float:
+        """Fraction of windows strictly longer than ``days`` (the paper's
+        "~30% of pause periods are longer than 5 days")."""
+        if not durations:
+            return 0.0
+        return sum(1 for d in durations if d > days) / len(durations)
+
+
+def empirical_cdf(durations: Sequence[int]) -> List[tuple]:
+    """(value, cumulative fraction) pairs — the Fig. 5 curve."""
+    if not durations:
+        return []
+    ordered = sorted(durations)
+    n = len(ordered)
+    cdf: List[tuple] = []
+    for i, value in enumerate(ordered, start=1):
+        if cdf and cdf[-1][0] == value:
+            cdf[-1] = (value, i / n)
+        else:
+            cdf.append((value, i / n))
+    return cdf

@@ -1,0 +1,174 @@
+"""Residual-resolution scanners — the §V case studies.
+
+**Cloudflare** (NS-based rerouting): harvest the ``*.ns.cloudflare.*``
+nameserver hostnames observed in customer delegations, resolve each to
+its anycast address, then query the top-N ``www`` hostnames *directly*
+against randomly-chosen nameservers, rotating across five geographic
+vantage points so the load spreads over distinct PoPs (Fig. 7).  A
+nameserver answers for sites whose records it still holds and refuses
+the rest.
+
+**Incapsula** (CNAME-based rerouting): the canonical names are assigned
+unpredictably and deleted on departure, so they must be *collected
+while customers are active* (§III-B).  The scanner accumulates every
+``incapdns`` CNAME seen in daily snapshots and keeps resolving those
+canonicals — long after the customer left.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from ..dns.client import DnsClient
+from ..dns.message import Rcode
+from ..dns.name import DomainName
+from ..dns.records import RecordType
+from ..dns.resolver import RecursiveResolver
+from ..net.ipaddr import IPv4Address
+from .collector import DailySnapshot
+from .matching import ProviderMatcher
+from .pipeline import RetrievedRecord
+
+__all__ = ["NameserverHarvest", "CloudflareScanner", "IncapsulaScanner"]
+
+
+class NameserverHarvest:
+    """Collects a provider's customer-facing nameserver identities.
+
+    The paper extracted 391 nameservers carrying the unique string
+    ``ns.cloudflare.com`` from observed NS records (§V-A-1).
+    """
+
+    def __init__(self, marker: str = "ns.cloudflare") -> None:
+        self.marker = marker
+        self._hostnames: Dict[DomainName, None] = {}
+
+    def ingest(self, snapshots: Iterable[DailySnapshot]) -> None:
+        """Harvest from daily collection snapshots' NS records."""
+        for snapshot in snapshots:
+            for domain in snapshot:
+                for ns_target in domain.ns_targets:
+                    if self.marker in str(ns_target):
+                        self._hostnames.setdefault(DomainName(ns_target))
+
+    @property
+    def hostnames(self) -> List[DomainName]:
+        """Every harvested nameserver hostname."""
+        return list(self._hostnames)
+
+    def resolve_addresses(self, resolver: RecursiveResolver) -> List[IPv4Address]:
+        """Resolve each harvested hostname to its (anycast) address."""
+        addresses: List[IPv4Address] = []
+        for hostname in self._hostnames:
+            result = resolver.resolve(hostname, RecordType.A)
+            addresses.extend(result.addresses)
+        return addresses
+
+    def __len__(self) -> int:
+        return len(self._hostnames)
+
+
+class CloudflareScanner:
+    """Direct-query scanner against an NS-rerouting provider's fleet."""
+
+    def __init__(
+        self,
+        nameserver_ips: Sequence["IPv4Address | str"],
+        vantage_clients: Sequence[DnsClient],
+        provider: str = "cloudflare",
+    ) -> None:
+        if not nameserver_ips:
+            raise ValueError("scanner needs at least one nameserver address")
+        if not vantage_clients:
+            raise ValueError("scanner needs at least one vantage client")
+        self._nameserver_ips = [IPv4Address(ip) for ip in nameserver_ips]
+        self._clients = list(vantage_clients)
+        self.provider = provider
+        self.queries_answered = 0
+        self.queries_ignored = 0
+
+    def scan(self, hostnames: Iterable["DomainName | str"]) -> List[RetrievedRecord]:
+        """Retrieve the A records the provider still holds.
+
+        Each hostname is queried at one nameserver from one vantage
+        point, both chosen round-robin — the paper's way of spreading
+        the measurement across PoPs.
+        """
+        retrieved: List[RetrievedRecord] = []
+        for index, hostname in enumerate(hostnames):
+            client = self._clients[index % len(self._clients)]
+            ns_ip = self._nameserver_ips[index % len(self._nameserver_ips)]
+            response = client.query(ns_ip, hostname, RecordType.A)
+            if response is None or response.rcode is not Rcode.NOERROR or not response.answers:
+                self.queries_ignored += 1
+                continue
+            addresses = tuple(
+                record.address
+                for record in response.answers
+                if record.rtype is RecordType.A
+            )
+            if not addresses:
+                self.queries_ignored += 1
+                continue
+            self.queries_answered += 1
+            retrieved.append(
+                RetrievedRecord(
+                    www=str(DomainName(hostname)),
+                    provider=self.provider,
+                    addresses=addresses,
+                )
+            )
+        return retrieved
+
+
+class IncapsulaScanner:
+    """CNAME-tracking scanner against a CNAME-rerouting provider."""
+
+    def __init__(
+        self,
+        resolver: RecursiveResolver,
+        matcher: ProviderMatcher,
+        provider: str = "incapsula",
+    ) -> None:
+        self._resolver = resolver
+        self._matcher = matcher
+        self.provider = provider
+        #: canonical name → the customer www hostname it was seen at.
+        self._canonicals: Dict[DomainName, str] = {}
+
+    def ingest(self, snapshots: Iterable[DailySnapshot]) -> None:
+        """Accumulate the provider's CNAMEs from daily snapshots."""
+        for snapshot in snapshots:
+            for domain in snapshot:
+                for target in domain.cnames:
+                    if self._matcher.cname_match(target) == self.provider:
+                        self._canonicals.setdefault(DomainName(target), str(domain.www))
+
+    @property
+    def known_canonicals(self) -> Dict[DomainName, str]:
+        """Every collected canonical and the site it belonged to."""
+        return dict(self._canonicals)
+
+    def scan(self) -> List[RetrievedRecord]:
+        """Resolve every known canonical and keep what answers.
+
+        Resolution of the canonical runs through the provider's own
+        delegation, so a terminated customer's canonical reaching the
+        provider's nameservers exercises its residual policy exactly
+        like a direct query would.
+        """
+        self._resolver.purge_cache()
+        retrieved: List[RetrievedRecord] = []
+        for canonical, www in self._canonicals.items():
+            result = self._resolver.resolve(canonical, RecordType.A)
+            if not result.addresses:
+                continue
+            retrieved.append(
+                RetrievedRecord(
+                    www=www,
+                    provider=self.provider,
+                    addresses=tuple(result.addresses),
+                    canonical=str(canonical),
+                )
+            )
+        return retrieved

@@ -1,0 +1,334 @@
+"""The full six-week study (§IV + §V), end to end.
+
+:class:`SixWeekStudy` runs the paper's entire measurement campaign
+against a :class:`~repro.world.internet.SimulatedInternet`:
+
+* a warm-up period so provider databases reach the steady state a
+  scanner would find in the wild (the paper's week-1 scan already saw
+  ~1,500 hidden records, i.e. weeks of accumulated departures);
+* daily A/CNAME/NS collection with a cache-purged recursive resolver
+  (§IV-B-1), status determination (Table III) and behaviour diffing
+  (Table IV) with multi-CDN filtering;
+* weekly Cloudflare direct-query sweeps from five vantage points and
+  Incapsula CNAME tracking, both feeding the Fig. 8 filter pipeline;
+* the Table V origin-IP experiment and the Fig. 5/9 analyses.
+
+The result object carries the measured artifact for every table and
+figure, plus ground-truth comparisons that the paper could never make.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from ..clock import DAYS_PER_WEEK
+from ..dps.portal import ReroutingMethod
+from ..net.geo import PAPER_VANTAGE_REGIONS
+from ..world.admin import BehaviorEvent, BehaviorKind
+from ..world.internet import SimulatedInternet
+from .behaviors import BehaviorDetector, MeasuredBehavior, MultiCdnFilter
+from .collector import DailySnapshot, DnsRecordCollector
+from .exposure import ExposureSummary, ExposureTimeline
+from .htmlverify import HtmlVerifier
+from .ip_change import IpChangeExperiment, IpChangeResult
+from .matching import ProviderMatcher
+from .pause import PauseAnalyzer
+from .pipeline import FilterPipeline, PipelineReport
+from .residual_scan import CloudflareScanner, IncapsulaScanner, NameserverHarvest
+from .status import DpsObservation, StatusDeterminer
+
+__all__ = ["StudyConfig", "StudyReport", "SixWeekStudy"]
+
+
+@dataclass
+class StudyConfig:
+    """Campaign parameters (defaults follow the paper)."""
+
+    #: Days of pre-study world dynamics.  Long enough that provider
+    #: databases hold a steady-state population of stale records across
+    #: the plan-mixed purge horizons (28-56 days), as the wild would.
+    warmup_days: int = 56
+    study_days: int = 42
+    scan_every_days: int = DAYS_PER_WEEK
+    vantage_regions: List[str] = field(
+        default_factory=lambda: list(PAPER_VANTAGE_REGIONS)
+    )
+    multicdn_flip_threshold: int = 3
+    #: Collect Table V / pause / Fig. 3 data (disable to run §V only).
+    run_usage_dynamics: bool = True
+    #: Run the §V weekly scans (disable to run §IV only).
+    run_residual_scans: bool = True
+    #: HTML-verification strictness: "title-and-meta" (the paper's
+    #: comparison, a strict lower bound) or "title-only" (tolerant of
+    #: dynamic meta; admits false positives) — the ablation DESIGN.md
+    #: calls out.
+    verifier_strictness: str = "title-and-meta"
+
+
+@dataclass
+class StudyReport:
+    """Everything the campaign measured, organised by paper artifact."""
+
+    config: StudyConfig
+    population_size: int
+    scale_factor: float
+
+    # §IV raw series
+    snapshots: List[DailySnapshot] = field(default_factory=list)
+    observations: List[Dict[str, DpsObservation]] = field(default_factory=list)
+    behaviors: List[MeasuredBehavior] = field(default_factory=list)
+    multicdn_flagged: Set[str] = field(default_factory=set)
+
+    # Fig. 2 / §IV-B-2
+    adoption_by_provider: Dict[str, float] = field(default_factory=dict)
+    overall_adoption_rate: float = 0.0
+    top_sites_adoption_rate: float = 0.0
+    adoption_growth: float = 0.0
+
+    # Fig. 3 / Table IV
+    behavior_daily_counts: Dict[int, Dict[BehaviorKind, int]] = field(default_factory=dict)
+    behavior_averages: Dict[BehaviorKind, float] = field(default_factory=dict)
+
+    # Fig. 5
+    pause_durations_overall: List[int] = field(default_factory=list)
+    pause_durations_by_provider: Dict[str, List[int]] = field(default_factory=dict)
+
+    # Fig. 6
+    cloudflare_ns_share: float = 0.0
+    cloudflare_cname_share: float = 0.0
+
+    # Fig. 7
+    harvested_nameservers: int = 0
+    scan_pop_query_counts: Dict[str, int] = field(default_factory=dict)
+
+    # Table V
+    ip_change: Optional[IpChangeResult] = None
+
+    # Table VI / Fig. 8 / Fig. 9
+    cloudflare_weekly: List[PipelineReport] = field(default_factory=list)
+    incapsula_weekly: List[PipelineReport] = field(default_factory=list)
+    cloudflare_exposure: Optional[ExposureSummary] = None
+
+    # Ground truth (unavailable to the paper; used for validation)
+    ground_truth_events: List[BehaviorEvent] = field(default_factory=list)
+
+    # -- Table VI totals ------------------------------------------------
+
+    @staticmethod
+    def _totals(weekly: List[PipelineReport]) -> Dict[str, int]:
+        hidden: Set[str] = set()
+        verified: Set[str] = set()
+        for report in weekly:
+            hidden.update(report.hidden_websites())
+            verified.update(report.verified_websites())
+        return {"hidden": len(hidden), "verified": len(verified)}
+
+    @property
+    def cloudflare_totals(self) -> Dict[str, int]:
+        """Distinct hidden records / verified origins across all weeks."""
+        return self._totals(self.cloudflare_weekly)
+
+    @property
+    def incapsula_totals(self) -> Dict[str, int]:
+        """Distinct hidden records / verified origins across all weeks."""
+        return self._totals(self.incapsula_weekly)
+
+    def ground_truth_daily_average(self) -> Dict[BehaviorKind, float]:
+        """Planted behaviour rates over the study window."""
+        totals = {kind: 0 for kind in BehaviorKind}
+        for event in self.ground_truth_events:
+            totals[event.kind] += 1
+        days = max(1, self.config.study_days - 1)
+        return {kind: totals[kind] / days for kind in totals}
+
+
+class SixWeekStudy:
+    """Runs the whole campaign."""
+
+    def __init__(
+        self, world: SimulatedInternet, config: Optional[StudyConfig] = None
+    ) -> None:
+        self.world = world
+        self.config = config or StudyConfig()
+        self.matcher = ProviderMatcher(world.specs, world.routeviews)
+        shared_ips = frozenset(
+            ip
+            for provider in world.providers.values()
+            for ip in provider.offnet_edge_ips
+        )
+        self.determiner = StatusDeterminer(self.matcher, shared_ips)
+
+    # ------------------------------------------------------------------
+
+    def run(self) -> StudyReport:
+        """Execute warm-up, the daily campaign, and the analyses."""
+        world, config = self.world, self.config
+        report = StudyReport(
+            config=config,
+            population_size=len(world.population),
+            scale_factor=world.config.scale_factor,
+        )
+
+        world.engine.run_days(config.warmup_days)
+        study_start_day = world.clock.day
+
+        collector = DnsRecordCollector(world.make_resolver())
+        verifier = HtmlVerifier(
+            world.http_client(config.vantage_regions[0]),
+            strictness=config.verifier_strictness,
+        )
+        hostnames = [str(site.www) for site in world.population]
+
+        harvest = NameserverHarvest()
+        incap_scanner = None
+        cf_pipeline = incap_pipeline = None
+        if config.run_residual_scans and "incapsula" in world.providers:
+            incap_scanner = IncapsulaScanner(world.make_resolver(), self.matcher)
+            incap_pipeline = FilterPipeline(
+                world.provider("incapsula").prefixes, world.make_resolver(), verifier
+            )
+        if config.run_residual_scans and "cloudflare" in world.providers:
+            cf_pipeline = FilterPipeline(
+                world.provider("cloudflare").prefixes, world.make_resolver(), verifier
+            )
+        exposure = ExposureTimeline()
+        vantage_clients = [
+            world.dns_client(region) for region in config.vantage_regions
+        ]
+        scan_pop_totals: Dict[str, int] = {}
+        cf_provider = world.providers.get("cloudflare")
+
+        for day_index in range(config.study_days):
+            day = world.clock.day
+            snapshot = collector.collect(hostnames, day)
+            report.snapshots.append(snapshot)
+            report.observations.append(
+                {
+                    www: self.determiner.observe(domain_snapshot)
+                    for www, domain_snapshot in snapshot.domains.items()
+                }
+            )
+            harvest.ingest([snapshot])
+            if incap_scanner is not None:
+                incap_scanner.ingest([snapshot])
+
+            if config.run_residual_scans and day_index % config.scan_every_days == 0:
+                week = day_index // config.scan_every_days
+                if cf_pipeline is not None and len(harvest) > 0:
+                    ns_ips = harvest.resolve_addresses(world.make_resolver())
+                    scanner = CloudflareScanner(ns_ips, vantage_clients)
+                    fleet = cf_provider.customer_fleet if cf_provider else None
+                    before = fleet.pop_query_counts() if fleet else {}
+                    retrieved = scanner.scan(hostnames)
+                    if fleet is not None:
+                        for pop, count in fleet.pop_query_counts().items():
+                            delta = count - before.get(pop, 0)
+                            if delta:
+                                scan_pop_totals[pop] = (
+                                    scan_pop_totals.get(pop, 0) + delta
+                                )
+                    weekly = cf_pipeline.run(retrieved, "cloudflare", week)
+                    report.cloudflare_weekly.append(weekly)
+                    exposure.record_week(weekly.verified_websites())
+                if incap_scanner is not None and incap_pipeline is not None:
+                    retrieved = incap_scanner.scan()
+                    report.incapsula_weekly.append(
+                        incap_pipeline.run(retrieved, "incapsula", week)
+                    )
+
+            world.engine.run_day()
+
+        self._analyse_usage_dynamics(report, study_start_day, verifier)
+        self._analyse_adoption(report)
+        if config.run_residual_scans:
+            report.cloudflare_exposure = exposure.summary()
+            report.harvested_nameservers = len(harvest)
+            report.scan_pop_query_counts = scan_pop_totals
+        report.ground_truth_events = [
+            event
+            for event in world.engine.events
+            if event.day >= study_start_day
+        ]
+        return report
+
+    # ------------------------------------------------------------------
+
+    def _analyse_usage_dynamics(
+        self, report: StudyReport, study_start_day: int, verifier: HtmlVerifier
+    ) -> None:
+        if not self.config.run_usage_dynamics or len(report.observations) < 2:
+            return
+        flagged = MultiCdnFilter(self.config.multicdn_flip_threshold).flagged(
+            report.observations
+        )
+        report.multicdn_flagged = flagged
+        detector = BehaviorDetector(excluded=flagged)
+        report.behaviors = detector.diff_series(
+            report.observations, first_day=study_start_day + 1
+        )
+        report.behavior_daily_counts = BehaviorDetector.daily_counts(report.behaviors)
+        report.behavior_averages = BehaviorDetector.average_per_day(
+            report.behaviors, num_days=len(report.observations) - 1
+        )
+
+        analyzer = PauseAnalyzer()
+        report.pause_durations_overall = analyzer.durations(report.behaviors)
+        for provider in ("cloudflare", "incapsula"):
+            report.pause_durations_by_provider[provider] = analyzer.durations(
+                report.behaviors, provider=provider
+            )
+
+        experiment = IpChangeExperiment(verifier)
+        report.ip_change = experiment.run(report.behaviors, report.snapshots)
+
+    def _analyse_adoption(self, report: StudyReport) -> None:
+        if not report.observations:
+            return
+        num_days = len(report.observations)
+        totals: Dict[str, int] = {}
+        adopted_per_day: List[int] = []
+        top_cutoff = max(1, int(report.population_size * self.world.config.top_sites_fraction))
+        top_sites = {
+            str(site.www) for site in self.world.population if site.rank <= top_cutoff
+        }
+        top_adopted_per_day: List[int] = []
+        for day_observations in report.observations:
+            adopted = 0
+            top_adopted = 0
+            for www, observation in day_observations.items():
+                if observation.provider is not None:
+                    adopted += 1
+                    totals[observation.provider] = totals.get(observation.provider, 0) + 1
+                    if www in top_sites:
+                        top_adopted += 1
+            adopted_per_day.append(adopted)
+            top_adopted_per_day.append(top_adopted)
+        report.adoption_by_provider = {
+            provider: count / num_days for provider, count in totals.items()
+        }
+        report.overall_adoption_rate = (
+            sum(adopted_per_day) / num_days / report.population_size
+        )
+        report.top_sites_adoption_rate = (
+            sum(top_adopted_per_day) / num_days / len(top_sites) if top_sites else 0.0
+        )
+        if adopted_per_day[0] > 0:
+            report.adoption_growth = (
+                adopted_per_day[-1] - adopted_per_day[0]
+            ) / adopted_per_day[0]
+
+        # Fig. 6: Cloudflare customers by rerouting mechanism.
+        ns_count = cname_count = 0
+        for day_observations in report.observations:
+            for observation in day_observations.values():
+                if observation.provider != "cloudflare":
+                    continue
+                if observation.rerouting is ReroutingMethod.CNAME_BASED:
+                    cname_count += 1
+                elif observation.rerouting is ReroutingMethod.NS_BASED:
+                    ns_count += 1
+        total_cf = ns_count + cname_count
+        if total_cf:
+            report.cloudflare_ns_share = ns_count / total_cf
+            report.cloudflare_cname_share = cname_count / total_cf

@@ -1,0 +1,153 @@
+"""The Table I origin-exposure attack vectors.
+
+The paper's §II-B surveys eight vectors (from Vissers et al.) for
+unmasking a DPS-protected origin; residual resolution is the *new* one
+the paper adds.  This module implements the classic vectors the
+simulated world supports, so the two families can be compared:
+
+* **IP history** — replay passive-DNS history from before the site was
+  protected (:class:`~repro.core.history.PassiveDnsDb`).
+* **Subdomains** — resolve common auxiliary subdomains (``dev`` …) that
+  were imported unproxied and still point at the origin host.
+* **DNS records** — the MX record's mail host often shares the origin
+  machine.
+
+Every candidate address is HTML-verified against the site as currently
+served (the same check the residual pipeline uses), so results are
+directly comparable with Table VI.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from ..dns.name import DomainName
+from ..dns.records import RecordType
+from ..dns.resolver import RecursiveResolver
+from ..net.ipaddr import IPv4Address
+from .history import PassiveDnsDb
+from .htmlverify import HtmlVerifier
+from .matching import ProviderMatcher
+
+__all__ = ["VectorFinding", "OriginExposureScanner", "DEFAULT_SUBDOMAIN_WORDLIST"]
+
+#: Subdomain guesses, as wordlist-driven scanners use (CloudPiercer-style).
+DEFAULT_SUBDOMAIN_WORDLIST: Tuple[str, ...] = (
+    "dev", "staging", "test", "mail", "origin", "direct", "ftp", "cpanel",
+)
+
+
+@dataclass(frozen=True)
+class VectorFinding:
+    """One vector's outcome for one site."""
+
+    vector: str
+    www: str
+    candidates: Tuple[IPv4Address, ...]
+    verified_origins: Tuple[IPv4Address, ...]
+
+    @property
+    def exposed(self) -> bool:
+        """True when the vector yielded a verified live origin."""
+        return bool(self.verified_origins)
+
+
+class OriginExposureScanner:
+    """Runs the classic Table I vectors against one protected site."""
+
+    def __init__(
+        self,
+        resolver: RecursiveResolver,
+        matcher: ProviderMatcher,
+        verifier: HtmlVerifier,
+        wordlist: Sequence[str] = DEFAULT_SUBDOMAIN_WORDLIST,
+    ) -> None:
+        self._resolver = resolver
+        self._matcher = matcher
+        self._verifier = verifier
+        self._wordlist = tuple(wordlist)
+
+    # -- individual vectors -----------------------------------------------
+
+    def ip_history(
+        self, www: "DomainName | str", passive_dns: PassiveDnsDb
+    ) -> VectorFinding:
+        """Table I row 1: historical DNS databases."""
+        candidates = passive_dns.candidate_origins(www, self._matcher)
+        return self._verify("ip-history", www, candidates)
+
+    def subdomains(self, www: "DomainName | str") -> VectorFinding:
+        """Table I row 2: unprotected subdomains on the origin host."""
+        apex = DomainName(www).apex
+        candidates: List[IPv4Address] = []
+        for label in self._wordlist:
+            result = self._resolver.resolve(apex.child(label), RecordType.A)
+            for address in result.addresses:
+                if self._matcher.in_provider_ranges(address):
+                    continue
+                if address not in candidates:
+                    candidates.append(address)
+        return self._verify("subdomains", www, candidates)
+
+    def mx_records(self, www: "DomainName | str") -> VectorFinding:
+        """Table I row 3: MX records pointing at the origin."""
+        apex = DomainName(www).apex
+        candidates: List[IPv4Address] = []
+        mx_result = self._resolver.resolve(apex, RecordType.MX)
+        for record in mx_result.records:
+            if record.rtype is not RecordType.MX:
+                continue
+            address_result = self._resolver.resolve(record.target, RecordType.A)
+            for address in address_result.addresses:
+                if self._matcher.in_provider_ranges(address):
+                    continue
+                if address not in candidates:
+                    candidates.append(address)
+        return self._verify("mx-records", www, candidates)
+
+    # -- the sweep ---------------------------------------------------------
+
+    def scan_site(
+        self,
+        www: "DomainName | str",
+        passive_dns: Optional[PassiveDnsDb] = None,
+    ) -> List[VectorFinding]:
+        """Run every applicable vector against one site."""
+        findings = []
+        if passive_dns is not None:
+            findings.append(self.ip_history(www, passive_dns))
+        findings.append(self.subdomains(www))
+        findings.append(self.mx_records(www))
+        return findings
+
+    def exposed_by_any(
+        self,
+        www: "DomainName | str",
+        passive_dns: Optional[PassiveDnsDb] = None,
+    ) -> bool:
+        """Vissers et al.'s headline question: is the site exposed by at
+        least one classic vector?"""
+        return any(f.exposed for f in self.scan_site(www, passive_dns))
+
+    # -- internals ------------------------------------------------------------
+
+    def _verify(
+        self, vector: str, www: "DomainName | str", candidates: Iterable[IPv4Address]
+    ) -> VectorFinding:
+        hostname = DomainName(www)
+        public = self._resolver.resolve(hostname, RecordType.A)
+        verified: List[IPv4Address] = []
+        candidate_list = list(candidates)
+        if public.addresses:
+            reference = public.addresses[0]
+            for candidate in candidate_list:
+                outcome = self._verifier.verify(hostname, reference, candidate)
+                if outcome.verified:
+                    verified.append(candidate)
+        return VectorFinding(
+            vector=vector,
+            www=str(hostname),
+            candidates=tuple(candidate_list),
+            verified_origins=tuple(verified),
+        )

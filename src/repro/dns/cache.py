@@ -1,0 +1,147 @@
+"""TTL-based DNS cache.
+
+The recursive resolver caches positive answers, referral NS sets, and
+glue.  Entries expire against the :class:`~repro.clock.SimulationClock`.
+The cache exposes :meth:`purge` because the paper's record collector
+flushes its resolver before every daily run so each day's snapshot is
+independent (§IV-B-1) — and because *stale cached NS records* in resolver
+caches are exactly what keeps traffic flowing to a previous DPS provider
+(§VI-A).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..clock import SimulationClock
+from .name import DomainName
+from .records import RecordType, ResourceRecord
+
+__all__ = ["DnsCache"]
+
+_Key = Tuple[DomainName, RecordType]
+
+
+class DnsCache:
+    """Maps (name, type) to records with absolute expiry times.
+
+    Also supports *negative* entries (RFC 2308): a cached NXDOMAIN or
+    NODATA outcome, held for the zone's negative TTL, so repeated
+    queries for missing names do not re-walk the hierarchy.
+    """
+
+    def __init__(self, clock: SimulationClock) -> None:
+        self._clock = clock
+        self._entries: Dict[_Key, List[Tuple[ResourceRecord, int]]] = {}
+        #: (name, type) → (rcode marker, expiry).  The marker is the
+        #: string name of the negative outcome ("NXDOMAIN"/"NODATA").
+        self._negative: Dict[_Key, Tuple[str, int]] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def put(self, record: ResourceRecord) -> None:
+        """Cache one record until now + its TTL (TTL 0 is never cached)."""
+        if record.ttl <= 0:
+            return
+        expiry = self._clock.now + record.ttl
+        bucket = self._entries.setdefault((record.name, record.rtype), [])
+        for i, (existing, _) in enumerate(bucket):
+            if existing.rdata == record.rdata:
+                bucket[i] = (record, expiry)
+                return
+        bucket.append((record, expiry))
+
+    def put_all(self, records: "List[ResourceRecord]") -> None:
+        """Cache several records."""
+        for record in records:
+            self.put(record)
+
+    def get(
+        self, name: "DomainName | str", rtype: RecordType
+    ) -> Optional[List[ResourceRecord]]:
+        """Live records for (name, type) with decremented TTLs, or None.
+
+        Expired entries are evicted on read.  Counts a hit only when at
+        least one record is still live.
+        """
+        key = (DomainName(name), rtype)
+        bucket = self._entries.get(key)
+        if not bucket:
+            self.misses += 1
+            return None
+        now = self._clock.now
+        live = [(rec, exp) for rec, exp in bucket if exp > now]
+        if not live:
+            del self._entries[key]
+            self.misses += 1
+            return None
+        self._entries[key] = live
+        self.hits += 1
+        return [rec.with_ttl(exp - now) for rec, exp in live]
+
+    def contains(self, name: "DomainName | str", rtype: RecordType) -> bool:
+        """True when a live entry exists (does not touch hit counters)."""
+        key = (DomainName(name), rtype)
+        bucket = self._entries.get(key)
+        if not bucket:
+            return False
+        now = self._clock.now
+        return any(exp > now for _, exp in bucket)
+
+    # -- negative caching (RFC 2308) -----------------------------------
+
+    def put_negative(
+        self, name: "DomainName | str", rtype: RecordType, outcome: str, ttl: int
+    ) -> None:
+        """Cache a negative outcome ("NXDOMAIN" or "NODATA") for ``ttl``
+        seconds."""
+        if outcome not in ("NXDOMAIN", "NODATA"):
+            raise ValueError(f"unknown negative outcome: {outcome!r}")
+        if ttl <= 0:
+            return
+        self._negative[(DomainName(name), rtype)] = (outcome, self._clock.now + ttl)
+
+    def get_negative(
+        self, name: "DomainName | str", rtype: RecordType
+    ) -> Optional[str]:
+        """A live negative outcome for (name, type), or None."""
+        key = (DomainName(name), rtype)
+        entry = self._negative.get(key)
+        if entry is None:
+            return None
+        outcome, expiry = entry
+        if expiry <= self._clock.now:
+            del self._negative[key]
+            return None
+        return outcome
+
+    def evict(self, name: "DomainName | str", rtype: Optional[RecordType] = None) -> int:
+        """Drop entries for a name (one type, or every type); returns count."""
+        target = DomainName(name)
+        removed = 0
+        if rtype is not None:
+            removed += len(self._entries.pop((target, rtype), []))
+            if self._negative.pop((target, rtype), None) is not None:
+                removed += 1
+        else:
+            for key in [k for k in self._entries if k[0] == target]:
+                removed += len(self._entries.pop(key))
+            for key in [k for k in self._negative if k[0] == target]:
+                del self._negative[key]
+                removed += 1
+        return removed
+
+    def purge(self) -> None:
+        """Empty the cache entirely (the collector's daily flush)."""
+        self._entries.clear()
+        self._negative.clear()
+
+    def __len__(self) -> int:
+        """Number of live cached records."""
+        now = self._clock.now
+        return sum(
+            1
+            for bucket in self._entries.values()
+            for _, exp in bucket
+            if exp > now
+        )

@@ -1,0 +1,48 @@
+"""Stub DNS client: send one query straight at one server.
+
+This is the attacker's and the scanner's tool of choice — the residual-
+resolution probe does *not* use recursive resolution; it aims queries
+directly at a previous DPS provider's nameservers (§III-B, §V-A-2).  The
+client goes through the :class:`~repro.net.fabric.NetworkFabric`, so
+anycast addresses land on the PoP matching the client's region.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..net.fabric import NetworkFabric
+from ..net.geo import Region
+from ..net.ipaddr import IPv4Address
+from .message import DnsQuery, DnsResponse
+from .name import DomainName
+from .records import RecordType
+
+__all__ = ["DnsClient"]
+
+
+class DnsClient:
+    """Sends non-recursive queries from a fixed client region."""
+
+    def __init__(self, fabric: NetworkFabric, region: Optional[Region] = None) -> None:
+        self._fabric = fabric
+        self.region = region
+        self.queries_sent = 0
+
+    def query(
+        self,
+        server_ip: "IPv4Address | str",
+        qname: "DomainName | str",
+        qtype: RecordType = RecordType.A,
+    ) -> Optional[DnsResponse]:
+        """Query one server directly.
+
+        Returns None when nothing answers at that address — the simulated
+        equivalent of a timeout.
+        """
+        self.queries_sent += 1
+        server = self._fabric.dns_server_at(server_ip, self.region)
+        if server is None:
+            return None
+        query = DnsQuery(DomainName(qname), qtype, recursion_desired=False)
+        return server.handle_query(query, self.region)

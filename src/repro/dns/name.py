@@ -1,0 +1,179 @@
+"""Domain names.
+
+:class:`DomainName` is the value type used across the DNS substrate and
+the measurement core: case-insensitive, label-based, hashable.  Names are
+always stored fully qualified (the root label is implicit; the trailing
+dot is accepted on input and never printed).
+
+The paper works almost exclusively with ``www`` portal hostnames of apex
+domains (§IV-A), so helpers for apex/``www`` round-trips are provided.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Tuple
+
+from ..errors import NameError_
+
+__all__ = ["DomainName", "ROOT"]
+
+_MAX_NAME_LENGTH = 253
+_MAX_LABEL_LENGTH = 63
+
+
+class DomainName:
+    """A fully-qualified, normalised DNS name."""
+
+    __slots__ = ("_labels", "_hash")
+
+    def __init__(self, name: "str | DomainName | Iterable[str]") -> None:
+        if isinstance(name, DomainName):
+            self._labels: Tuple[str, ...] = name._labels
+            self._hash: int = name._hash
+            return
+        if isinstance(name, str):
+            labels = _parse(name)
+        else:
+            labels = tuple(label.lower() for label in name)
+            _validate(labels, repr(name))
+        self._labels = labels
+        self._hash = hash(labels)
+
+    @classmethod
+    def _from_labels(cls, labels: Tuple[str, ...]) -> "DomainName":
+        """Fast internal constructor for already-validated labels."""
+        name = cls.__new__(cls)
+        name._labels = labels
+        name._hash = hash(labels)
+        return name
+
+    # -- structure ------------------------------------------------------
+
+    @property
+    def labels(self) -> Tuple[str, ...]:
+        """Labels from leftmost (host) to rightmost (TLD)."""
+        return self._labels
+
+    @property
+    def is_root(self) -> bool:
+        """True for the DNS root (empty name)."""
+        return not self._labels
+
+    @property
+    def tld(self) -> str:
+        """The top-level label (e.g. ``com``)."""
+        if self.is_root:
+            raise NameError_("root has no TLD")
+        return self._labels[-1]
+
+    def parent(self) -> "DomainName":
+        """The name with its leftmost label removed."""
+        if self.is_root:
+            raise NameError_("root has no parent")
+        return DomainName._from_labels(self._labels[1:])
+
+    def child(self, label: str) -> "DomainName":
+        """Prepend a label: ``DomainName('example.com').child('www')``."""
+        return DomainName((label.lower(),) + self._labels)
+
+    def is_subdomain_of(self, other: "DomainName | str") -> bool:
+        """True when ``self`` is equal to or below ``other``."""
+        parent = other if isinstance(other, DomainName) else DomainName(other)
+        n = len(parent._labels)
+        if n == 0:
+            return True
+        return self._labels[-n:] == parent._labels if len(self._labels) >= n else False
+
+    def suffixes(self) -> "List[DomainName]":
+        """Self and every ancestor, longest first (excluding the root)."""
+        labels = self._labels
+        return [
+            DomainName._from_labels(labels[i:]) for i in range(len(labels))
+        ]
+
+    def ancestors(self) -> List["DomainName"]:
+        """All proper ancestors from parent up to (excluding) the root."""
+        result = []
+        current = self
+        while len(current._labels) > 1:
+            current = current.parent()
+            result.append(current)
+        return result
+
+    # -- apex / www helpers ----------------------------------------------
+
+    @property
+    def apex(self) -> "DomainName":
+        """The registrable apex, approximated as the last two labels.
+
+        The simulation uses single-label TLDs, so ``example.com`` is the
+        apex of ``www.example.com`` and of itself.
+        """
+        if len(self._labels) < 2:
+            raise NameError_(f"{self} has no apex")
+        return DomainName._from_labels(self._labels[-2:])
+
+    @property
+    def is_apex(self) -> bool:
+        """True when the name has exactly two labels."""
+        return len(self._labels) == 2
+
+    def www(self) -> "DomainName":
+        """The ``www`` portal hostname of this name's apex."""
+        return self.apex.child("www")
+
+    # -- value semantics -------------------------------------------------
+
+    def __str__(self) -> str:
+        return ".".join(self._labels) if self._labels else "."
+
+    def __repr__(self) -> str:
+        return f"DomainName('{self}')"
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, str):
+            try:
+                other = DomainName(other)
+            except NameError_:
+                return False
+        return isinstance(other, DomainName) and other._labels == self._labels
+
+    def __lt__(self, other: "DomainName") -> bool:
+        if not isinstance(other, DomainName):
+            return NotImplemented
+        return self._labels[::-1] < other._labels[::-1]
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __len__(self) -> int:
+        return len(self._labels)
+
+
+def _parse(text: str) -> Tuple[str, ...]:
+    stripped = text.strip().rstrip(".")
+    if stripped == "":
+        return ()
+    labels = tuple(label.lower() for label in stripped.split("."))
+    _validate(labels, repr(text))
+    return labels
+
+
+def _validate(labels: Tuple[str, ...], source: str) -> None:
+    total = sum(len(label) + 1 for label in labels)
+    if total > _MAX_NAME_LENGTH:
+        raise NameError_(f"name too long: {source}")
+    for label in labels:
+        if not label:
+            raise NameError_(f"empty label in {source}")
+        if len(label) > _MAX_LABEL_LENGTH:
+            raise NameError_(f"label too long in {source}")
+        for ch in label:
+            if not (ch.isalnum() or ch in "-_"):
+                raise NameError_(f"invalid character {ch!r} in {source}")
+        if label.startswith("-") or label.endswith("-"):
+            raise NameError_(f"label cannot start/end with hyphen in {source}")
+
+
+#: The DNS root name.
+ROOT = DomainName("")

@@ -1,0 +1,264 @@
+"""Recursive resolver with real iterative resolution.
+
+The resolver walks the delegation tree from the root hints, follows
+referrals using glue (or resolves out-of-bailiwick nameserver names),
+chases CNAME chains, and caches what it learns.
+
+Two behaviours matter specifically for the paper:
+
+* **Cache purging** — the record collector flushes before each daily run
+  (§IV-B-1) via :meth:`RecursiveResolver.purge_cache`.
+* **Stale delegations** — cached NS records are reused until TTL expiry,
+  so a resolver that cached a delegation to a DPS provider keeps sending
+  queries there even after the registry delegation changed.  This is the
+  root cause of residual resolution (§VI-A): providers keep answering
+  those queries "for service continuity", and in doing so expose origins.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from ..clock import SimulationClock
+from ..errors import ResolutionError
+from ..net.fabric import NetworkFabric
+from ..net.geo import Region
+from ..net.ipaddr import IPv4Address
+from .cache import DnsCache
+from .message import DnsQuery, DnsResponse, Rcode
+from .name import DomainName
+from .records import RecordType, ResourceRecord
+
+__all__ = ["RecursiveResolver", "ResolutionResult"]
+
+_MAX_CNAME_DEPTH = 8
+_MAX_REFERRALS = 24
+_MAX_NS_LOOKUP_DEPTH = 4
+#: Negative-cache TTL when the authority section carries no SOA (RFC
+#: 2308 caps negative TTLs; authorities here answer NXDOMAIN bare).
+_DEFAULT_NEGATIVE_TTL = 300
+
+
+@dataclass
+class ResolutionResult:
+    """Outcome of a full recursive resolution."""
+
+    qname: DomainName
+    qtype: RecordType
+    rcode: Rcode
+    records: List[ResourceRecord] = field(default_factory=list)
+    cname_chain: List[Tuple[DomainName, DomainName]] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True when resolution produced at least one record of qtype."""
+        return self.rcode is Rcode.NOERROR and bool(self.records)
+
+    @property
+    def addresses(self) -> List[IPv4Address]:
+        """A-record addresses in the final answer (qtype A only)."""
+        return [r.address for r in self.records if r.rtype is RecordType.A]
+
+    @property
+    def final_name(self) -> DomainName:
+        """The name the answer is for, after CNAME chasing."""
+        return self.cname_chain[-1][1] if self.cname_chain else self.qname
+
+    @property
+    def cname_targets(self) -> List[DomainName]:
+        """Every CNAME target encountered, in chase order."""
+        return [target for _, target in self.cname_chain]
+
+
+class RecursiveResolver:
+    """An iterative-mode recursive resolver bound to one client region."""
+
+    def __init__(
+        self,
+        fabric: NetworkFabric,
+        clock: SimulationClock,
+        root_hints: List["IPv4Address | str"],
+        region: Optional[Region] = None,
+        cache: Optional[DnsCache] = None,
+    ) -> None:
+        if not root_hints:
+            raise ResolutionError("resolver needs at least one root hint")
+        self._fabric = fabric
+        self._clock = clock
+        self._root_hints = [IPv4Address(ip) for ip in root_hints]
+        self.region = region
+        self.cache = cache if cache is not None else DnsCache(clock)
+        self.queries_sent = 0
+
+    # -- public API -----------------------------------------------------------
+
+    def resolve(
+        self, name: "DomainName | str", rtype: RecordType = RecordType.A
+    ) -> ResolutionResult:
+        """Fully resolve ``name``/``rtype``, chasing CNAMEs."""
+        qname = DomainName(name)
+        chain: List[Tuple[DomainName, DomainName]] = []
+        current = qname
+        for _ in range(_MAX_CNAME_DEPTH):
+            records, rcode = self._lookup(current, rtype)
+            if rcode is not Rcode.NOERROR:
+                return ResolutionResult(qname, rtype, rcode, [], chain)
+            direct = [r for r in records if r.rtype is rtype]
+            if direct:
+                return ResolutionResult(qname, rtype, Rcode.NOERROR, direct, chain)
+            cnames = [r for r in records if r.rtype is RecordType.CNAME]
+            if cnames and rtype is not RecordType.CNAME:
+                target = cnames[0].target
+                if any(seen == target for _, seen in chain) or target == current:
+                    return ResolutionResult(qname, rtype, Rcode.SERVFAIL, [], chain)
+                chain.append((current, target))
+                current = target
+                continue
+            # NODATA
+            return ResolutionResult(qname, rtype, Rcode.NOERROR, [], chain)
+        return ResolutionResult(qname, rtype, Rcode.SERVFAIL, [], chain)
+
+    def purge_cache(self) -> None:
+        """Flush the cache (the collector's pre-run hygiene step)."""
+        self.cache.purge()
+
+    # -- single-name lookup ------------------------------------------------------
+
+    def _lookup(
+        self, name: DomainName, rtype: RecordType
+    ) -> Tuple[List[ResourceRecord], Rcode]:
+        """Records at exactly ``name`` (of rtype, or a CNAME), plus rcode."""
+        cached = self.cache.get(name, rtype)
+        if cached:
+            return cached, Rcode.NOERROR
+        if rtype is not RecordType.CNAME:
+            cached_cname = self.cache.get(name, RecordType.CNAME)
+            if cached_cname:
+                return cached_cname, Rcode.NOERROR
+        negative = self.cache.get_negative(name, rtype)
+        if negative == "NXDOMAIN":
+            return [], Rcode.NXDOMAIN
+        if negative == "NODATA":
+            return [], Rcode.NOERROR
+        return self._iterate(name, rtype, depth=0)
+
+    def _iterate(
+        self, name: DomainName, rtype: RecordType, depth: int
+    ) -> Tuple[List[ResourceRecord], Rcode]:
+        servers = self._closest_known_servers(name, depth)
+        for _ in range(_MAX_REFERRALS):
+            response = self._query_any(servers, name, rtype)
+            if response is None:
+                return [], Rcode.SERVFAIL
+            if response.rcode is Rcode.NXDOMAIN:
+                self.cache.put_negative(
+                    name, rtype, "NXDOMAIN", self._negative_ttl(response)
+                )
+                return [], Rcode.NXDOMAIN
+            if response.rcode is not Rcode.NOERROR:
+                return [], response.rcode
+            if response.answers:
+                self.cache.put_all(response.answers)
+                return list(response.answers), Rcode.NOERROR
+            if response.is_referral:
+                self.cache.put_all(response.authority)
+                self.cache.put_all(response.additional)
+                next_servers = self._servers_from_referral(response, depth)
+                if not next_servers:
+                    return [], Rcode.SERVFAIL
+                servers = next_servers
+                continue
+            # NODATA
+            self.cache.put_negative(
+                name, rtype, "NODATA", self._negative_ttl(response)
+            )
+            return [], Rcode.NOERROR
+        return [], Rcode.SERVFAIL
+
+    @staticmethod
+    def _negative_ttl(response: DnsResponse) -> int:
+        for record in response.authority:
+            if record.rtype is RecordType.SOA:
+                return min(record.ttl, _DEFAULT_NEGATIVE_TTL)
+        return _DEFAULT_NEGATIVE_TTL
+
+    # -- server selection -----------------------------------------------------------
+
+    def _closest_known_servers(self, name: DomainName, depth: int) -> List[IPv4Address]:
+        """Start from the deepest cached delegation covering ``name``.
+
+        Falls back to the root hints.  Reusing cached NS sets is what
+        makes stale delegations live on until their (long) TTLs expire.
+        """
+        for ancestor in self._zones_towards_root(name):
+            ns_records = self.cache.get(ancestor, RecordType.NS) or []
+            if not ns_records:
+                continue
+            addresses = self._nameserver_addresses(
+                [r.target for r in ns_records], depth, allow_network=False
+            )
+            if addresses:
+                return addresses
+        return list(self._root_hints)
+
+    @staticmethod
+    def _zones_towards_root(name: DomainName) -> List[DomainName]:
+        zones = [name]
+        zones.extend(name.ancestors())
+        return zones
+
+    def _servers_from_referral(
+        self, response: DnsResponse, depth: int
+    ) -> List[IPv4Address]:
+        glue: List[IPv4Address] = []
+        ns_names = response.referral_nameservers()
+        for ns_name in ns_names:
+            glue.extend(response.glue_for(ns_name))
+        if glue:
+            return glue
+        return self._nameserver_addresses(ns_names, depth, allow_network=True)
+
+    def _nameserver_addresses(
+        self, ns_names: List[DomainName], depth: int, allow_network: bool
+    ) -> List[IPv4Address]:
+        addresses: List[IPv4Address] = []
+        for ns_name in ns_names:
+            cached = self.cache.get(ns_name, RecordType.A) or []
+            addresses.extend(r.address for r in cached)
+        if addresses or not allow_network:
+            return addresses
+        if depth >= _MAX_NS_LOOKUP_DEPTH:
+            return []
+        for ns_name in ns_names:
+            records, rcode = self._iterate(ns_name, RecordType.A, depth + 1)
+            if rcode is Rcode.NOERROR:
+                addresses.extend(
+                    r.address for r in records if r.rtype is RecordType.A
+                )
+            if addresses:
+                break
+        return addresses
+
+    # -- transport ----------------------------------------------------------------------
+
+    def _query_any(
+        self, servers: List[IPv4Address], name: DomainName, rtype: RecordType
+    ) -> Optional[DnsResponse]:
+        """Try servers in order; first one that answers usefully wins.
+
+        REFUSED counts as unusable (try the next server), matching how
+        real resolvers fail over when a lame delegation refuses them.
+        """
+        refused = None
+        for ip in servers:
+            server = self._fabric.dns_server_at(ip, self.region)
+            if server is None:
+                continue
+            self.queries_sent += 1
+            response = server.handle_query(DnsQuery(name, rtype), self.region)
+            if response.rcode is Rcode.REFUSED:
+                refused = response
+                continue
+            return response
+        return refused

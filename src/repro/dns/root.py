@@ -1,0 +1,138 @@
+"""Root and TLD infrastructure — the registry of the simulated Internet.
+
+:class:`DnsHierarchy` stands up the root zone and a set of TLD zones on
+their own authoritative servers, wires them into the network fabric, and
+exposes registrar-style operations: delegate an apex to a set of
+nameservers (with glue when in-bailiwick), change that delegation, or
+drop it.
+
+Changing a delegation here is exactly what a website administrator does
+when joining or leaving an NS-rerouting DPS provider — and, critically,
+the change does *not* reach resolvers that still hold the old NS records
+in cache, which is the precondition for residual resolution (§VI-A).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from ..errors import ConfigurationError, ZoneError
+from ..net.fabric import NetworkFabric
+from ..net.geo import Region
+from ..net.ipaddr import AddressAllocator, IPv4Address
+from ..clock import SimulationClock
+from .authoritative import AuthoritativeServer
+from .name import DomainName, ROOT
+from .records import RecordType
+from .resolver import RecursiveResolver
+from .zone import Zone
+
+__all__ = ["DnsHierarchy", "DEFAULT_TLDS"]
+
+#: TLDs stood up by default; enough variety for realistic populations.
+DEFAULT_TLDS = ("com", "net", "org", "io", "co", "info", "biz")
+
+
+class DnsHierarchy:
+    """The root/TLD servers plus registrar operations."""
+
+    def __init__(
+        self,
+        fabric: NetworkFabric,
+        clock: SimulationClock,
+        allocator: AddressAllocator,
+        tlds: Iterable[str] = DEFAULT_TLDS,
+    ) -> None:
+        self._fabric = fabric
+        self._clock = clock
+        self._tld_zones: Dict[str, Zone] = {}
+
+        # Root server.
+        self._root_zone = Zone(ROOT, primary_ns="a.root-servers.net")
+        self._root_ip = allocator.allocate_address()
+        self._root_server = AuthoritativeServer("a.root-servers.net")
+        self._root_server.host_zone(self._root_zone)
+        fabric.register_dns(self._root_ip, self._root_server)
+
+        # TLD servers, one per TLD, delegated from the root with glue.
+        self._tld_servers: Dict[str, AuthoritativeServer] = {}
+        for tld in tlds:
+            tld_name = DomainName(tld)
+            ns_host = tld_name.child("nic").child("ns")  # ns.nic.<tld>
+            ip = allocator.allocate_address()
+            zone = Zone(tld_name, primary_ns=ns_host)
+            server = AuthoritativeServer(ns_host)
+            server.host_zone(zone)
+            fabric.register_dns(ip, server)
+            self._tld_zones[tld] = zone
+            self._tld_servers[tld] = server
+            self._root_zone.delegate(tld_name, [ns_host], glue={str(ns_host): ip})
+            # The TLD zone must also answer for its own nameserver's address.
+            zone.set_a(ns_host, ip, ttl=86400)
+
+    # -- plumbing accessors ------------------------------------------------------
+
+    @property
+    def root_hints(self) -> List[IPv4Address]:
+        """Addresses a resolver should prime with."""
+        return [self._root_ip]
+
+    @property
+    def tlds(self) -> List[str]:
+        """TLDs the registry serves."""
+        return sorted(self._tld_zones)
+
+    def tld_zone(self, tld: str) -> Zone:
+        """The zone object for a TLD (tests and provider wiring use this)."""
+        try:
+            return self._tld_zones[tld]
+        except KeyError:
+            raise ConfigurationError(f"TLD not served: {tld!r}") from None
+
+    def make_resolver(self, region: Optional[Region] = None) -> RecursiveResolver:
+        """Build a recursive resolver primed with this hierarchy's roots."""
+        return RecursiveResolver(
+            self._fabric, self._clock, self.root_hints, region=region
+        )
+
+    # -- registrar operations ------------------------------------------------------
+
+    def _zone_for_apex(self, apex: DomainName) -> Zone:
+        if len(apex) != 2:
+            raise ZoneError(f"can only delegate apex domains, got {apex}")
+        tld = apex.tld
+        if tld not in self._tld_zones:
+            raise ConfigurationError(f"TLD not served: {tld!r}")
+        return self._tld_zones[tld]
+
+    def delegate_apex(
+        self,
+        apex: "DomainName | str",
+        nameservers: Iterable["DomainName | str"],
+        glue: Optional[Dict[str, "IPv4Address | str"]] = None,
+    ) -> None:
+        """Create or replace the delegation for an apex domain.
+
+        ``glue`` entries outside the TLD's bailiwick are ignored, as a
+        real registry would ignore them.
+        """
+        apex_name = DomainName(apex)
+        zone = self._zone_for_apex(apex_name)
+        in_bailiwick_glue = {
+            host: ip
+            for host, ip in (glue or {}).items()
+            if DomainName(host).is_subdomain_of(zone.origin)
+        }
+        zone.delegate(apex_name, list(nameservers), glue=in_bailiwick_glue)
+
+    def undelegate_apex(self, apex: "DomainName | str") -> None:
+        """Drop an apex's delegation (the domain goes dark)."""
+        apex_name = DomainName(apex)
+        zone = self._zone_for_apex(apex_name)
+        zone.undelegate(apex_name)
+
+    def delegation_of(self, apex: "DomainName | str") -> List[DomainName]:
+        """Current NS targets for an apex, per the registry."""
+        apex_name = DomainName(apex)
+        zone = self._zone_for_apex(apex_name)
+        return [r.target for r in zone.lookup(apex_name, RecordType.NS)]

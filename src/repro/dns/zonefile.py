@@ -1,0 +1,161 @@
+"""Zone master-file (RFC 1035 §5) serialisation.
+
+``zone_to_text`` renders a :class:`~repro.dns.zone.Zone` in the familiar
+master-file format; ``zone_from_text`` parses one back.  Useful for test
+fixtures, debugging dumps of provider state, and moving zones between
+simulated hosting providers the way real operators move zone files.
+
+Supported subset: ``$ORIGIN``, ``@``, relative and absolute names,
+comments, and the record types the simulation models (SOA, NS, A,
+CNAME, MX, TXT).  Directives like ``$TTL``/``$INCLUDE`` are not needed
+(every record carries an explicit TTL) and are rejected explicitly.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..errors import ZoneError
+from .name import DomainName
+from .records import (
+    RecordType,
+    ResourceRecord,
+    SoaData,
+    a_record,
+    cname_record,
+    mx_record,
+    ns_record,
+    txt_record,
+)
+from .zone import Zone
+
+__all__ = ["zone_to_text", "zone_from_text"]
+
+_MX_PREFERENCE = 10
+
+
+def _render_name(name: DomainName, origin: DomainName) -> str:
+    if name == origin:
+        return "@"
+    if name.is_subdomain_of(origin) and len(origin) > 0:
+        relative = name.labels[: len(name) - len(origin)]
+        return ".".join(relative)
+    return f"{name}."
+
+
+def zone_to_text(zone: Zone) -> str:
+    """Render a zone in master-file format (SOA first, then the rest)."""
+    origin = zone.origin
+    lines = [f"$ORIGIN {origin}." if len(origin) else "$ORIGIN ."]
+    soa = zone.soa.rdata
+    assert isinstance(soa, SoaData)
+    lines.append(
+        f"@ {zone.soa.ttl} IN SOA {soa.primary_ns}. {soa.admin} {soa.serial}"
+    )
+    records = [r for r in zone.all_records() if r.rtype is not RecordType.SOA]
+    records.sort(key=lambda r: (r.name, r.rtype.value, str(r.rdata)))
+    for record in records:
+        owner = _render_name(record.name, origin)
+        if record.rtype is RecordType.A:
+            rdata = str(record.address)
+        elif record.rtype in (RecordType.NS, RecordType.CNAME):
+            rdata = f"{record.target}."
+        elif record.rtype is RecordType.MX:
+            rdata = f"{_MX_PREFERENCE} {record.target}."
+        else:  # TXT
+            escaped = str(record.rdata).replace("\\", "\\\\").replace('"', '\\"')
+            rdata = f'"{escaped}"'
+        lines.append(f"{owner} {record.ttl} IN {record.rtype} {rdata}")
+    return "\n".join(lines) + "\n"
+
+
+def _strip_comment(line: str) -> str:
+    in_quotes = False
+    for index, char in enumerate(line):
+        if char == '"' and (index == 0 or line[index - 1] != "\\"):
+            in_quotes = not in_quotes
+        elif char == ";" and not in_quotes:
+            return line[:index]
+    return line
+
+
+def _parse_name(token: str, origin: DomainName) -> DomainName:
+    if token == "@":
+        return origin
+    if token.endswith("."):
+        return DomainName(token[:-1])
+    relative = DomainName(token)
+    return DomainName(relative.labels + origin.labels)
+
+
+def _parse_txt(rest: str) -> str:
+    stripped = rest.strip()
+    if not (stripped.startswith('"') and stripped.endswith('"') and len(stripped) >= 2):
+        raise ZoneError(f"TXT rdata must be quoted: {rest!r}")
+    body = stripped[1:-1]
+    return body.replace('\\"', '"').replace("\\\\", "\\")
+
+
+def zone_from_text(text: str) -> Zone:
+    """Parse a master-file rendering back into a Zone."""
+    origin: Optional[DomainName] = None
+    zone: Optional[Zone] = None
+    pending: List[Tuple[DomainName, int, str, str]] = []
+    for raw_line in text.splitlines():
+        line = _strip_comment(raw_line).strip()
+        if not line:
+            continue
+        if line.startswith("$"):
+            directive, _, value = line.partition(" ")
+            if directive != "$ORIGIN":
+                raise ZoneError(f"unsupported directive: {directive}")
+            value = value.strip()
+            origin = DomainName(value[:-1] if value.endswith(".") else value)
+            continue
+        if origin is None:
+            raise ZoneError("record before $ORIGIN")
+        parts = line.split(None, 4)
+        if len(parts) < 5:
+            raise ZoneError(f"malformed record line: {raw_line!r}")
+        owner_token, ttl_token, class_token, type_token, rest = parts
+        if class_token.upper() != "IN":
+            raise ZoneError(f"unsupported class: {class_token}")
+        if not ttl_token.isdigit():
+            raise ZoneError(f"bad TTL: {ttl_token}")
+        owner = _parse_name(owner_token, origin)
+        ttl = int(ttl_token)
+        rtype = type_token.upper()
+        if rtype == "SOA":
+            soa_parts = rest.split()
+            if len(soa_parts) < 3:
+                raise ZoneError(f"malformed SOA: {rest!r}")
+            primary = _parse_name(soa_parts[0], origin)
+            zone = Zone(origin, primary_ns=primary)
+            continue
+        pending.append((owner, ttl, rtype, rest))
+    if origin is None:
+        raise ZoneError("zone file missing $ORIGIN")
+    if zone is None:
+        zone = Zone(origin)
+    for owner, ttl, rtype, rest in pending:
+        zone.add(_build_record(owner, ttl, rtype, rest, origin))
+    return zone
+
+
+def _build_record(
+    owner: DomainName, ttl: int, rtype: str, rest: str, origin: DomainName
+) -> ResourceRecord:
+    if rtype == "A":
+        return a_record(owner, rest.strip(), ttl=ttl)
+    if rtype == "NS":
+        return ns_record(owner, _parse_name(rest.strip(), origin), ttl=ttl)
+    if rtype == "CNAME":
+        return cname_record(owner, _parse_name(rest.strip(), origin), ttl=ttl)
+    if rtype == "MX":
+        parts = rest.split()
+        if len(parts) != 2 or not parts[0].isdigit():
+            raise ZoneError(f"malformed MX rdata: {rest!r}")
+        return mx_record(owner, _parse_name(parts[1], origin), ttl=ttl)
+    if rtype == "TXT":
+        return txt_record(owner, _parse_txt(rest), ttl=ttl)
+    raise ZoneError(f"unsupported record type: {rtype}")

@@ -1,0 +1,58 @@
+"""DPS/CDN provider platforms: plans, portals, nameserver fleets,
+scrubbing, residual-resolution policies, and the Table II catalog."""
+
+from .bgp_protection import BgpCustomer, BgpProtectionService
+from .catalog import (
+    PAPER_PROVIDERS,
+    ProviderSpec,
+    build_providers,
+    normalised_market_shares,
+    provider_spec,
+)
+from .multicdn import MultiCdnService
+from .nameservers import NameserverFleet, PopMirror, generate_person_names
+from .plans import DEFAULT_PLAN_POLICIES, PlanPolicy, PlanTier
+from .portal import (
+    CustomerRecord,
+    CustomerStatus,
+    OnboardingInstructions,
+    ReroutingMethod,
+)
+from .provider import DpsProvider, ProviderBuild
+from .residual_policy import (
+    AnswerWithOrigin,
+    RefuseAfterTermination,
+    ResidualPolicy,
+    TrackAndCompare,
+)
+from .scrubbing import ScrubReport, ScrubbingCenter, ScrubbingNetwork
+
+__all__ = [
+    "BgpCustomer",
+    "BgpProtectionService",
+    "PAPER_PROVIDERS",
+    "ProviderSpec",
+    "build_providers",
+    "normalised_market_shares",
+    "provider_spec",
+    "MultiCdnService",
+    "NameserverFleet",
+    "PopMirror",
+    "generate_person_names",
+    "DEFAULT_PLAN_POLICIES",
+    "PlanPolicy",
+    "PlanTier",
+    "CustomerRecord",
+    "CustomerStatus",
+    "OnboardingInstructions",
+    "ReroutingMethod",
+    "DpsProvider",
+    "ProviderBuild",
+    "AnswerWithOrigin",
+    "RefuseAfterTermination",
+    "ResidualPolicy",
+    "TrackAndCompare",
+    "ScrubReport",
+    "ScrubbingCenter",
+    "ScrubbingNetwork",
+]

@@ -1,0 +1,101 @@
+"""BGP-based rerouting — the paper's *other* protection mechanism.
+
+§II-A-1 names two rerouting families: the DNS-based mechanisms the paper
+studies, and BGP-based rerouting ("Infrastructure DDoS Protection",
+[16]), where the customer brings a whole address block and the provider
+*announces it from its own AS*.  All traffic to the block — whatever
+address an attacker holds — lands in the scrubbing network first and is
+tunnelled to the customer.
+
+This changes the threat picture completely, and modelling it makes the
+contrast testable:
+
+* residual resolution (and every Table I vector) becomes harmless: an
+  exposed origin address still routes through the scrubbers;
+* DNS needs no delegation, so there is nothing for a previous provider
+  to keep answering;
+* the measurement side-effect: A-matching now classifies the customer's
+  *own* addresses as provider space, because the RouteViews view shows
+  the provider's AS originating them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from ..errors import PortalError
+from ..net.ipaddr import IPv4Prefix
+from ..net.routeviews import RouteViewsDb
+from .provider import DpsProvider
+
+__all__ = ["BgpProtectionService", "BgpCustomer"]
+
+
+@dataclass
+class BgpCustomer:
+    """One protected block and how to undo its announcement."""
+
+    prefix: IPv4Prefix
+    #: The (prefix, ASN) announcement that covered the block before
+    #: protection, if any — restored on withdrawal.
+    previous_announcement: Optional[Tuple[IPv4Prefix, int]]
+
+
+class BgpProtectionService:
+    """A provider's BGP-rerouting product.
+
+    Operates on the global routing view: ``protect`` announces the
+    customer block from the provider's AS (a more-specific or equal
+    announcement wins longest-prefix matching), ``withdraw`` removes it.
+    """
+
+    def __init__(self, provider: DpsProvider, routeviews: RouteViewsDb) -> None:
+        self.provider = provider
+        self._routeviews = routeviews
+        self._customers: Dict[IPv4Prefix, BgpCustomer] = {}
+
+    @property
+    def announcing_asn(self) -> int:
+        """The AS number the provider announces protected blocks from."""
+        return self.provider.build.as_numbers[0]
+
+    # ------------------------------------------------------------------
+
+    def protect(self, prefix: "IPv4Prefix | str") -> BgpCustomer:
+        """Start announcing a customer block through the platform."""
+        block = IPv4Prefix(prefix)
+        if block in self._customers:
+            raise PortalError(f"{block} is already BGP-protected")
+        previous = self._routeviews.lookup_prefix(block.network)
+        if previous is not None and previous[0] == block:
+            # Exact announcement exists: remember it so withdrawal can
+            # restore the original origination.
+            remembered = previous
+        else:
+            remembered = None
+        self._routeviews.announce(block, self.announcing_asn)
+        customer = BgpCustomer(prefix=block, previous_announcement=remembered)
+        self._customers[block] = customer
+        return customer
+
+    def withdraw(self, prefix: "IPv4Prefix | str") -> None:
+        """Stop announcing a block; routing reverts to the covering
+        (or restored) announcement."""
+        block = IPv4Prefix(prefix)
+        customer = self._customers.pop(block, None)
+        if customer is None:
+            raise PortalError(f"{block} is not BGP-protected by {self.provider.name}")
+        self._routeviews.withdraw(block)
+        if customer.previous_announcement is not None:
+            original_prefix, original_asn = customer.previous_announcement
+            self._routeviews.announce(original_prefix, original_asn)
+
+    def is_protected(self, address) -> bool:
+        """True when an address currently routes through the platform."""
+        return any(address in block for block in self._customers)
+
+    @property
+    def protected_blocks(self) -> Tuple[IPv4Prefix, ...]:
+        """Every block currently announced."""
+        return tuple(self._customers)

@@ -1,0 +1,54 @@
+"""Multi-CDN front-ends (Cedexis-style).
+
+Some websites route through a multi-CDN service that re-selects the
+best-performing member CDN dynamically.  Day-over-day, such a site looks
+like it is "switching" providers constantly, which would pollute the
+usage-behaviour statistics — the paper filters these sites out before
+diffing (§IV-B-3).
+
+:class:`MultiCdnService` owns a roster of member providers and flips the
+site's effective provider on a deterministic schedule, so the behaviour
+detector's multi-CDN filter has something real to filter.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from ..dns.name import DomainName
+from ..rng import stable_hash
+
+__all__ = ["MultiCdnService"]
+
+
+class MultiCdnService:
+    """A front-end that rotates its customers across member CDNs."""
+
+    def __init__(self, name: str, member_providers: Sequence[str]) -> None:
+        if len(member_providers) < 2:
+            raise ValueError("a multi-CDN service needs at least two members")
+        self.name = name
+        self.members: List[str] = list(member_providers)
+        self._customers: Dict[DomainName, None] = {}
+
+    def enroll(self, hostname: "DomainName | str") -> None:
+        """Put a website behind the front-end."""
+        self._customers[DomainName(hostname)] = None
+
+    def is_customer(self, hostname: "DomainName | str") -> bool:
+        """True when a website is enrolled."""
+        return DomainName(hostname) in self._customers
+
+    @property
+    def customers(self) -> List[DomainName]:
+        """Every enrolled website."""
+        return list(self._customers)
+
+    def provider_for(self, hostname: "DomainName | str", day: int) -> str:
+        """The member CDN selected for ``hostname`` on ``day``.
+
+        Deterministic in (hostname, day) but changes day to day —
+        exactly the instability that breaks naive behaviour diffing.
+        """
+        index = stable_hash(self.name, str(DomainName(hostname)), day) % len(self.members)
+        return self.members[index]

@@ -1,0 +1,58 @@
+"""Service plan tiers.
+
+Two plan-dependent behaviours from the paper are modelled:
+
+* CNAME-based rerouting on Cloudflare is **exclusive to business and
+  enterprise plans** (§V-A, [21]) — which is why NS-based rerouting
+  dominates its customer base (Fig. 6);
+* the stale-record **purge horizon** appears to differ by plan: the
+  authors' free-plan probe saw records purged in the 4th week after
+  termination, while some wild exposures lasted longer, which they
+  attribute to "different DPS service plans" (§V-A-3).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+__all__ = ["PlanTier", "PlanPolicy", "DEFAULT_PLAN_POLICIES"]
+
+
+class PlanTier(enum.Enum):
+    """Customer plan tiers, ordered by how much the customer pays."""
+
+    FREE = "free"
+    PRO = "pro"
+    BUSINESS = "business"
+    ENTERPRISE = "enterprise"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass(frozen=True)
+class PlanPolicy:
+    """Plan-dependent platform behaviour."""
+
+    tier: PlanTier
+    cname_setup_allowed: bool
+    #: Days after termination before stale records are purged;
+    #: None means records are kept indefinitely.
+    purge_horizon_days: Optional[int]
+
+
+#: Default per-tier policies.  The free tier's 28-day horizon reproduces
+#: the paper's "purged at the 4th week" probe result; paid tiers keep
+#: records longer, producing the >3-week exposure tail of Fig. 9.
+DEFAULT_PLAN_POLICIES: Dict[PlanTier, PlanPolicy] = {
+    PlanTier.FREE: PlanPolicy(PlanTier.FREE, cname_setup_allowed=False, purge_horizon_days=28),
+    PlanTier.PRO: PlanPolicy(PlanTier.PRO, cname_setup_allowed=False, purge_horizon_days=42),
+    PlanTier.BUSINESS: PlanPolicy(
+        PlanTier.BUSINESS, cname_setup_allowed=True, purge_horizon_days=56
+    ),
+    PlanTier.ENTERPRISE: PlanPolicy(
+        PlanTier.ENTERPRISE, cname_setup_allowed=True, purge_horizon_days=None
+    ),
+}

@@ -1,0 +1,93 @@
+"""Customer-portal data model.
+
+:class:`CustomerRecord` is what the provider's central database stores
+per customer: the origin address the administrator typed into the
+configuration portal (§III-A), the rerouting mechanism, the plan, and
+the service status.  :class:`OnboardingInstructions` is what the portal
+hands back — the DNS changes the customer must make.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..dns.name import DomainName
+from ..net.ipaddr import IPv4Address
+from .plans import PlanTier
+
+__all__ = [
+    "ReroutingMethod",
+    "CustomerStatus",
+    "CustomerRecord",
+    "OnboardingInstructions",
+]
+
+
+class ReroutingMethod(enum.Enum):
+    """DNS-based request-rerouting mechanisms (§II-A-2)."""
+
+    A_BASED = "A"
+    CNAME_BASED = "CNAME"
+    NS_BASED = "NS"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+class CustomerStatus(enum.Enum):
+    """Provider-side view of a customer account."""
+
+    ACTIVE = "active"
+    PAUSED = "paused"
+    TERMINATED = "terminated"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass
+class CustomerRecord:
+    """One customer in the provider's central database."""
+
+    hostname: DomainName
+    origin_ip: IPv4Address
+    rerouting: ReroutingMethod
+    plan: PlanTier
+    status: CustomerStatus = CustomerStatus.ACTIVE
+    #: Canonical name assigned for CNAME-based rerouting, if any.
+    cname: Optional[DomainName] = None
+    #: Nameservers assigned for NS-based rerouting, if any.
+    assigned_nameservers: List[DomainName] = field(default_factory=list)
+    #: Edge address answering for this customer while protection is ON.
+    edge_ip: Optional[IPv4Address] = None
+    #: Simulation time of termination (None while a customer).
+    terminated_at: Optional[int] = None
+    #: Whether the customer explicitly informed the provider when leaving
+    #: (footnote 9/10): uninformed departures leave the configuration —
+    #: and therefore the *edge* answer — in place.
+    informed_departure: bool = True
+
+    @property
+    def is_active(self) -> bool:
+        """True while protection is ON."""
+        return self.status is CustomerStatus.ACTIVE
+
+    @property
+    def is_terminated(self) -> bool:
+        """True after the customer left the platform."""
+        return self.status is CustomerStatus.TERMINATED
+
+
+@dataclass(frozen=True)
+class OnboardingInstructions:
+    """DNS changes the customer must apply to enable protection."""
+
+    rerouting: ReroutingMethod
+    #: NS-based: nameservers to configure at the registrar.
+    nameservers: List[DomainName] = field(default_factory=list)
+    #: CNAME-based: canonical name to point the hostname at.
+    cname: Optional[DomainName] = None
+    #: A-based: edge address to put in the customer's A record.
+    edge_ip: Optional[IPv4Address] = None

@@ -1,0 +1,103 @@
+"""Residual-resolution policies — the paper's root cause, as code.
+
+What should a DPS nameserver answer when queried for a customer that has
+terminated service?  The paper identifies three possible configurations
+(§VI-A/B):
+
+* :class:`AnswerWithOrigin` — keep answering with the stored origin A
+  record "for service continuity".  This is what Cloudflare and Incapsula
+  do, and it *is* the residual-resolution vulnerability.
+* :class:`RefuseAfterTermination` — drop the customer's records at
+  termination and refuse queries.  Fully eliminates the vulnerability at
+  the cost of breaking clients holding stale cached delegations.
+* :class:`TrackAndCompare` — the paper's proposed middle ground: keep
+  answering only while the customer's *public* resolution still matches
+  the stored address; stop as soon as the customer has visibly moved
+  (new origin or new DPS).  Preserves continuity without exposing
+  protected origins.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from ..dns.name import DomainName
+from ..net.ipaddr import IPv4Address
+
+__all__ = [
+    "ResidualPolicy",
+    "AnswerWithOrigin",
+    "RefuseAfterTermination",
+    "TrackAndCompare",
+]
+
+
+class ResidualPolicy:
+    """Decides what a provider serves for a *terminated* customer."""
+
+    name = "abstract"
+
+    def records_after_termination(
+        self,
+        hostname: DomainName,
+        stored_origin: IPv4Address,
+        public_lookup: Callable[[DomainName], List[IPv4Address]],
+    ) -> Optional[IPv4Address]:
+        """Address to answer with, or None to refuse.
+
+        ``public_lookup`` performs a normal recursive resolution of the
+        hostname, used by the track-and-compare policy.
+        """
+        raise NotImplementedError
+
+
+class AnswerWithOrigin(ResidualPolicy):
+    """Cloudflare/Incapsula behaviour: expose the stored origin."""
+
+    name = "answer-with-origin"
+
+    def records_after_termination(
+        self,
+        hostname: DomainName,
+        stored_origin: IPv4Address,
+        public_lookup: Callable[[DomainName], List[IPv4Address]],
+    ) -> Optional[IPv4Address]:
+        return stored_origin
+
+
+class RefuseAfterTermination(ResidualPolicy):
+    """Well-behaved providers: no answer for ex-customers."""
+
+    name = "refuse"
+
+    def records_after_termination(
+        self,
+        hostname: DomainName,
+        stored_origin: IPv4Address,
+        public_lookup: Callable[[DomainName], List[IPv4Address]],
+    ) -> Optional[IPv4Address]:
+        return None
+
+
+class TrackAndCompare(ResidualPolicy):
+    """The paper's countermeasure (§VI-B-1).
+
+    Answer with the stored origin only while a normal public resolution
+    of the hostname still returns that same address.  Once the customer
+    demonstrably moved — a different address, or no answer at all — stop
+    responding, because continuing would expose an origin that is now
+    supposed to be hidden.
+    """
+
+    name = "track-and-compare"
+
+    def records_after_termination(
+        self,
+        hostname: DomainName,
+        stored_origin: IPv4Address,
+        public_lookup: Callable[[DomainName], List[IPv4Address]],
+    ) -> Optional[IPv4Address]:
+        current = public_lookup(hostname)
+        if stored_origin in current:
+            return stored_origin
+        return None

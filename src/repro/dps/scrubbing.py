@@ -1,0 +1,145 @@
+"""Scrubbing centres.
+
+Each PoP of a DPS provider deploys a scrubbing centre — a cleansing
+station that examines rerouted traffic and blocks the malicious portion
+on its way to the origin (§II-A-1).  Aggregate network capacity of
+several Tbps is what lets a DPS absorb even record-setting attacks.
+
+:class:`ScrubbingCenter` scrubs a flow: attack traffic is dropped,
+legitimate traffic passes — *unless* the offered volume exceeds the
+centre's ingest capacity, in which case everything suffers proportional
+loss (the attack wins locally).  :class:`ScrubbingNetwork` spreads an
+anycast-diffused attack across every centre.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List
+
+from ..errors import ConfigurationError
+from ..net.traffic import TrafficFlow
+
+__all__ = ["ScrubbingCenter", "ScrubbingNetwork", "ScrubReport"]
+
+
+@dataclass(frozen=True)
+class ScrubReport:
+    """Outcome of scrubbing one flow."""
+
+    offered: TrafficFlow
+    forwarded: TrafficFlow
+    dropped_attack_gbps: float
+    saturated: bool
+
+    @property
+    def origin_bound_gbps(self) -> float:
+        """Traffic volume forwarded towards the origin after scrubbing."""
+        return self.forwarded.total_gbps
+
+    @property
+    def legitimate_survival(self) -> float:
+        """Fraction of legitimate traffic that survived scrubbing."""
+        if self.offered.legitimate_gbps == 0:
+            return 1.0
+        return self.forwarded.legitimate_gbps / self.offered.legitimate_gbps
+
+
+class ScrubbingCenter:
+    """One PoP-resident cleansing station."""
+
+    def __init__(self, pop_id: str, capacity_gbps: float) -> None:
+        if capacity_gbps <= 0:
+            raise ConfigurationError(f"scrubbing capacity must be positive: {capacity_gbps}")
+        self.pop_id = pop_id
+        self.capacity_gbps = capacity_gbps
+
+    def scrub(self, flow: TrafficFlow) -> ScrubReport:
+        """Clean one flow.
+
+        Within capacity, all attack traffic is identified and dropped and
+        all legitimate traffic is forwarded.  Beyond capacity the centre
+        is overwhelmed: it degrades to proportional forwarding of both
+        classes (it can no longer inspect everything), then drops the
+        excess.
+        """
+        if flow.total_gbps <= self.capacity_gbps:
+            return ScrubReport(
+                offered=flow,
+                forwarded=TrafficFlow(flow.legitimate_gbps, 0.0),
+                dropped_attack_gbps=flow.attack_gbps,
+                saturated=False,
+            )
+        keep = self.capacity_gbps / flow.total_gbps
+        return ScrubReport(
+            offered=flow,
+            forwarded=TrafficFlow(
+                flow.legitimate_gbps * keep, flow.attack_gbps * keep
+            ),
+            dropped_attack_gbps=flow.attack_gbps * (1 - keep),
+            saturated=True,
+        )
+
+
+class ScrubbingNetwork:
+    """All scrubbing centres of one provider, fed by anycast diffusion.
+
+    Anycast spreads a globally distributed attack across PoPs roughly
+    evenly (each botnet member is routed to its nearest PoP), so the
+    network's effective capacity is the sum of its centres' capacities —
+    **unless** the attacker concentrates bots in one region, in which
+    case a single catchment PoP eats most of the flood and saturates
+    locally (the Crossfire-style concentration of §VII's related work).
+    """
+
+    def __init__(self, centers: Iterable[ScrubbingCenter]) -> None:
+        self.centers: List[ScrubbingCenter] = list(centers)
+        if not self.centers:
+            raise ConfigurationError("a scrubbing network needs at least one centre")
+        self._by_pop = {center.pop_id: center for center in self.centers}
+
+    @property
+    def total_capacity_gbps(self) -> float:
+        """Aggregate ingest capacity across all PoPs."""
+        return sum(center.capacity_gbps for center in self.centers)
+
+    def center_for(self, pop_id: str) -> ScrubbingCenter:
+        """The centre at one PoP."""
+        try:
+            return self._by_pop[pop_id]
+        except KeyError:
+            raise ConfigurationError(f"no scrubbing centre at PoP {pop_id!r}") from None
+
+    def scrub_distributed(self, flow: TrafficFlow) -> ScrubReport:
+        """Scrub an attack diffused evenly across every PoP."""
+        share = 1.0 / len(self.centers)
+        return self.scrub_weighted({c.pop_id: share for c in self.centers}, flow)
+
+    def scrub_weighted(
+        self, pop_shares: "dict[str, float]", flow: TrafficFlow
+    ) -> ScrubReport:
+        """Scrub an attack whose traffic lands unevenly across PoPs.
+
+        ``pop_shares`` maps PoP ids to the fraction of the flow each
+        captures (anycast catchment shares of the botnet's locations);
+        fractions must sum to ~1.
+        """
+        total_share = sum(pop_shares.values())
+        if not 0.999 <= total_share <= 1.001:
+            raise ConfigurationError(
+                f"PoP shares must sum to 1, got {total_share:.3f}"
+            )
+        forwarded_legit = forwarded_attack = dropped = 0.0
+        saturated = False
+        for pop_id, share in pop_shares.items():
+            report = self.center_for(pop_id).scrub(flow.scaled(share))
+            forwarded_legit += report.forwarded.legitimate_gbps
+            forwarded_attack += report.forwarded.attack_gbps
+            dropped += report.dropped_attack_gbps
+            saturated = saturated or report.saturated
+        return ScrubReport(
+            offered=flow,
+            forwarded=TrafficFlow(forwarded_legit, forwarded_attack),
+            dropped_attack_gbps=dropped,
+            saturated=saturated,
+        )

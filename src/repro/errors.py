@@ -1,0 +1,116 @@
+"""Exception hierarchy for the ``repro`` library.
+
+Every exception raised by this library derives from :class:`ReproError`,
+so callers can catch one base class at an API boundary.  Subsystems define
+narrower classes here rather than in their own packages so that the whole
+hierarchy is visible in one place and there are no circular imports.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class ConfigurationError(ReproError):
+    """A component was constructed or wired with invalid parameters."""
+
+
+# ---------------------------------------------------------------------------
+# Network substrate
+# ---------------------------------------------------------------------------
+
+
+class NetworkError(ReproError):
+    """Base class for errors in the simulated network substrate."""
+
+
+class AddressError(NetworkError):
+    """An IPv4 address or prefix was malformed or out of range."""
+
+
+class AllocationError(NetworkError):
+    """An address-space allocation could not be satisfied."""
+
+
+class RoutingError(NetworkError):
+    """No route/catchment could be computed for a destination."""
+
+
+# ---------------------------------------------------------------------------
+# DNS substrate
+# ---------------------------------------------------------------------------
+
+
+class DnsError(ReproError):
+    """Base class for DNS-related errors."""
+
+
+class NameError_(DnsError):
+    """A domain name was syntactically invalid.
+
+    Named with a trailing underscore to avoid shadowing the Python
+    built-in ``NameError``.
+    """
+
+
+class ZoneError(DnsError):
+    """A zone is malformed (e.g. record added outside the zone cut)."""
+
+
+class ResolutionError(DnsError):
+    """Recursive resolution failed (loop, depth exceeded, no servers)."""
+
+
+# ---------------------------------------------------------------------------
+# Web substrate
+# ---------------------------------------------------------------------------
+
+
+class WebError(ReproError):
+    """Base class for the simulated HTTP layer."""
+
+
+class ConnectionRefused(WebError):
+    """No server listens on the target IP (or a firewall dropped us)."""
+
+
+class BadGateway(WebError):
+    """An edge server could not reach its configured origin."""
+
+
+# ---------------------------------------------------------------------------
+# DPS platform
+# ---------------------------------------------------------------------------
+
+
+class DpsError(ReproError):
+    """Base class for DPS/CDN platform errors."""
+
+
+class PortalError(DpsError):
+    """An invalid customer-portal operation (e.g. pausing a non-customer)."""
+
+
+class PlanError(DpsError):
+    """The requested feature is not available on the customer's plan."""
+
+
+# ---------------------------------------------------------------------------
+# World / simulation driver
+# ---------------------------------------------------------------------------
+
+
+class SimulationError(ReproError):
+    """The simulated world reached an inconsistent state."""
+
+
+# ---------------------------------------------------------------------------
+# Measurement core
+# ---------------------------------------------------------------------------
+
+
+class MeasurementError(ReproError):
+    """A measurement component was used incorrectly (e.g. diffing
+    snapshots from non-consecutive days)."""

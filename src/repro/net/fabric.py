@@ -1,0 +1,143 @@
+"""Network fabric: delivers messages to the server owning an IP address.
+
+The fabric is the simulation's data plane.  DNS servers and HTTP
+listeners register under the addresses they serve; resolvers and HTTP
+clients ask the fabric which handler owns a destination address.  Anycast
+addresses register a whole PoP fleet at once, and lookups from different
+client regions reach different physical servers — the behaviour the
+paper's vantage-point design exploits (§V-A-1, Fig. 7).
+
+Handlers are duck-typed: DNS servers expose
+``handle_query(query, client_region) -> DnsResponse`` and HTTP listeners
+expose ``handle_request(request) -> HttpResponse``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..errors import ConfigurationError, RoutingError
+from .anycast import AnycastNetwork
+from .geo import Region
+from .ipaddr import IPv4Address
+
+__all__ = ["NetworkFabric"]
+
+
+class _AnycastBinding:
+    """An anycast address: a catchment model plus one server per PoP."""
+
+    __slots__ = ("network", "servers")
+
+    def __init__(self, network: AnycastNetwork, servers: Dict[str, object]) -> None:
+        missing = {pop.pop_id for pop in network.pops} - set(servers)
+        if missing:
+            raise ConfigurationError(
+                f"anycast binding missing servers for PoPs: {sorted(missing)}"
+            )
+        self.network = network
+        self.servers = dict(servers)
+
+    def server_for(self, client_region: Optional[Region]) -> object:
+        if client_region is None:
+            # Deterministic fallback: the alphabetically-first PoP.
+            pop_id = min(self.servers)
+            return self.servers[pop_id]
+        pop = self.network.catchment(client_region)
+        return self.servers[pop.pop_id]
+
+
+class NetworkFabric:
+    """Routes destination addresses to registered handlers."""
+
+    def __init__(self) -> None:
+        self._dns_unicast: Dict[IPv4Address, object] = {}
+        self._dns_anycast: Dict[IPv4Address, _AnycastBinding] = {}
+        self._http_unicast: Dict[IPv4Address, object] = {}
+        self._http_anycast: Dict[IPv4Address, _AnycastBinding] = {}
+
+    # -- DNS plane ------------------------------------------------------
+
+    def register_dns(self, ip: "IPv4Address | str", server: object) -> None:
+        """Bind a unicast DNS server to an address."""
+        addr = IPv4Address(ip)
+        if addr in self._dns_unicast or addr in self._dns_anycast:
+            raise ConfigurationError(f"DNS address already bound: {addr}")
+        self._dns_unicast[addr] = server
+
+    def register_dns_anycast(
+        self,
+        ip: "IPv4Address | str",
+        network: AnycastNetwork,
+        pop_servers: Dict[str, object],
+    ) -> None:
+        """Bind an anycast DNS address served by one server per PoP."""
+        addr = IPv4Address(ip)
+        if addr in self._dns_unicast or addr in self._dns_anycast:
+            raise ConfigurationError(f"DNS address already bound: {addr}")
+        self._dns_anycast[addr] = _AnycastBinding(network, pop_servers)
+
+    def unregister_dns(self, ip: "IPv4Address | str") -> None:
+        """Remove a DNS binding (unicast or anycast)."""
+        addr = IPv4Address(ip)
+        if self._dns_unicast.pop(addr, None) is None:
+            if self._dns_anycast.pop(addr, None) is None:
+                raise RoutingError(f"no DNS server bound at {addr}")
+
+    def dns_server_at(
+        self, ip: "IPv4Address | str", client_region: Optional[Region] = None
+    ) -> Optional[object]:
+        """The DNS server a client in ``client_region`` reaches at ``ip``.
+
+        Returns None when nothing listens there (packet disappears into
+        the void, like a query to a dark address on the real Internet).
+        """
+        addr = IPv4Address(ip)
+        server = self._dns_unicast.get(addr)
+        if server is not None:
+            return server
+        binding = self._dns_anycast.get(addr)
+        if binding is not None:
+            return binding.server_for(client_region)
+        return None
+
+    # -- HTTP plane -------------------------------------------------------
+
+    def register_http(self, ip: "IPv4Address | str", handler: object) -> None:
+        """Bind a unicast HTTP listener to an address."""
+        addr = IPv4Address(ip)
+        if addr in self._http_unicast or addr in self._http_anycast:
+            raise ConfigurationError(f"HTTP address already bound: {addr}")
+        self._http_unicast[addr] = handler
+
+    def register_http_anycast(
+        self,
+        ip: "IPv4Address | str",
+        network: AnycastNetwork,
+        pop_servers: Dict[str, object],
+    ) -> None:
+        """Bind an anycast HTTP address served by one listener per PoP."""
+        addr = IPv4Address(ip)
+        if addr in self._http_unicast or addr in self._http_anycast:
+            raise ConfigurationError(f"HTTP address already bound: {addr}")
+        self._http_anycast[addr] = _AnycastBinding(network, pop_servers)
+
+    def unregister_http(self, ip: "IPv4Address | str") -> None:
+        """Remove an HTTP binding."""
+        addr = IPv4Address(ip)
+        if self._http_unicast.pop(addr, None) is None:
+            if self._http_anycast.pop(addr, None) is None:
+                raise RoutingError(f"no HTTP listener bound at {addr}")
+
+    def http_handler_at(
+        self, ip: "IPv4Address | str", client_region: Optional[Region] = None
+    ) -> Optional[object]:
+        """The HTTP listener a client reaches at ``ip``, or None."""
+        addr = IPv4Address(ip)
+        handler = self._http_unicast.get(addr)
+        if handler is not None:
+            return handler
+        binding = self._http_anycast.get(addr)
+        if binding is not None:
+            return binding.server_for(client_region)
+        return None

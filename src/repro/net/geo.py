@@ -1,0 +1,139 @@
+"""Geography: regions, points of presence, vantage points.
+
+The paper distributes its residual-resolution scan over five cloud
+vantage points (Oregon, London, Sydney, Singapore, Tokyo — Fig. 7) so the
+query load spreads over distinct PoPs of Cloudflare's anycast network.
+This module provides the coordinate system those experiments need: a
+small spherical-distance model, a catalog of named regions, and the
+:class:`PointOfPresence` / :class:`VantagePoint` records used by the
+anycast catchment model in :mod:`repro.net.anycast`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..errors import ConfigurationError
+
+__all__ = [
+    "GeoLocation",
+    "Region",
+    "PointOfPresence",
+    "VantagePoint",
+    "WELL_KNOWN_REGIONS",
+    "PAPER_VANTAGE_REGIONS",
+    "great_circle_km",
+]
+
+_EARTH_RADIUS_KM = 6371.0
+
+
+@dataclass(frozen=True)
+class GeoLocation:
+    """A latitude/longitude pair in degrees."""
+
+    latitude: float
+    longitude: float
+
+    def __post_init__(self) -> None:
+        if not -90.0 <= self.latitude <= 90.0:
+            raise ConfigurationError(f"latitude out of range: {self.latitude}")
+        if not -180.0 <= self.longitude <= 180.0:
+            raise ConfigurationError(f"longitude out of range: {self.longitude}")
+
+
+def great_circle_km(a: GeoLocation, b: GeoLocation) -> float:
+    """Great-circle distance between two locations in kilometres."""
+    lat1, lon1 = math.radians(a.latitude), math.radians(a.longitude)
+    lat2, lon2 = math.radians(b.latitude), math.radians(b.longitude)
+    dlat = lat2 - lat1
+    dlon = lon2 - lon1
+    h = math.sin(dlat / 2) ** 2 + math.cos(lat1) * math.cos(lat2) * math.sin(dlon / 2) ** 2
+    return 2 * _EARTH_RADIUS_KM * math.asin(math.sqrt(h))
+
+
+@dataclass(frozen=True)
+class Region:
+    """A named geographic region (cloud region or metro)."""
+
+    name: str
+    location: GeoLocation
+
+    def distance_to(self, other: "Region") -> float:
+        """Great-circle distance to another region in km."""
+        return great_circle_km(self.location, other.location)
+
+
+#: Catalog of regions used throughout the simulation.  Includes the five
+#: vantage-point regions of the paper (Fig. 7) plus enough extra metros
+#: to give anycast networks global coverage.
+WELL_KNOWN_REGIONS: Dict[str, Region] = {
+    region.name: region
+    for region in [
+        Region("oregon", GeoLocation(45.52, -122.68)),
+        Region("london", GeoLocation(51.51, -0.13)),
+        Region("sydney", GeoLocation(-33.87, 151.21)),
+        Region("singapore", GeoLocation(1.35, 103.82)),
+        Region("tokyo", GeoLocation(35.68, 139.69)),
+        Region("virginia", GeoLocation(38.80, -77.05)),
+        Region("frankfurt", GeoLocation(50.11, 8.68)),
+        Region("sao-paulo", GeoLocation(-23.55, -46.63)),
+        Region("mumbai", GeoLocation(19.08, 72.88)),
+        Region("johannesburg", GeoLocation(-26.20, 28.05)),
+        Region("hong-kong", GeoLocation(22.32, 114.17)),
+        Region("chicago", GeoLocation(41.88, -87.63)),
+        Region("amsterdam", GeoLocation(52.37, 4.90)),
+        Region("dubai", GeoLocation(25.20, 55.27)),
+        Region("seoul", GeoLocation(37.57, 126.98)),
+        Region("paris", GeoLocation(48.86, 2.35)),
+        Region("toronto", GeoLocation(43.65, -79.38)),
+        Region("moscow", GeoLocation(55.76, 37.62)),
+        Region("madrid", GeoLocation(40.42, -3.70)),
+        Region("stockholm", GeoLocation(59.33, 18.07)),
+    ]
+}
+
+#: The five vantage-point regions used in the paper's Cloudflare scan.
+PAPER_VANTAGE_REGIONS: List[str] = [
+    "oregon",
+    "london",
+    "sydney",
+    "singapore",
+    "tokyo",
+]
+
+
+def region(name: str) -> Region:
+    """Look up a well-known region by name."""
+    try:
+        return WELL_KNOWN_REGIONS[name]
+    except KeyError:
+        raise ConfigurationError(f"unknown region: {name!r}") from None
+
+
+@dataclass(frozen=True)
+class PointOfPresence:
+    """One PoP of an anycast network: an identifier pinned to a region."""
+
+    pop_id: str
+    region: Region
+
+    def distance_to(self, other_region: Region) -> float:
+        """Distance from this PoP to a client region, in km."""
+        return self.region.distance_to(other_region)
+
+
+@dataclass(frozen=True)
+class VantagePoint:
+    """A measurement host: a name, a region, and a source address.
+
+    The paper's scanners run from five of these (Fig. 7); the address is
+    assigned from the simulated cloud provider's space so that reverse
+    lookups and firewalls behave realistically.
+    """
+
+    name: str
+    region: Region
+    source_ip: Optional[object] = None  # IPv4Address; typed loosely to avoid import cycle

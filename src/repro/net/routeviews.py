@@ -1,0 +1,116 @@
+"""RouteViews-style IP-to-AS database with longest-prefix matching.
+
+The paper maps collected A-record IP addresses onto DPS providers by
+matching them against provider IP ranges extracted from the RouteView
+BGP archive (§IV-B-2, footnote 4).  :class:`RouteViewsDb` reproduces
+that capability: it ingests (prefix, origin-ASN) announcements and
+answers longest-prefix-match lookups.
+
+The matcher is a binary-trie over prefix bits; lookups are O(32) and the
+table easily holds the few hundred announcements the simulation makes.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Tuple
+
+from .asn import AsRegistry
+from .ipaddr import IPv4Address, IPv4Prefix
+
+__all__ = ["RouteViewsDb"]
+
+
+class _TrieNode:
+    __slots__ = ("children", "asn", "prefix")
+
+    def __init__(self) -> None:
+        self.children: List[Optional[_TrieNode]] = [None, None]
+        self.asn: Optional[int] = None
+        self.prefix: Optional[IPv4Prefix] = None
+
+
+class RouteViewsDb:
+    """Longest-prefix-match database from prefix announcements."""
+
+    def __init__(self) -> None:
+        self._root = _TrieNode()
+        self._size = 0
+
+    @classmethod
+    def from_registry(cls, registry: AsRegistry) -> "RouteViewsDb":
+        """Build the database from every announcement in an AS registry."""
+        db = cls()
+        for prefix, asn in registry.all_announcements():
+            db.announce(prefix, asn)
+        return db
+
+    @classmethod
+    def from_announcements(
+        cls, announcements: Iterable[Tuple["IPv4Prefix | str", int]]
+    ) -> "RouteViewsDb":
+        """Build the database from (prefix, asn) pairs."""
+        db = cls()
+        for prefix, asn in announcements:
+            db.announce(prefix, asn)
+        return db
+
+    def announce(self, prefix: "IPv4Prefix | str", asn: int) -> None:
+        """Insert (or overwrite) an announcement."""
+        parsed = IPv4Prefix(prefix)
+        node = self._root
+        bits = parsed.network.value
+        for i in range(parsed.length):
+            bit = (bits >> (31 - i)) & 1
+            if node.children[bit] is None:
+                node.children[bit] = _TrieNode()
+            node = node.children[bit]
+        if node.asn is None:
+            self._size += 1
+        node.asn = asn
+        node.prefix = parsed
+
+    def withdraw(self, prefix: "IPv4Prefix | str") -> bool:
+        """Remove an announcement; returns False if it was absent."""
+        parsed = IPv4Prefix(prefix)
+        node = self._root
+        bits = parsed.network.value
+        for i in range(parsed.length):
+            bit = (bits >> (31 - i)) & 1
+            child = node.children[bit]
+            if child is None:
+                return False
+            node = child
+        if node.asn is None:
+            return False
+        node.asn = None
+        node.prefix = None
+        self._size -= 1
+        return True
+
+    def lookup(self, address: "IPv4Address | str | int") -> Optional[int]:
+        """Origin ASN for ``address`` by longest-prefix match, or None."""
+        match = self.lookup_prefix(address)
+        return match[1] if match else None
+
+    def lookup_prefix(
+        self, address: "IPv4Address | str | int"
+    ) -> Optional[Tuple[IPv4Prefix, int]]:
+        """(matched prefix, origin ASN) for ``address``, or None."""
+        addr = IPv4Address(address)
+        node = self._root
+        best: Optional[Tuple[IPv4Prefix, int]] = None
+        if node.asn is not None and node.prefix is not None:
+            best = (node.prefix, node.asn)
+        bits = addr.value
+        for i in range(32):
+            bit = (bits >> (31 - i)) & 1
+            child = node.children[bit]
+            if child is None:
+                break
+            node = child
+            if node.asn is not None and node.prefix is not None:
+                best = (node.prefix, node.asn)
+        return best
+
+    def __len__(self) -> int:
+        return self._size

@@ -1,0 +1,17 @@
+"""Simulated HTTP layer: HTML documents, requests/responses, origin
+servers, and CDN edge reverse proxies."""
+
+from .edge import EdgeServer
+from .html import HtmlDocument
+from .http import HttpClient, HttpRequest, HttpResponse, StatusCode
+from .origin import OriginServer
+
+__all__ = [
+    "EdgeServer",
+    "HtmlDocument",
+    "HttpClient",
+    "HttpRequest",
+    "HttpResponse",
+    "StatusCode",
+    "OriginServer",
+]

@@ -1,0 +1,70 @@
+"""Minimal HTML document model.
+
+The paper's HTML-verification step downloads a landing page twice — once
+through the DPS edge, once directly from a candidate origin IP — and
+compares *titles and meta tags* (§IV-C-3).  :class:`HtmlDocument` models
+exactly the parts of a page that comparison needs, with a renderer and a
+tolerant parser so the pipeline can round-trip documents as text the way
+an HTTP client would see them.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+__all__ = ["HtmlDocument"]
+
+_TITLE_RE = re.compile(r"<title>(.*?)</title>", re.IGNORECASE | re.DOTALL)
+_META_RE = re.compile(
+    r"<meta\s+name=\"([^\"]*)\"\s+content=\"([^\"]*)\"\s*/?>", re.IGNORECASE
+)
+
+
+@dataclass
+class HtmlDocument:
+    """A landing page reduced to the features HTML verification compares."""
+
+    title: str
+    meta: Dict[str, str] = field(default_factory=dict)
+    body: str = ""
+
+    def render(self) -> str:
+        """Serialise to HTML text."""
+        meta_tags = "\n".join(
+            f'<meta name="{name}" content="{content}">'
+            for name, content in sorted(self.meta.items())
+        )
+        return (
+            "<!DOCTYPE html>\n<html>\n<head>\n"
+            f"<title>{self.title}</title>\n{meta_tags}\n"
+            f"</head>\n<body>\n{self.body}\n</body>\n</html>"
+        )
+
+    @classmethod
+    def parse(cls, text: str) -> "HtmlDocument":
+        """Parse rendered HTML back into a document.
+
+        Tolerant by design: a missing title parses as an empty string,
+        and only ``name=/content=`` meta tags are retained.
+        """
+        title_match = _TITLE_RE.search(text)
+        title = title_match.group(1).strip() if title_match else ""
+        meta = {name: content for name, content in _META_RE.findall(text)}
+        body_match = re.search(r"<body>(.*?)</body>", text, re.IGNORECASE | re.DOTALL)
+        body = body_match.group(1).strip() if body_match else ""
+        return cls(title=title, meta=meta, body=body)
+
+    def fingerprint(self) -> Tuple[str, Tuple[Tuple[str, str], ...]]:
+        """Hashable (title, sorted meta) pair used for comparisons."""
+        return (self.title, tuple(sorted(self.meta.items())))
+
+    def matches(self, other: "HtmlDocument") -> bool:
+        """The paper's comparison: identical title and identical meta set.
+
+        Any dynamic meta attribute (timestamps, per-request tokens) makes
+        this return False even for the same host — which is why the
+        paper's verified-origin counts are a *lower bound* (§IV-C-3).
+        """
+        return self.fingerprint() == other.fingerprint()

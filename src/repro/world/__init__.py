@@ -1,0 +1,27 @@
+"""The simulated world: websites, hosting, administrator behaviour, the
+day-step event engine, and the :class:`SimulatedInternet` composition
+root."""
+
+from .admin import AdminBehaviorModel, BehaviorEvent, BehaviorKind
+from .config import BehaviorRates, DepartureProfile, WorldConfig
+from .events import WorldEngine
+from .hosting import HostingProvider
+from .internet import SimulatedInternet
+from .population import PopulationBuilder, TLD_WEIGHTS
+from .website import GroundTruthStatus, Website
+
+__all__ = [
+    "AdminBehaviorModel",
+    "BehaviorEvent",
+    "BehaviorKind",
+    "BehaviorRates",
+    "DepartureProfile",
+    "WorldConfig",
+    "WorldEngine",
+    "HostingProvider",
+    "SimulatedInternet",
+    "PopulationBuilder",
+    "TLD_WEIGHTS",
+    "GroundTruthStatus",
+    "Website",
+]

@@ -1,0 +1,251 @@
+"""Administrator behaviour model.
+
+Encodes how website administrators act, calibrated to the paper's
+measured rates (see :mod:`repro.world.config`): who joins which provider
+(market shares, Fig. 2), which rerouting and plan they pick (Fig. 6),
+whether they rotate the origin IP (Table V), how long pauses last
+(Fig. 5), and what happens around departures (footnote 9, Table VI
+composition).
+
+The model is deliberately *generative*: the measurement pipeline never
+reads it — it only sees DNS and HTTP, like the paper's scanners did.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..dps.catalog import ProviderSpec, normalised_market_shares
+from ..dps.plans import PlanTier
+from ..dps.portal import ReroutingMethod
+from ..dps.provider import DpsProvider
+from ..rng import SeededRng
+from .config import WorldConfig
+from .website import GroundTruthStatus, Website
+
+__all__ = ["BehaviorKind", "BehaviorEvent", "AdminBehaviorModel"]
+
+
+class BehaviorKind(enum.Enum):
+    """Table IV's usage behaviours."""
+
+    JOIN = "J"
+    LEAVE = "L"
+    PAUSE = "P"
+    RESUME = "R"
+    SWITCH = "S"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass(frozen=True)
+class BehaviorEvent:
+    """One ground-truth behaviour occurrence."""
+
+    day: int
+    website: str
+    kind: BehaviorKind
+    from_provider: Optional[str] = None
+    to_provider: Optional[str] = None
+
+
+class AdminBehaviorModel:
+    """Drives every site's administrator, one day at a time."""
+
+    def __init__(
+        self,
+        config: WorldConfig,
+        providers: Dict[str, DpsProvider],
+        specs: List[ProviderSpec],
+        rng: SeededRng,
+    ) -> None:
+        self.config = config
+        self.providers = providers
+        self.specs = {spec.name: spec for spec in specs}
+        shares = normalised_market_shares(specs)
+        self._share_names = list(shares)
+        self._share_weights = [shares[name] for name in self._share_names]
+        self._rng = rng
+
+    # ------------------------------------------------------------------
+    # Enrollment choices (shared with the population generator)
+    # ------------------------------------------------------------------
+
+    def choose_provider(self, exclude: Optional[str] = None) -> ProviderSpec:
+        """Pick a provider by market share, optionally excluding one."""
+        if exclude is None:
+            name = self._rng.weighted_choice(self._share_names, self._share_weights)
+            return self.specs[name]
+        names = [n for n in self._share_names if n != exclude]
+        weights = [w for n, w in zip(self._share_names, self._share_weights) if n != exclude]
+        return self.specs[self._rng.weighted_choice(names, weights)]
+
+    def choose_enrollment(self, spec: ProviderSpec) -> Tuple[ReroutingMethod, PlanTier]:
+        """Pick rerouting method and plan consistent with the platform.
+
+        Cloudflare's CNAME setup requires a business/enterprise plan
+        ([21]); its NS customers follow the general plan mix.
+        """
+        methods = spec.rerouting_methods
+        if len(methods) == 1:
+            rerouting = methods[0]
+        elif self._rng.bernoulli(spec.cname_share):
+            rerouting = ReroutingMethod.CNAME_BASED
+        else:
+            rerouting = next(m for m in methods if m is not ReroutingMethod.CNAME_BASED)
+        if spec.name == "cloudflare" and rerouting is ReroutingMethod.CNAME_BASED:
+            plan = PlanTier.BUSINESS if self._rng.bernoulli(0.7) else PlanTier.ENTERPRISE
+        elif spec.name == "incapsula":
+            # No free tier.
+            plan = self._choose_plan(exclude_free=True)
+        else:
+            plan = self._choose_plan(exclude_free=False)
+        return rerouting, plan
+
+    def _choose_plan(self, exclude_free: bool) -> PlanTier:
+        mix = dict(self.config.plan_mix)
+        if exclude_free:
+            mix.pop("free", None)
+        tiers = [PlanTier(name) for name in mix]
+        return self._rng.weighted_choice(tiers, list(mix.values()))
+
+    def rotate_on_join(self, spec: ProviderSpec) -> bool:
+        """Whether the admin rotates the origin IP at JOIN/RESUME.
+
+        Complement of Table V's per-provider unchanged rate.
+        """
+        return self._rng.bernoulli(1.0 - spec.ip_unchanged_rate)
+
+    def draw_pause_duration(self, provider_name: str) -> Optional[int]:
+        """Days until resume, or None for a pause that never resumes.
+
+        The mixture reproduces Fig. 5: just under half resume in one
+        day, a quarter within 2-5 days, and ~30% exceed 5 days.
+        """
+        cfg = self.config
+        if self._rng.bernoulli(cfg.pause_never_resume):
+            return None
+        one_day = cfg.pause_one_day
+        if provider_name == "incapsula":
+            one_day += cfg.incapsula_one_day_bonus
+        u = self._rng.random()
+        if u < one_day:
+            return 1
+        if u < one_day + cfg.pause_short:
+            return self._rng.randint(2, 5)
+        return 6 + int(self._rng.expovariate(1.0 / cfg.pause_tail_mean_days))
+
+    # ------------------------------------------------------------------
+    # Daily step
+    # ------------------------------------------------------------------
+
+    def step_site(
+        self, site: Website, day: int, rate_scale: float = 1.0
+    ) -> List[BehaviorEvent]:
+        """Apply one observation interval of administrator behaviour.
+
+        ``rate_scale`` is the interval length in days (the paper's real
+        intervals varied between 20 and 30 hours, §IV-B-3): behaviour
+        probabilities scale with elapsed time, which is what aggregates
+        events into the spikes of Fig. 3.
+        """
+        if not site.alive or site.multicdn:
+            return []
+        if site.provider is None:
+            return self._step_unprotected(site, day, rate_scale)
+        if site.status is GroundTruthStatus.ON:
+            return self._step_on(site, day, rate_scale)
+        return self._step_paused(site, day, rate_scale)
+
+    @staticmethod
+    def _scaled(probability: float, rate_scale: float) -> float:
+        return min(1.0, probability * rate_scale)
+
+    def _step_unprotected(
+        self, site: Website, day: int, rate_scale: float = 1.0
+    ) -> List[BehaviorEvent]:
+        if not self._rng.bernoulli(self._scaled(self.config.rates.join_daily, rate_scale)):
+            return []
+        spec = self.choose_provider()
+        rerouting, plan = self.choose_enrollment(spec)
+        site.join(
+            self.providers[spec.name],
+            rerouting,
+            plan,
+            rotate_origin_ip=self.rotate_on_join(spec),
+        )
+        return [BehaviorEvent(day, str(site.www), BehaviorKind.JOIN, to_provider=spec.name)]
+
+    def _step_on(
+        self, site: Website, day: int, rate_scale: float = 1.0
+    ) -> List[BehaviorEvent]:
+        assert site.provider is not None
+        rates = self.config.rates
+        provider_name = site.provider.name
+        profile = self.config.departure_profile(provider_name)
+        u = self._rng.random() / rate_scale
+        if u < rates.leave_daily:
+            rehost = self._rng.bernoulli(profile.rehost_after_leave)
+            die = (not rehost) and self._rng.bernoulli(profile.die_after_leave)
+            site.leave(
+                informed=self._rng.bernoulli(profile.informed),
+                rehost=rehost,
+                die=die,
+            )
+            return [
+                BehaviorEvent(day, str(site.www), BehaviorKind.LEAVE, from_provider=provider_name)
+            ]
+        u -= rates.leave_daily
+        if u < rates.switch_daily:
+            spec = self.choose_provider(exclude=provider_name)
+            rerouting, plan = self.choose_enrollment(spec)
+            site.switch(
+                self.providers[spec.name],
+                rerouting,
+                plan,
+                informed=self._rng.bernoulli(profile.informed),
+                rotate_origin_ip=self._rng.bernoulli(profile.rotate_on_switch),
+            )
+            return [
+                BehaviorEvent(
+                    day,
+                    str(site.www),
+                    BehaviorKind.SWITCH,
+                    from_provider=provider_name,
+                    to_provider=spec.name,
+                )
+            ]
+        u -= rates.switch_daily
+        if site.provider.build.supports_pause and u < rates.pause_daily:
+            duration = self.draw_pause_duration(provider_name)
+            resume_on = None if duration is None else day + duration
+            site.pause(day, resume_on)
+            return [
+                BehaviorEvent(day, str(site.www), BehaviorKind.PAUSE, from_provider=provider_name)
+            ]
+        return []
+
+    def _step_paused(
+        self, site: Website, day: int, rate_scale: float = 1.0
+    ) -> List[BehaviorEvent]:
+        assert site.provider is not None
+        provider_name = site.provider.name
+        if site.resume_on_day is not None and day >= site.resume_on_day:
+            spec = self.specs[provider_name]
+            site.resume(rotate_origin_ip=self.rotate_on_join(spec))
+            return [
+                BehaviorEvent(day, str(site.www), BehaviorKind.RESUME, to_provider=provider_name)
+            ]
+        # Never-resume pauses eventually turn into departures.
+        if site.resume_on_day is None and self._rng.bernoulli(
+            self._scaled(self.config.rates.leave_daily, rate_scale)
+        ):
+            profile = self.config.departure_profile(provider_name)
+            site.leave(informed=self._rng.bernoulli(profile.informed))
+            return [
+                BehaviorEvent(day, str(site.www), BehaviorKind.LEAVE, from_provider=provider_name)
+            ]
+        return []

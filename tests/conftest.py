@@ -1,0 +1,50 @@
+"""Shared fixtures.
+
+Unit tests build their own minimal components; the fixtures here supply
+the expensive shared artefacts: a small fully-wired simulated Internet
+(session-scoped, treat as read-only) and a factory for private worlds
+when a test needs to mutate one.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.clock import SimulationClock
+from repro.net.fabric import NetworkFabric
+from repro.net.ipaddr import AddressAllocator
+from repro.world import SimulatedInternet, WorldConfig
+
+
+@pytest.fixture
+def clock() -> SimulationClock:
+    return SimulationClock()
+
+
+@pytest.fixture
+def fabric() -> NetworkFabric:
+    return NetworkFabric()
+
+
+@pytest.fixture
+def allocator() -> AddressAllocator:
+    return AddressAllocator("10.0.0.0/8")
+
+
+@pytest.fixture(scope="session")
+def shared_world() -> SimulatedInternet:
+    """A small, fully-wired world.  READ-ONLY: do not run days or mutate
+    sites on it — use ``world_factory`` for that."""
+    return SimulatedInternet(WorldConfig(population_size=600, seed=11))
+
+
+@pytest.fixture
+def world_factory():
+    """Factory for private mutable worlds."""
+
+    def build(population_size: int = 400, seed: int = 5, **kwargs) -> SimulatedInternet:
+        return SimulatedInternet(
+            WorldConfig(population_size=population_size, seed=seed, **kwargs)
+        )
+
+    return build

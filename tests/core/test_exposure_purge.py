@@ -1,0 +1,93 @@
+"""Tests for exposure timelines (Fig. 9) and the purge probe (§V-A-3)."""
+
+import pytest
+
+from repro.core.exposure import ExposureTimeline
+from repro.core.purge_probe import PurgeProbe
+from repro.dps.plans import PlanTier
+from repro.world import SimulatedInternet, WorldConfig
+
+
+class TestExposureTimeline:
+    def _timeline(self, weeks):
+        timeline = ExposureTimeline()
+        for week in weeks:
+            timeline.record_week(week)
+        return timeline
+
+    def test_all_websites_union(self):
+        timeline = self._timeline([{"a", "b"}, {"b", "c"}])
+        assert timeline.all_websites() == {"a", "b", "c"}
+
+    def test_always_exposed_intersection(self):
+        timeline = self._timeline([{"a", "b"}, {"a", "c"}, {"a"}])
+        assert timeline.always_exposed() == {"a"}
+
+    def test_always_exposed_empty_timeline(self):
+        assert ExposureTimeline().always_exposed() == set()
+
+    def test_newly_exposed_per_week(self):
+        timeline = self._timeline([{"a"}, {"a", "b"}, {"c"}])
+        new = timeline.newly_exposed()
+        assert new[0] == {"a"}
+        assert new[1] == {"b"}
+        assert new[2] == {"c"}
+
+    def test_bounded_exposures(self):
+        # "b" appears week 1 and disappears after week 1 → bounded.
+        timeline = self._timeline([{"a"}, {"a", "b"}, {"a"}])
+        assert timeline.bounded_exposures() == {"b"}
+
+    def test_edge_sites_not_bounded(self):
+        # Present in week 0 (left-censored) or the last week
+        # (right-censored) → not bounded.
+        timeline = self._timeline([{"a"}, {"a", "c"}, {"c"}])
+        assert timeline.bounded_exposures() == set()
+
+    def test_exposure_spans(self):
+        timeline = self._timeline([{"a"}, {"b"}, {"a"}])
+        spans = timeline.exposure_spans()
+        assert spans["a"] == 3  # first..last inclusive, gaps included
+        assert spans["b"] == 1
+
+    def test_summary(self):
+        timeline = self._timeline([{"a"}, {"a", "b"}, {"a"}])
+        summary = timeline.summary()
+        assert summary.weeks == 3
+        assert summary.total_distinct == 2
+        assert summary.always_exposed == 1
+        assert summary.bounded_exposures == 1
+        assert summary.new_per_week == {0: 1, 1: 1, 2: 0}
+        assert summary.average_new_per_week == pytest.approx(0.5)
+
+
+@pytest.fixture(scope="module")
+def probe_world():
+    return SimulatedInternet(WorldConfig(population_size=120, seed=41))
+
+
+class TestPurgeProbe:
+    def test_free_plan_purged_in_fourth_week(self, probe_world):
+        """The paper's own-site probe: free-plan records purged at the
+        4th week after termination."""
+        probe = PurgeProbe(probe_world)
+        trial = probe.run_trial(plan=PlanTier.FREE)
+        assert trial.purged_in_week == 4
+        assert trial.answered_weeks == [1, 2, 3]
+
+    def test_three_trials_consistent(self, probe_world):
+        probe = PurgeProbe(probe_world)
+        trials = probe.run_trials(count=3, weeks_between=3, plan=PlanTier.FREE)
+        assert [t.purged_in_week for t in trials] == [4, 4, 4]
+
+    def test_enterprise_plan_never_purged(self, probe_world):
+        probe = PurgeProbe(probe_world, max_weeks=9)
+        trial = probe.run_trial(plan=PlanTier.ENTERPRISE)
+        assert trial.purged_in_week is None
+        assert trial.answered_weeks == list(range(1, 10))
+
+    def test_business_plan_longer_horizon(self, probe_world):
+        probe = PurgeProbe(probe_world, max_weeks=12)
+        trial = probe.run_trial(plan=PlanTier.BUSINESS)
+        assert trial.purged_in_week is not None
+        assert trial.purged_in_week > 4  # longer than the free plan

@@ -1,0 +1,71 @@
+"""Tests for the longitudinal adoption-growth harness."""
+
+import pytest
+
+from repro.core.longitudinal import (
+    AdoptionPoint,
+    LongitudinalStudy,
+    predicted_growth_factor,
+)
+from repro.world import SimulatedInternet, WorldConfig
+
+
+class TestPrediction:
+    def test_grows_with_horizon(self):
+        assert predicted_growth_factor(0) == pytest.approx(1.0)
+        assert predicted_growth_factor(42) > 1.0
+        assert predicted_growth_factor(547) > predicted_growth_factor(42)
+
+    def test_matches_jonker_scale(self):
+        # Jonker et al.: 1.24x over ~1.5 years.  The behaviour model's
+        # closed form lands in the same regime.
+        factor = predicted_growth_factor(547)
+        assert 1.10 < factor < 1.35
+
+    def test_paper_six_week_growth(self):
+        # The paper's own +1.17% over six weeks.
+        factor = predicted_growth_factor(42)
+        assert 1.005 < factor < 1.03
+
+
+class TestMeasurement:
+    @pytest.fixture(scope="class")
+    def trajectory(self):
+        world = SimulatedInternet(WorldConfig(population_size=2500, seed=113))
+        study = LongitudinalStudy(world, sample_every_days=28)
+        return study.run(total_days=112)  # 16 weeks
+
+    def test_point_structure(self, trajectory):
+        assert len(trajectory) == 5  # day 0 + 4 samples
+        assert trajectory[0].day == 0
+        assert all(p.population == 2500 for p in trajectory)
+        days = [p.day for p in trajectory]
+        assert days == sorted(days)
+
+    def test_growth_direction(self, trajectory):
+        factor = LongitudinalStudy.growth_factor(trajectory)
+        # Net inflow is planted; over 16 weeks at n=2500 the signal is
+        # small but the direction must not invert badly.
+        assert factor > 0.93
+
+    def test_growth_magnitude_vs_prediction(self, trajectory):
+        measured = LongitudinalStudy.growth_factor(trajectory)
+        predicted = predicted_growth_factor(112)
+        # Poisson noise on ~370 adopters over 112 days: allow a generous
+        # band around the closed form.
+        assert abs(measured - predicted) < 0.12
+
+    def test_rate_property(self):
+        point = AdoptionPoint(day=0, adopted=150, population=1000)
+        assert point.rate == pytest.approx(0.15)
+        assert AdoptionPoint(day=0, adopted=0, population=0).rate == 0.0
+
+    def test_invalid_interval(self):
+        world = SimulatedInternet(WorldConfig(population_size=60, seed=1))
+        with pytest.raises(ValueError):
+            LongitudinalStudy(world, sample_every_days=0)
+
+    def test_growth_factor_degenerate(self):
+        assert LongitudinalStudy.growth_factor([]) == 1.0
+        single = [AdoptionPoint(0, 10, 100)]
+        assert LongitudinalStudy.growth_factor(single) == 1.0

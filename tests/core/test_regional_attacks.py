@@ -1,0 +1,96 @@
+"""Tests for geographically concentrated attacks (anycast catchment
+overload — the Crossfire-style concentration of §VII's related work)."""
+
+import pytest
+
+from repro.core.attacker import DdosSimulator
+from repro.core.matching import ProviderMatcher
+from repro.dps.portal import ReroutingMethod
+from repro.dps.scrubbing import ScrubbingCenter, ScrubbingNetwork
+from repro.errors import ConfigurationError
+from repro.net.traffic import TrafficFlow
+
+
+class TestScrubWeighted:
+    def _network(self):
+        return ScrubbingNetwork(
+            [ScrubbingCenter(f"pop-{i}", 100.0) for i in range(10)]
+        )
+
+    def test_even_shares_match_distributed(self):
+        network = self._network()
+        flow = TrafficFlow(legitimate_gbps=10.0, attack_gbps=500.0)
+        even = {f"pop-{i}": 0.1 for i in range(10)}
+        a = network.scrub_distributed(flow)
+        b = network.scrub_weighted(even, flow)
+        assert a.saturated == b.saturated
+        assert a.origin_bound_gbps == pytest.approx(b.origin_bound_gbps)
+
+    def test_concentration_saturates_below_aggregate_capacity(self):
+        """600 Gbps into a 1,000 Gbps network: absorbed when diffused,
+        devastating when one PoP catches it all."""
+        network = self._network()
+        flow = TrafficFlow(legitimate_gbps=10.0, attack_gbps=600.0)
+        diffuse = network.scrub_distributed(flow)
+        concentrated = network.scrub_weighted({"pop-0": 1.0}, flow)
+        assert not diffuse.saturated
+        assert concentrated.saturated
+        assert concentrated.forwarded.attack_gbps > 0.0
+
+    def test_shares_must_sum_to_one(self):
+        network = self._network()
+        with pytest.raises(ConfigurationError):
+            network.scrub_weighted({"pop-0": 0.4}, TrafficFlow(1.0, 1.0))
+
+    def test_unknown_pop_rejected(self):
+        network = self._network()
+        with pytest.raises(ConfigurationError):
+            network.scrub_weighted({"nowhere": 1.0}, TrafficFlow(1.0, 1.0))
+
+
+class TestRegionalAttack:
+    @pytest.fixture
+    def setup(self, world_factory):
+        world = world_factory(population_size=120, seed=79)
+        site = next(
+            s for s in world.population
+            if s.provider is None and s.alive and not s.multicdn
+        )
+        cf = world.provider("cloudflare")
+        site.join(cf, ReroutingMethod.NS_BASED)
+        matcher = ProviderMatcher(world.specs, world.routeviews)
+        simulator = DdosSimulator(world.providers, matcher)
+        edge_ip = cf.customer_for(site.www).edge_ip
+        return world, cf, simulator, edge_ip
+
+    def test_global_botnet_is_absorbed(self, setup):
+        world, cf, simulator, edge_ip = setup
+        volume = cf.scrubbing.total_capacity_gbps * 0.5
+        outcome = simulator.attack(edge_ip, attack_gbps=volume)
+        assert not outcome.attack_succeeded
+
+    def test_concentrated_botnet_degrades_service(self, setup):
+        """The same volume, from a single-region botnet, overloads one
+        catchment centre."""
+        world, cf, simulator, edge_ip = setup
+        volume = cf.scrubbing.total_capacity_gbps * 0.5
+        one_region = [cf.pops[0].region] * 50  # all bots in one metro
+        outcome = simulator.attack(edge_ip, attack_gbps=volume,
+                                   bot_regions=one_region)
+        diffuse = simulator.attack(edge_ip, attack_gbps=volume)
+        assert outcome.origin_availability < diffuse.origin_availability
+        assert outcome.attack_gbps_reaching_origin > 0.0
+
+    def test_multi_region_botnet_spreads_load(self, setup):
+        world, cf, simulator, edge_ip = setup
+        volume = cf.scrubbing.total_capacity_gbps * 0.5
+        all_regions = [pop.region for pop in cf.pops]
+        outcome = simulator.attack(edge_ip, attack_gbps=volume,
+                                   bot_regions=all_regions)
+        assert not outcome.attack_succeeded
+
+    def test_empty_bot_regions_falls_back_to_diffuse(self, setup):
+        world, cf, simulator, edge_ip = setup
+        a = simulator.attack(edge_ip, attack_gbps=100.0, bot_regions=[])
+        b = simulator.attack(edge_ip, attack_gbps=100.0)
+        assert a.origin_availability == pytest.approx(b.origin_availability)

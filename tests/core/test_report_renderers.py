@@ -1,0 +1,55 @@
+"""Tests for the standalone (definitional) table renderers and the
+ground-truth validation renderer."""
+
+import pytest
+
+from repro.core.report import (
+    render_ground_truth_validation,
+    render_table2_providers,
+    render_table3_status,
+    render_table4_behaviors,
+)
+from repro.core.study import SixWeekStudy, StudyConfig
+from repro.world import SimulatedInternet, WorldConfig
+
+
+class TestDefinitionalTables:
+    def test_table2_lists_all_eleven_providers(self):
+        text = render_table2_providers()
+        for name in ("akamai", "cloudflare", "cloudfront", "cdn77",
+                     "cdnetworks", "dosarrest", "edgecast", "fastly",
+                     "incapsula", "limelight", "stackpath"):
+            assert name in text
+
+    def test_table2_substrings_present(self):
+        text = render_table2_providers()
+        assert "edgekey" in text
+        assert "incapdns" in text
+        assert "13335" in text
+
+    def test_table3_statuses(self):
+        text = render_table3_status()
+        for status in ("ON", "OFF", "NONE"):
+            assert status in text
+        assert "A-matched" in text
+
+    def test_table4_behaviours(self):
+        text = render_table4_behaviors()
+        for marker in ("JOIN", "LEAVE", "PAUSE", "RESUME", "SWITCH", "NULL"):
+            assert marker in text
+
+
+class TestValidationRenderer:
+    @pytest.fixture(scope="class")
+    def report(self):
+        world = SimulatedInternet(WorldConfig(population_size=300, seed=93))
+        return SixWeekStudy(world, StudyConfig(warmup_days=10, study_days=10)).run()
+
+    def test_contains_all_kinds(self, report):
+        text = render_ground_truth_validation(report)
+        for kind in ("JOIN", "LEAVE", "PAUSE", "RESUME", "SWITCH"):
+            assert kind in text
+
+    def test_has_measured_and_planted_columns(self, report):
+        text = render_ground_truth_validation(report)
+        assert "measured" in text and "planted" in text

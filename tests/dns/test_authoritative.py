@@ -1,0 +1,141 @@
+"""Tests for authoritative server answer semantics."""
+
+import pytest
+
+from repro.dns.authoritative import AnswerPolicy, AuthoritativeServer
+from repro.dns.message import DnsQuery, DnsResponse, Rcode
+from repro.dns.name import DomainName
+from repro.dns.records import RecordType, a_record, cname_record
+from repro.dns.zone import Zone
+from repro.net.ipaddr import IPv4Address
+
+
+def _server_with_zone() -> AuthoritativeServer:
+    zone = Zone("example.com", primary_ns="ns1.example.com")
+    zone.set_a("www.example.com", "1.1.1.1")
+    zone.set_a("ns1.sub.example.com", "9.9.9.9")
+    zone.delegate(
+        "sub.example.com", ["ns1.sub.example.com"],
+        glue={"ns1.sub.example.com": "9.9.9.9"},
+    )
+    server = AuthoritativeServer("ns1.example.com")
+    server.host_zone(zone)
+    return server
+
+
+def _ask(server, name, rtype=RecordType.A) -> DnsResponse:
+    return server.handle_query(DnsQuery(DomainName(name), rtype))
+
+
+class TestAnswers:
+    def test_authoritative_answer(self):
+        response = _ask(_server_with_zone(), "www.example.com")
+        assert response.is_answer and response.authoritative
+        assert response.addresses() == [IPv4Address("1.1.1.1")]
+
+    def test_refused_outside_authority(self):
+        response = _ask(_server_with_zone(), "www.other.com")
+        assert response.rcode is Rcode.REFUSED
+
+    def test_nxdomain_inside_zone(self):
+        response = _ask(_server_with_zone(), "missing.example.com")
+        assert response.rcode is Rcode.NXDOMAIN
+        assert response.authoritative
+
+    def test_nodata_when_name_exists_with_other_type(self):
+        server = _server_with_zone()
+        response = _ask(server, "www.example.com", RecordType.MX)
+        assert response.is_empty_noerror
+        # SOA in authority for negative caching, as real servers do.
+        assert any(r.rtype is RecordType.SOA for r in response.authority)
+
+    def test_cname_answer_for_other_qtype(self):
+        server = AuthoritativeServer("ns1.example.com")
+        zone = Zone("example.com")
+        zone.add(cname_record("www.example.com", "edge.cdn.net"))
+        server.host_zone(zone)
+        response = _ask(server, "www.example.com", RecordType.A)
+        assert response.is_answer
+        assert response.cname_target() == DomainName("edge.cdn.net")
+
+    def test_cname_qtype_returns_cname_directly(self):
+        server = AuthoritativeServer("ns1.example.com")
+        zone = Zone("example.com")
+        zone.add(cname_record("www.example.com", "edge.cdn.net"))
+        server.host_zone(zone)
+        response = _ask(server, "www.example.com", RecordType.CNAME)
+        assert response.is_answer
+
+    def test_referral_at_zone_cut(self):
+        response = _ask(_server_with_zone(), "deep.sub.example.com")
+        assert response.is_referral
+        assert not response.authoritative
+        assert DomainName("ns1.sub.example.com") in response.referral_nameservers()
+        assert response.glue_for(DomainName("ns1.sub.example.com")) == [IPv4Address("9.9.9.9")]
+
+    def test_queries_served_counter(self):
+        server = _server_with_zone()
+        _ask(server, "www.example.com")
+        _ask(server, "www.example.com")
+        assert server.queries_served == 2
+
+
+class TestZoneManagement:
+    def test_deepest_zone_selected(self):
+        server = AuthoritativeServer("ns")
+        parent = Zone("example.com")
+        parent.set_a("www.example.com", "1.1.1.1")
+        child = Zone("sub.example.com")
+        child.set_a("www.sub.example.com", "2.2.2.2")
+        server.host_zone(parent)
+        server.host_zone(child)
+        assert server.zone_for("www.sub.example.com") is child
+        assert server.zone_for("www.example.com") is parent
+
+    def test_drop_zone(self):
+        server = _server_with_zone()
+        dropped = server.drop_zone("example.com")
+        assert dropped is not None
+        assert _ask(server, "www.example.com").rcode is Rcode.REFUSED
+
+    def test_drop_missing_zone_returns_none(self):
+        assert AuthoritativeServer("ns").drop_zone("nope.com") is None
+
+    def test_host_zone_replaces_same_origin(self):
+        server = AuthoritativeServer("ns")
+        first = Zone("example.com")
+        second = Zone("example.com")
+        server.host_zone(first)
+        server.host_zone(second)
+        assert server.zone_for("example.com") is second
+        assert len(server.zones) == 1
+
+
+class TestAnswerPolicy:
+    def test_policy_can_short_circuit(self):
+        class Refuser(AnswerPolicy):
+            def intercept(self, server, query):
+                return DnsResponse.refused(query)
+
+        server = AuthoritativeServer("ns", policy=Refuser())
+        zone = Zone("example.com")
+        zone.set_a("www.example.com", "1.1.1.1")
+        server.host_zone(zone)
+        assert _ask(server, "www.example.com").rcode is Rcode.REFUSED
+
+    def test_default_policy_is_transparent(self):
+        assert _ask(_server_with_zone(), "www.example.com").is_answer
+
+    def test_policy_sees_every_query(self):
+        seen = []
+
+        class Spy(AnswerPolicy):
+            def intercept(self, server, query):
+                seen.append(str(query.qname))
+                return None
+
+        server = AuthoritativeServer("ns", policy=Spy())
+        server.host_zone(Zone("example.com"))
+        _ask(server, "a.example.com")
+        _ask(server, "b.example.com")
+        assert seen == ["a.example.com", "b.example.com"]

@@ -1,0 +1,122 @@
+"""Tests for the TTL cache."""
+
+from repro.clock import SimulationClock
+from repro.dns.cache import DnsCache
+from repro.dns.name import DomainName
+from repro.dns.records import RecordType, a_record, ns_record
+
+
+def _cache():
+    clock = SimulationClock()
+    return clock, DnsCache(clock)
+
+
+class TestBasics:
+    def test_put_get(self):
+        _, cache = _cache()
+        cache.put(a_record("www.example.com", "1.1.1.1", ttl=300))
+        records = cache.get("www.example.com", RecordType.A)
+        assert records is not None and len(records) == 1
+
+    def test_miss_returns_none(self):
+        _, cache = _cache()
+        assert cache.get("www.example.com", RecordType.A) is None
+
+    def test_type_segregation(self):
+        _, cache = _cache()
+        cache.put(a_record("www.example.com", "1.1.1.1"))
+        assert cache.get("www.example.com", RecordType.NS) is None
+
+    def test_zero_ttl_never_cached(self):
+        _, cache = _cache()
+        cache.put(a_record("www.example.com", "1.1.1.1", ttl=0))
+        assert cache.get("www.example.com", RecordType.A) is None
+
+    def test_multiple_rdata_coexist(self):
+        _, cache = _cache()
+        cache.put(a_record("www.example.com", "1.1.1.1", ttl=300))
+        cache.put(a_record("www.example.com", "2.2.2.2", ttl=300))
+        assert len(cache.get("www.example.com", RecordType.A)) == 2
+
+    def test_same_rdata_refreshes_expiry(self):
+        clock, cache = _cache()
+        cache.put(a_record("www.example.com", "1.1.1.1", ttl=100))
+        clock.advance(90)
+        cache.put(a_record("www.example.com", "1.1.1.1", ttl=100))
+        clock.advance(50)  # original would have expired at t=100
+        assert cache.get("www.example.com", RecordType.A) is not None
+
+
+class TestTtl:
+    def test_expiry(self):
+        clock, cache = _cache()
+        cache.put(a_record("www.example.com", "1.1.1.1", ttl=100))
+        clock.advance(100)
+        assert cache.get("www.example.com", RecordType.A) is None
+
+    def test_remaining_ttl_decrements(self):
+        clock, cache = _cache()
+        cache.put(a_record("www.example.com", "1.1.1.1", ttl=100))
+        clock.advance(40)
+        records = cache.get("www.example.com", RecordType.A)
+        assert records[0].ttl == 60
+
+    def test_partial_expiry(self):
+        clock, cache = _cache()
+        cache.put(a_record("www.example.com", "1.1.1.1", ttl=50))
+        cache.put(a_record("www.example.com", "2.2.2.2", ttl=500))
+        clock.advance(100)
+        records = cache.get("www.example.com", RecordType.A)
+        assert len(records) == 1
+
+    def test_long_ns_record_outlives_short_a(self):
+        clock, cache = _cache()
+        cache.put(a_record("www.example.com", "1.1.1.1", ttl=300))
+        cache.put(ns_record("example.com", "ns1.dps.net", ttl=86400))
+        clock.advance(3600)
+        assert cache.get("www.example.com", RecordType.A) is None
+        assert cache.get("example.com", RecordType.NS) is not None
+
+
+class TestManagement:
+    def test_purge(self):
+        _, cache = _cache()
+        cache.put(a_record("www.example.com", "1.1.1.1", ttl=300))
+        cache.purge()
+        assert cache.get("www.example.com", RecordType.A) is None
+        assert len(cache) == 0
+
+    def test_evict_by_type(self):
+        _, cache = _cache()
+        cache.put(a_record("www.example.com", "1.1.1.1"))
+        cache.put(ns_record("www.example.com", "ns1.x.net"))
+        assert cache.evict("www.example.com", RecordType.A) == 1
+        assert cache.get("www.example.com", RecordType.NS) is not None
+
+    def test_evict_all_types(self):
+        _, cache = _cache()
+        cache.put(a_record("www.example.com", "1.1.1.1"))
+        cache.put(ns_record("www.example.com", "ns1.x.net"))
+        assert cache.evict("www.example.com") == 2
+
+    def test_contains_does_not_count_hits(self):
+        _, cache = _cache()
+        cache.put(a_record("www.example.com", "1.1.1.1"))
+        cache.contains("www.example.com", RecordType.A)
+        assert cache.hits == 0
+
+    def test_hit_miss_counters(self):
+        _, cache = _cache()
+        cache.get("a.com", RecordType.A)
+        cache.put(a_record("a.com", "1.1.1.1"))
+        cache.get("a.com", RecordType.A)
+        assert cache.misses == 1
+        assert cache.hits == 1
+
+    def test_len_counts_live_records(self):
+        clock, cache = _cache()
+        cache.put(a_record("a.com", "1.1.1.1", ttl=10))
+        cache.put(a_record("b.com", "2.2.2.2", ttl=1000))
+        assert len(cache) == 2
+        clock.advance(100)
+        assert len(cache) == 1

@@ -1,0 +1,113 @@
+"""Tests for DomainName."""
+
+import pytest
+
+from repro.dns.name import ROOT, DomainName
+from repro.errors import NameError_
+
+
+class TestParsing:
+    def test_basic(self):
+        assert DomainName("www.example.com").labels == ("www", "example", "com")
+
+    def test_case_insensitive(self):
+        assert DomainName("WWW.Example.COM") == DomainName("www.example.com")
+
+    def test_trailing_dot_accepted(self):
+        assert DomainName("example.com.") == DomainName("example.com")
+
+    def test_root(self):
+        assert DomainName("").is_root
+        assert DomainName(".").is_root
+        assert str(ROOT) == "."
+
+    def test_from_labels_iterable(self):
+        assert DomainName(("www", "example", "com")) == DomainName("www.example.com")
+
+    def test_copy_constructor(self):
+        name = DomainName("a.b.c")
+        assert DomainName(name) == name
+
+    @pytest.mark.parametrize("bad", ["a..b", "-bad.com", "bad-.com", "ex ample.com", "a!b.com"])
+    def test_invalid_names(self, bad):
+        with pytest.raises(NameError_):
+            DomainName(bad)
+
+    def test_label_too_long(self):
+        with pytest.raises(NameError_):
+            DomainName("a" * 64 + ".com")
+
+    def test_name_too_long(self):
+        with pytest.raises(NameError_):
+            DomainName(".".join(["abcdefgh"] * 40))
+
+
+class TestStructure:
+    def test_parent(self):
+        assert DomainName("www.example.com").parent() == DomainName("example.com")
+
+    def test_parent_of_root_raises(self):
+        with pytest.raises(NameError_):
+            ROOT.parent()
+
+    def test_child(self):
+        assert DomainName("example.com").child("WWW") == DomainName("www.example.com")
+
+    def test_tld(self):
+        assert DomainName("www.example.com").tld == "com"
+        with pytest.raises(NameError_):
+            _ = ROOT.tld
+
+    def test_is_subdomain_of(self):
+        name = DomainName("a.b.example.com")
+        assert name.is_subdomain_of("example.com")
+        assert name.is_subdomain_of("b.example.com")
+        assert name.is_subdomain_of(name)
+        assert name.is_subdomain_of(ROOT)
+        assert not name.is_subdomain_of("other.com")
+        assert not DomainName("example.com").is_subdomain_of("www.example.com")
+
+    def test_subdomain_requires_label_boundary(self):
+        # "badexample.com" is not under "example.com".
+        assert not DomainName("badexample.com").is_subdomain_of("example.com")
+
+    def test_ancestors(self):
+        ancestors = DomainName("a.b.example.com").ancestors()
+        assert [str(a) for a in ancestors] == ["b.example.com", "example.com", "com"]
+
+    def test_suffixes_longest_first(self):
+        suffixes = DomainName("www.example.com").suffixes()
+        assert [str(s) for s in suffixes] == ["www.example.com", "example.com", "com"]
+
+    def test_apex_and_www(self):
+        name = DomainName("deep.www.example.com")
+        assert name.apex == DomainName("example.com")
+        assert name.www() == DomainName("www.example.com")
+        assert DomainName("example.com").is_apex
+        assert not name.is_apex
+
+    def test_apex_of_tld_raises(self):
+        with pytest.raises(NameError_):
+            _ = DomainName("com").apex
+
+
+class TestValueSemantics:
+    def test_equality_with_string(self):
+        assert DomainName("example.com") == "EXAMPLE.com"
+        assert DomainName("example.com") != "other.com"
+        assert DomainName("example.com") != "not a valid...name!!"
+
+    def test_hash_consistency(self):
+        assert len({DomainName("a.com"), DomainName("A.com")}) == 1
+
+    def test_ordering_is_reversed_label_order(self):
+        # DNS canonical ordering groups names by suffix.
+        names = sorted([DomainName("b.com"), DomainName("a.net"), DomainName("a.com")])
+        assert [str(n) for n in names] == ["a.com", "b.com", "a.net"]
+
+    def test_len_is_label_count(self):
+        assert len(DomainName("a.b.c")) == 3
+        assert len(ROOT) == 0
+
+    def test_str_roundtrip(self):
+        assert DomainName(str(DomainName("x.y.io"))) == DomainName("x.y.io")

@@ -1,0 +1,123 @@
+"""Tests for RFC 2308 negative caching."""
+
+import pytest
+
+from repro.clock import SimulationClock
+from repro.dns.authoritative import AuthoritativeServer
+from repro.dns.cache import DnsCache
+from repro.dns.message import Rcode
+from repro.dns.name import DomainName
+from repro.dns.records import RecordType
+from repro.dns.root import DnsHierarchy
+from repro.dns.zone import Zone
+from repro.net.fabric import NetworkFabric
+from repro.net.ipaddr import AddressAllocator
+
+
+class TestCacheNegativeEntries:
+    def _cache(self):
+        clock = SimulationClock()
+        return clock, DnsCache(clock)
+
+    def test_put_get(self):
+        _, cache = self._cache()
+        cache.put_negative("missing.example.com", RecordType.A, "NXDOMAIN", ttl=60)
+        assert cache.get_negative("missing.example.com", RecordType.A) == "NXDOMAIN"
+
+    def test_expiry(self):
+        clock, cache = self._cache()
+        cache.put_negative("missing.example.com", RecordType.A, "NODATA", ttl=60)
+        clock.advance(60)
+        assert cache.get_negative("missing.example.com", RecordType.A) is None
+
+    def test_zero_ttl_not_cached(self):
+        _, cache = self._cache()
+        cache.put_negative("x.com", RecordType.A, "NXDOMAIN", ttl=0)
+        assert cache.get_negative("x.com", RecordType.A) is None
+
+    def test_unknown_outcome_rejected(self):
+        _, cache = self._cache()
+        with pytest.raises(ValueError):
+            cache.put_negative("x.com", RecordType.A, "MAYBE", ttl=60)
+
+    def test_purge_clears_negatives(self):
+        _, cache = self._cache()
+        cache.put_negative("x.com", RecordType.A, "NXDOMAIN", ttl=60)
+        cache.purge()
+        assert cache.get_negative("x.com", RecordType.A) is None
+
+    def test_evict_clears_negatives(self):
+        _, cache = self._cache()
+        cache.put_negative("x.com", RecordType.A, "NXDOMAIN", ttl=60)
+        assert cache.evict("x.com", RecordType.A) == 1
+        assert cache.get_negative("x.com", RecordType.A) is None
+
+    def test_type_segregation(self):
+        _, cache = self._cache()
+        cache.put_negative("x.com", RecordType.A, "NODATA", ttl=60)
+        assert cache.get_negative("x.com", RecordType.MX) is None
+
+
+@pytest.fixture
+def setup():
+    fabric = NetworkFabric()
+    clock = SimulationClock()
+    allocator = AddressAllocator("10.0.0.0/8")
+    hierarchy = DnsHierarchy(fabric, clock, allocator)
+    ns_ip = allocator.allocate_address()
+    zone = Zone("example.com", primary_ns="ns1.example.com")
+    zone.set_a("www.example.com", "203.0.113.1")
+    zone.set_a("ns1.example.com", ns_ip)
+    server = AuthoritativeServer("ns1.example.com")
+    server.host_zone(zone)
+    fabric.register_dns(ns_ip, server)
+    hierarchy.delegate_apex(
+        "example.com", ["ns1.example.com"], glue={"ns1.example.com": ns_ip}
+    )
+    return clock, hierarchy, server
+
+
+class TestResolverNegativeCaching:
+    def test_nxdomain_cached(self, setup):
+        clock, hierarchy, server = setup
+        resolver = hierarchy.make_resolver()
+        assert resolver.resolve("gone.example.com").rcode is Rcode.NXDOMAIN
+        served_before = server.queries_served
+        assert resolver.resolve("gone.example.com").rcode is Rcode.NXDOMAIN
+        assert server.queries_served == served_before  # pure cache hit
+
+    def test_nodata_cached(self, setup):
+        clock, hierarchy, server = setup
+        resolver = hierarchy.make_resolver()
+        first = resolver.resolve("www.example.com", RecordType.MX)
+        assert first.rcode is Rcode.NOERROR and not first.records
+        served_before = server.queries_served
+        second = resolver.resolve("www.example.com", RecordType.MX)
+        assert second.rcode is Rcode.NOERROR and not second.records
+        assert server.queries_served == served_before
+
+    def test_negative_entry_expires(self, setup):
+        clock, hierarchy, server = setup
+        resolver = hierarchy.make_resolver()
+        resolver.resolve("gone.example.com")
+        clock.advance(301)  # past the capped negative TTL
+        served_before = server.queries_served
+        resolver.resolve("gone.example.com")
+        assert server.queries_served > served_before
+
+    def test_record_appearing_after_purge(self, setup):
+        """A name that comes into existence is visible after the daily
+        purge — the collector's flush also clears negative state."""
+        clock, hierarchy, server = setup
+        resolver = hierarchy.make_resolver()
+        assert resolver.resolve("new.example.com").rcode is Rcode.NXDOMAIN
+        zone = server.zone_for("new.example.com")
+        zone.set_a("new.example.com", "203.0.113.50")
+        resolver.purge_cache()
+        assert resolver.resolve("new.example.com").ok
+
+    def test_negative_cache_does_not_mask_positive(self, setup):
+        clock, hierarchy, server = setup
+        resolver = hierarchy.make_resolver()
+        resolver.resolve("gone.example.com")
+        assert resolver.resolve("www.example.com").ok

@@ -1,0 +1,226 @@
+"""Tests for the recursive resolver: iterative walks, CNAME chasing,
+caching, and the stale-delegation behaviour at the heart of §VI-A."""
+
+import pytest
+
+from repro.clock import SimulationClock
+from repro.dns.authoritative import AuthoritativeServer
+from repro.dns.message import Rcode
+from repro.dns.name import DomainName
+from repro.dns.records import RecordType, cname_record, ns_record
+from repro.dns.root import DnsHierarchy
+from repro.dns.zone import Zone
+from repro.net.fabric import NetworkFabric
+from repro.net.ipaddr import AddressAllocator, IPv4Address
+
+
+@pytest.fixture
+def setup():
+    """A root/TLD hierarchy plus one self-hosted domain."""
+    fabric = NetworkFabric()
+    clock = SimulationClock()
+    allocator = AddressAllocator("10.0.0.0/8")
+    hierarchy = DnsHierarchy(fabric, clock, allocator)
+
+    ns_ip = allocator.allocate_address()
+    zone = Zone("example.com", primary_ns="ns1.example.com")
+    zone.set_a("www.example.com", "203.0.113.10")
+    zone.set_a("ns1.example.com", ns_ip)
+    zone.add(ns_record("example.com", "ns1.example.com"))
+    server = AuthoritativeServer("ns1.example.com")
+    server.host_zone(zone)
+    fabric.register_dns(ns_ip, server)
+    hierarchy.delegate_apex(
+        "example.com", ["ns1.example.com"], glue={"ns1.example.com": ns_ip}
+    )
+    return fabric, clock, allocator, hierarchy, zone, server, ns_ip
+
+
+class TestBasicResolution:
+    def test_a_resolution(self, setup):
+        hierarchy = setup[3]
+        resolver = hierarchy.make_resolver()
+        result = resolver.resolve("www.example.com")
+        assert result.ok
+        assert result.addresses == [IPv4Address("203.0.113.10")]
+
+    def test_ns_resolution_at_apex(self, setup):
+        hierarchy = setup[3]
+        result = hierarchy.make_resolver().resolve("example.com", RecordType.NS)
+        assert result.ok
+        assert DomainName("ns1.example.com") in [r.target for r in result.records]
+
+    def test_nxdomain(self, setup):
+        hierarchy = setup[3]
+        result = hierarchy.make_resolver().resolve("missing.example.com")
+        assert result.rcode is Rcode.NXDOMAIN
+        assert not result.ok
+
+    def test_unknown_tld_nxdomain(self, setup):
+        hierarchy = setup[3]
+        result = hierarchy.make_resolver().resolve("www.example.zz")
+        assert result.rcode is Rcode.NXDOMAIN
+
+    def test_nodata(self, setup):
+        hierarchy = setup[3]
+        result = hierarchy.make_resolver().resolve("www.example.com", RecordType.MX)
+        assert result.rcode is Rcode.NOERROR
+        assert result.records == []
+
+    def test_undelegated_apex_nxdomain(self, setup):
+        hierarchy = setup[3]
+        hierarchy.undelegate_apex("example.com")
+        result = hierarchy.make_resolver().resolve("www.example.com")
+        assert result.rcode is Rcode.NXDOMAIN
+
+
+class TestCnameChasing:
+    def test_chase_within_zone(self, setup):
+        _, _, _, hierarchy, zone, *_ = setup
+        zone.remove_all("www.example.com", RecordType.A)
+        zone.add(cname_record("www.example.com", "edge.example.com"))
+        zone.set_a("edge.example.com", "203.0.113.77")
+        result = hierarchy.make_resolver().resolve("www.example.com")
+        assert result.ok
+        assert result.addresses == [IPv4Address("203.0.113.77")]
+        assert result.cname_targets == [DomainName("edge.example.com")]
+        assert result.final_name == DomainName("edge.example.com")
+
+    def test_chase_across_zones(self, setup):
+        fabric, clock, allocator, hierarchy, zone, *_ = setup
+        # Stand up cdn.net with the target.
+        cdn_ns_ip = allocator.allocate_address()
+        cdn_zone = Zone("cdn.net", primary_ns="ns1.cdn.net")
+        cdn_zone.set_a("ns1.cdn.net", cdn_ns_ip)
+        cdn_zone.set_a("edge.cdn.net", "198.51.100.5")
+        cdn_server = AuthoritativeServer("ns1.cdn.net")
+        cdn_server.host_zone(cdn_zone)
+        fabric.register_dns(cdn_ns_ip, cdn_server)
+        hierarchy.delegate_apex("cdn.net", ["ns1.cdn.net"], glue={"ns1.cdn.net": cdn_ns_ip})
+
+        zone.remove_all("www.example.com", RecordType.A)
+        zone.add(cname_record("www.example.com", "edge.cdn.net"))
+        result = hierarchy.make_resolver().resolve("www.example.com")
+        assert result.ok
+        assert result.addresses == [IPv4Address("198.51.100.5")]
+
+    def test_cname_loop_detected(self, setup):
+        _, _, _, hierarchy, zone, *_ = setup
+        zone.remove_all("www.example.com", RecordType.A)
+        zone.add(cname_record("www.example.com", "a.example.com"))
+        zone.add(cname_record("a.example.com", "www.example.com"))
+        result = hierarchy.make_resolver().resolve("www.example.com")
+        assert result.rcode is Rcode.SERVFAIL
+
+    def test_dangling_cname(self, setup):
+        _, _, _, hierarchy, zone, *_ = setup
+        zone.remove_all("www.example.com", RecordType.A)
+        zone.add(cname_record("www.example.com", "gone.example.com"))
+        result = hierarchy.make_resolver().resolve("www.example.com")
+        assert result.rcode is Rcode.NXDOMAIN
+
+
+class TestCaching:
+    def test_second_resolution_uses_cache(self, setup):
+        hierarchy = setup[3]
+        resolver = hierarchy.make_resolver()
+        resolver.resolve("www.example.com")
+        queries_before = resolver.queries_sent
+        resolver.resolve("www.example.com")
+        assert resolver.queries_sent == queries_before  # pure cache hit
+
+    def test_purge_forces_requery(self, setup):
+        hierarchy = setup[3]
+        resolver = hierarchy.make_resolver()
+        resolver.resolve("www.example.com")
+        queries_before = resolver.queries_sent
+        resolver.purge_cache()
+        resolver.resolve("www.example.com")
+        assert resolver.queries_sent > queries_before
+
+    def test_cached_delegation_skips_root(self, setup):
+        hierarchy = setup[3]
+        resolver = hierarchy.make_resolver()
+        resolver.resolve("www.example.com")
+        # Evict only the final answer; the delegation stays cached.
+        resolver.cache.evict("www.example.com", RecordType.A)
+        queries_before = resolver.queries_sent
+        resolver.resolve("www.example.com")
+        # One query straight to the authoritative server, no root/TLD walk.
+        assert resolver.queries_sent == queries_before + 1
+
+
+class TestStaleDelegation:
+    """The §VI-A root cause: resolvers keep using cached NS records."""
+
+    def test_stale_ns_keeps_pointing_at_old_server(self, setup):
+        fabric, clock, allocator, hierarchy, zone, server, ns_ip = setup
+        resolver = hierarchy.make_resolver()
+        assert resolver.resolve("www.example.com").ok  # caches NS + glue
+
+        # The domain moves: the registry now delegates to a new server
+        # with a new address — but this resolver never sees that, because
+        # its cached NS/glue still point at the old server.
+        new_ns_ip = allocator.allocate_address()
+        new_zone = Zone("example.com", primary_ns="ns1.newdps.com")
+        new_zone.set_a("www.example.com", "198.51.100.99")
+        new_server = AuthoritativeServer("ns1.newdps.com")
+        new_server.host_zone(new_zone)
+        fabric.register_dns(new_ns_ip, new_server)
+        hierarchy.delegate_apex("example.com", ["ns1.newdps.com"])
+
+        resolver.cache.evict("www.example.com", RecordType.A)
+        result = resolver.resolve("www.example.com")
+        # Old server still hosts the zone with the old answer; the stale
+        # cached delegation sent the query there.
+        assert result.addresses == [IPv4Address("203.0.113.10")]
+
+    def test_fresh_resolver_follows_new_delegation(self, setup):
+        fabric, clock, allocator, hierarchy, zone, server, ns_ip = setup
+        new_ns_ip = allocator.allocate_address()
+        new_zone = Zone("example.com", primary_ns="ns1.newhost.net")
+        new_zone.set_a("www.example.com", "198.51.100.99")
+        new_server = AuthoritativeServer("ns1.newhost.net")
+        new_server.host_zone(new_zone)
+        fabric.register_dns(new_ns_ip, new_server)
+        # newhost.net infrastructure so the NS name resolves.
+        host_zone = Zone("newhost.net")
+        host_zone.set_a("ns1.newhost.net", new_ns_ip)
+        new_server.host_zone(host_zone)
+        hierarchy.delegate_apex(
+            "newhost.net", ["ns1.newhost.net"], glue={"ns1.newhost.net": new_ns_ip}
+        )
+        hierarchy.delegate_apex("example.com", ["ns1.newhost.net"])
+        result = hierarchy.make_resolver().resolve("www.example.com")
+        assert result.addresses == [IPv4Address("198.51.100.99")]
+
+    def test_stale_ns_expires_by_ttl(self, setup):
+        fabric, clock, allocator, hierarchy, zone, server, ns_ip = setup
+        resolver = hierarchy.make_resolver()
+        resolver.resolve("www.example.com")
+        # After the (long) NS TTL passes, the stale delegation is gone.
+        clock.advance(86400 + 1)
+        assert resolver.cache.get("example.com", RecordType.NS) is None
+
+
+class TestFailureModes:
+    def test_no_root_hints_rejected(self, setup):
+        fabric, clock, *_ = setup
+        from repro.dns.resolver import RecursiveResolver
+        from repro.errors import ResolutionError
+        with pytest.raises(ResolutionError):
+            RecursiveResolver(fabric, clock, [])
+
+    def test_dead_nameserver_servfail(self, setup):
+        fabric, clock, allocator, hierarchy, *_ = setup
+        dead_ip = allocator.allocate_address()
+        hierarchy.delegate_apex("example.com", ["dead.ns.net"], glue={})
+        # dead.ns.net has no records anywhere → SERVFAIL.
+        result = hierarchy.make_resolver().resolve("www.example.com")
+        assert result.rcode is Rcode.SERVFAIL
+
+    def test_refusing_server_yields_refused_result(self, setup):
+        fabric, clock, allocator, hierarchy, zone, server, ns_ip = setup
+        server.drop_zone("example.com")  # server now refuses the name
+        result = hierarchy.make_resolver().resolve("www.example.com")
+        assert result.rcode in (Rcode.REFUSED, Rcode.SERVFAIL)

@@ -1,0 +1,118 @@
+"""Tests for the root/TLD hierarchy (registry) and the stub client."""
+
+import pytest
+
+from repro.clock import SimulationClock
+from repro.dns.authoritative import AuthoritativeServer
+from repro.dns.client import DnsClient
+from repro.dns.message import Rcode
+from repro.dns.name import DomainName
+from repro.dns.records import RecordType
+from repro.dns.root import DEFAULT_TLDS, DnsHierarchy
+from repro.dns.zone import Zone
+from repro.errors import ConfigurationError, ZoneError
+from repro.net.fabric import NetworkFabric
+from repro.net.ipaddr import AddressAllocator
+
+
+@pytest.fixture
+def hierarchy_setup():
+    fabric = NetworkFabric()
+    clock = SimulationClock()
+    allocator = AddressAllocator("10.0.0.0/8")
+    hierarchy = DnsHierarchy(fabric, clock, allocator)
+    return fabric, clock, allocator, hierarchy
+
+
+class TestHierarchy:
+    def test_default_tlds_served(self, hierarchy_setup):
+        *_, hierarchy = hierarchy_setup
+        assert set(hierarchy.tlds) == set(DEFAULT_TLDS)
+
+    def test_tld_resolution_bootstraps(self, hierarchy_setup):
+        *_, hierarchy = hierarchy_setup
+        resolver = hierarchy.make_resolver()
+        # Resolve a TLD's own nameserver address through the root.
+        result = resolver.resolve("ns.nic.com", RecordType.A)
+        assert result.ok
+
+    def test_unknown_tld_zone_raises(self, hierarchy_setup):
+        *_, hierarchy = hierarchy_setup
+        with pytest.raises(ConfigurationError):
+            hierarchy.tld_zone("zz")
+
+    def test_delegate_apex_and_read_back(self, hierarchy_setup):
+        *_, hierarchy = hierarchy_setup
+        hierarchy.delegate_apex("example.com", ["ns1.host.net"])
+        assert hierarchy.delegation_of("example.com") == [DomainName("ns1.host.net")]
+
+    def test_delegate_replaces(self, hierarchy_setup):
+        *_, hierarchy = hierarchy_setup
+        hierarchy.delegate_apex("example.com", ["ns1.a.net"])
+        hierarchy.delegate_apex("example.com", ["ns1.b.net", "ns2.b.net"])
+        assert hierarchy.delegation_of("example.com") == [
+            DomainName("ns1.b.net"),
+            DomainName("ns2.b.net"),
+        ]
+
+    def test_undelegate(self, hierarchy_setup):
+        *_, hierarchy = hierarchy_setup
+        hierarchy.delegate_apex("example.com", ["ns1.a.net"])
+        hierarchy.undelegate_apex("example.com")
+        assert hierarchy.delegation_of("example.com") == []
+
+    def test_out_of_bailiwick_glue_ignored(self, hierarchy_setup):
+        *_, hierarchy = hierarchy_setup
+        hierarchy.delegate_apex(
+            "example.com",
+            ["ns1.other.net"],
+            glue={"ns1.other.net": "9.9.9.9"},  # .net glue in the .com zone
+        )
+        com_zone = hierarchy.tld_zone("com")
+        assert com_zone.lookup("ns1.other.net", RecordType.A) == []
+
+    def test_non_apex_delegation_rejected(self, hierarchy_setup):
+        *_, hierarchy = hierarchy_setup
+        with pytest.raises(ZoneError):
+            hierarchy.delegate_apex("www.example.com", ["ns1.host.net"])
+
+    def test_unserved_tld_delegation_rejected(self, hierarchy_setup):
+        *_, hierarchy = hierarchy_setup
+        with pytest.raises(ConfigurationError):
+            hierarchy.delegate_apex("example.zz", ["ns1.host.net"])
+
+
+class TestDnsClient:
+    def test_direct_query(self, hierarchy_setup):
+        fabric, clock, allocator, hierarchy = hierarchy_setup
+        ns_ip = allocator.allocate_address()
+        zone = Zone("example.com")
+        zone.set_a("www.example.com", "1.2.3.4")
+        server = AuthoritativeServer("ns1.example.com")
+        server.host_zone(zone)
+        fabric.register_dns(ns_ip, server)
+
+        client = DnsClient(fabric)
+        response = client.query(ns_ip, "www.example.com")
+        assert response is not None and response.is_answer
+
+    def test_query_void_address_returns_none(self, hierarchy_setup):
+        fabric, _, allocator, _ = hierarchy_setup
+        client = DnsClient(fabric)
+        assert client.query(allocator.allocate_address(), "www.example.com") is None
+
+    def test_query_counts(self, hierarchy_setup):
+        fabric, _, allocator, _ = hierarchy_setup
+        client = DnsClient(fabric)
+        client.query(allocator.allocate_address(), "a.com")
+        client.query(allocator.allocate_address(), "b.com")
+        assert client.queries_sent == 2
+
+    def test_refused_for_foreign_zone(self, hierarchy_setup):
+        fabric, clock, allocator, hierarchy = hierarchy_setup
+        ns_ip = allocator.allocate_address()
+        server = AuthoritativeServer("ns1.example.com")
+        server.host_zone(Zone("example.com"))
+        fabric.register_dns(ns_ip, server)
+        response = DnsClient(fabric).query(ns_ip, "www.other.org")
+        assert response.rcode is Rcode.REFUSED

@@ -1,0 +1,198 @@
+"""Tests for the RFC 1035 wire codec."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.dns.message import DnsQuery, DnsResponse, Rcode
+from repro.dns.name import DomainName
+from repro.dns.records import (
+    RecordType,
+    a_record,
+    cname_record,
+    mx_record,
+    ns_record,
+    soa_record,
+    txt_record,
+)
+from repro.dns.wire import (
+    decode_query,
+    decode_response,
+    encode_query,
+    encode_response,
+)
+from repro.errors import DnsError
+
+
+class TestQueryRoundTrip:
+    def test_basic(self):
+        query = DnsQuery(DomainName("www.example.com"), RecordType.A)
+        decoded, txid = decode_query(encode_query(query, txid=0x1234))
+        assert decoded == query
+        assert txid == 0x1234
+
+    def test_recursion_desired_flag(self):
+        query = DnsQuery(DomainName("a.io"), RecordType.NS, recursion_desired=True)
+        decoded, _ = decode_query(encode_query(query))
+        assert decoded.recursion_desired
+
+    @pytest.mark.parametrize("rtype", list(RecordType))
+    def test_all_qtypes(self, rtype):
+        query = DnsQuery(DomainName("x.example.net"), rtype)
+        decoded, _ = decode_query(encode_query(query))
+        assert decoded.qtype is rtype
+
+    def test_response_rejected_as_query(self):
+        response = DnsResponse(query=DnsQuery(DomainName("a.com"), RecordType.A))
+        with pytest.raises(DnsError):
+            decode_query(encode_response(response))
+
+    def test_truncated_rejected(self):
+        data = encode_query(DnsQuery(DomainName("www.example.com"), RecordType.A))
+        with pytest.raises(DnsError):
+            decode_query(data[:8])
+
+
+def _response(**kwargs) -> DnsResponse:
+    query = DnsQuery(DomainName("www.example.com"), RecordType.A)
+    return DnsResponse(query=query, **kwargs)
+
+
+class TestResponseRoundTrip:
+    def test_a_answer(self):
+        response = _response(
+            authoritative=True,
+            answers=[a_record("www.example.com", "203.0.113.7", ttl=300)],
+        )
+        decoded, txid = decode_response(encode_response(response, txid=7))
+        assert txid == 7
+        assert decoded.authoritative
+        assert decoded.rcode is Rcode.NOERROR
+        assert decoded.answers == response.answers
+
+    def test_full_referral(self):
+        response = _response(
+            authority=[
+                ns_record("example.com", "ns1.example.com"),
+                ns_record("example.com", "ns2.example.com"),
+            ],
+            additional=[
+                a_record("ns1.example.com", "10.0.0.1"),
+                a_record("ns2.example.com", "10.0.0.2"),
+            ],
+        )
+        decoded, _ = decode_response(encode_response(response))
+        assert decoded.is_referral
+        assert decoded.authority == response.authority
+        assert decoded.additional == response.additional
+
+    def test_cname_chain(self):
+        response = _response(
+            answers=[
+                cname_record("www.example.com", "edge.cdn.net"),
+                a_record("edge.cdn.net", "198.51.100.9"),
+            ]
+        )
+        decoded, _ = decode_response(encode_response(response))
+        assert decoded.cname_target() == DomainName("edge.cdn.net")
+        assert decoded.addresses() == response.addresses()
+
+    @pytest.mark.parametrize(
+        "rcode", [Rcode.NOERROR, Rcode.NXDOMAIN, Rcode.SERVFAIL, Rcode.REFUSED]
+    )
+    def test_rcodes(self, rcode):
+        decoded, _ = decode_response(encode_response(_response(rcode=rcode)))
+        assert decoded.rcode is rcode
+
+    def test_mx_record(self):
+        response = _response(answers=[mx_record("example.com", "mail.example.com")])
+        decoded, _ = decode_response(encode_response(response))
+        assert decoded.answers[0].target == DomainName("mail.example.com")
+
+    def test_txt_record(self):
+        response = _response(answers=[txt_record("example.com", "v=spf1 -all")])
+        decoded, _ = decode_response(encode_response(response))
+        assert decoded.answers[0].rdata == "v=spf1 -all"
+
+    def test_long_txt_record_chunked(self):
+        text = "x" * 700  # needs three character-strings
+        response = _response(answers=[txt_record("example.com", text)])
+        decoded, _ = decode_response(encode_response(response))
+        assert decoded.answers[0].rdata == text
+
+    def test_soa_record(self):
+        response = _response(
+            authority=[soa_record("example.com", "ns1.example.com", serial=42)]
+        )
+        decoded, _ = decode_response(encode_response(response))
+        data = decoded.authority[0].rdata
+        assert data.primary_ns == DomainName("ns1.example.com")
+        assert data.serial == 42
+
+    def test_query_rejected_as_response(self):
+        with pytest.raises(DnsError):
+            decode_response(encode_query(DnsQuery(DomainName("a.com"), RecordType.A)))
+
+
+class TestCompression:
+    def test_repeated_names_compress(self):
+        records = [a_record("www.example.com", f"10.0.0.{i}") for i in range(1, 9)]
+        response = _response(answers=records)
+        packet = encode_response(response)
+        # Without compression each record repeats the 17-byte name; with
+        # pointers they cost 2 bytes each after the first.
+        uncompressed_estimate = 12 + 21 + 8 * (17 + 14)
+        assert len(packet) < uncompressed_estimate - 80
+        decoded, _ = decode_response(packet)
+        assert decoded.answers == records
+
+    def test_suffix_sharing(self):
+        response = _response(
+            answers=[cname_record("www.example.com", "cdn.example.com")],
+        )
+        packet = encode_response(response)
+        decoded, _ = decode_response(packet)
+        assert decoded.answers[0].target == DomainName("cdn.example.com")
+
+    def test_pointer_loop_rejected(self):
+        # Craft a packet whose question name points at itself.
+        evil = (
+            bytes.fromhex("0001" "8000" "0001" "0000" "0000" "0000")
+            + bytes([0xC0, 12])  # pointer to itself at offset 12
+            + bytes.fromhex("0001" "0001")
+        )
+        with pytest.raises(DnsError):
+            decode_response(evil)
+
+
+labels = st.text(alphabet="abcdefghijklmnopqrstuvwxyz0123456789", min_size=1, max_size=10)
+names = st.lists(labels, min_size=1, max_size=4).map(DomainName)
+addresses = st.integers(min_value=0, max_value=(1 << 32) - 1)
+
+
+class TestPropertyRoundTrip:
+    @given(names, st.sampled_from(list(RecordType)), st.booleans(),
+           st.integers(0, 0xFFFF))
+    def test_query_roundtrip(self, name, rtype, rd, txid):
+        query = DnsQuery(name, rtype, recursion_desired=rd)
+        decoded, decoded_txid = decode_query(encode_query(query, txid))
+        assert decoded == query
+        assert decoded_txid == txid
+
+    @given(
+        st.lists(
+            st.tuples(names, addresses, st.integers(0, 10_000)),
+            min_size=0, max_size=6,
+        ),
+        st.lists(st.tuples(names, names), min_size=0, max_size=4),
+    )
+    def test_response_roundtrip(self, a_specs, ns_specs):
+        answers = [
+            a_record(name, int(address), ttl=ttl)
+            for name, address, ttl in a_specs
+        ]
+        authority = [ns_record(name, target) for name, target in ns_specs]
+        response = _response(answers=answers, authority=authority)
+        decoded, _ = decode_response(encode_response(response))
+        assert decoded.answers == answers
+        assert decoded.authority == authority

@@ -1,0 +1,149 @@
+"""Tests for zone master-file serialisation."""
+
+import pytest
+
+from repro.dns.name import DomainName
+from repro.dns.records import (
+    RecordType,
+    a_record,
+    cname_record,
+    mx_record,
+    ns_record,
+    txt_record,
+)
+from repro.dns.zone import Zone
+from repro.dns.zonefile import zone_from_text, zone_to_text
+from repro.errors import ZoneError
+
+
+def _sample_zone() -> Zone:
+    zone = Zone("example.com", primary_ns="ns1.example.com")
+    zone.add(ns_record("example.com", "ns1.example.com"))
+    zone.add(ns_record("example.com", "ns2.hostco.net"))
+    zone.add(a_record("www.example.com", "203.0.113.7", ttl=300))
+    zone.add(a_record("example.com", "203.0.113.7", ttl=300))
+    zone.add(mx_record("example.com", "mail.example.com"))
+    zone.add(a_record("mail.example.com", "203.0.113.8", ttl=3600))
+    zone.add(txt_record("example.com", 'v=spf1 include:"example" -all'))
+    return zone
+
+
+class TestRoundTrip:
+    def test_full_round_trip(self):
+        zone = _sample_zone()
+        parsed = zone_from_text(zone_to_text(zone))
+        assert parsed.origin == zone.origin
+        original = {
+            (r.name, r.rtype, str(r.rdata))
+            for r in zone.all_records()
+            if r.rtype is not RecordType.SOA
+        }
+        restored = {
+            (r.name, r.rtype, str(r.rdata))
+            for r in parsed.all_records()
+            if r.rtype is not RecordType.SOA
+        }
+        assert restored == original
+
+    def test_ttls_preserved(self):
+        parsed = zone_from_text(zone_to_text(_sample_zone()))
+        [www] = parsed.lookup("www.example.com", RecordType.A)
+        assert www.ttl == 300
+
+    def test_cname_round_trip(self):
+        zone = Zone("example.com")
+        zone.add(cname_record("www.example.com", "abc123.incapdns.net"))
+        parsed = zone_from_text(zone_to_text(zone))
+        [cname] = parsed.lookup("www.example.com", RecordType.CNAME)
+        assert cname.target == DomainName("abc123.incapdns.net")
+
+    def test_txt_escaping(self):
+        zone = Zone("example.com")
+        tricky = 'a "quoted" value with \\ backslash'
+        zone.add(txt_record("example.com", tricky))
+        parsed = zone_from_text(zone_to_text(zone))
+        [txt] = parsed.lookup("example.com", RecordType.TXT)
+        assert txt.rdata == tricky
+
+
+class TestFormat:
+    def test_origin_line_first(self):
+        text = zone_to_text(_sample_zone())
+        assert text.splitlines()[0] == "$ORIGIN example.com."
+
+    def test_apex_rendered_as_at(self):
+        text = zone_to_text(_sample_zone())
+        assert any(line.startswith("@ ") for line in text.splitlines())
+
+    def test_in_zone_names_relative(self):
+        text = zone_to_text(_sample_zone())
+        assert "\nwww 300 IN A" in text
+
+    def test_out_of_zone_names_absolute(self):
+        text = zone_to_text(_sample_zone())
+        assert "ns2.hostco.net." in text
+
+    def test_comments_and_blanks_ignored(self):
+        text = (
+            "$ORIGIN example.com.\n"
+            "\n"
+            "; a comment line\n"
+            'www 60 IN A 10.0.0.1  ; trailing comment\n'
+            'txt 60 IN TXT "semi ; colon inside"\n'
+        )
+        zone = zone_from_text(text)
+        assert zone.lookup("www.example.com", RecordType.A)
+        [txt] = zone.lookup("txt.example.com", RecordType.TXT)
+        assert txt.rdata == "semi ; colon inside"
+
+
+class TestParserErrors:
+    def test_record_before_origin(self):
+        with pytest.raises(ZoneError):
+            zone_from_text("www 60 IN A 10.0.0.1\n")
+
+    def test_unsupported_directive(self):
+        with pytest.raises(ZoneError):
+            zone_from_text("$TTL 300\n$ORIGIN example.com.\n")
+
+    def test_unsupported_class(self):
+        with pytest.raises(ZoneError):
+            zone_from_text("$ORIGIN example.com.\nwww 60 CH A 10.0.0.1\n")
+
+    def test_unsupported_type(self):
+        with pytest.raises(ZoneError):
+            zone_from_text("$ORIGIN example.com.\nwww 60 IN AAAA ::1\n")
+
+    def test_bad_ttl(self):
+        with pytest.raises(ZoneError):
+            zone_from_text("$ORIGIN example.com.\nwww soon IN A 10.0.0.1\n")
+
+    def test_unquoted_txt(self):
+        with pytest.raises(ZoneError):
+            zone_from_text("$ORIGIN example.com.\n@ 60 IN TXT bare\n")
+
+    def test_malformed_mx(self):
+        with pytest.raises(ZoneError):
+            zone_from_text("$ORIGIN example.com.\n@ 60 IN MX mail\n")
+
+    def test_missing_origin_entirely(self):
+        with pytest.raises(ZoneError):
+            zone_from_text("; nothing here\n")
+
+
+class TestProviderZoneDump:
+    def test_dump_live_customer_zone(self, world_factory):
+        """Dump a Cloudflare-hosted customer zone and read it back."""
+        from repro.dps.portal import ReroutingMethod
+
+        world = world_factory(population_size=80, seed=91)
+        site = next(
+            s for s in world.population
+            if s.provider is None and s.alive and not s.multicdn
+        )
+        cf = world.provider("cloudflare")
+        site.join(cf, ReroutingMethod.NS_BASED)
+        zone = cf.customer_fleet.backend.zone_for(site.apex)
+        text = zone_to_text(zone)
+        parsed = zone_from_text(text)
+        assert parsed.lookup(site.www, RecordType.A)

@@ -1,0 +1,68 @@
+"""Fixtures for DPS platform tests: a miniature Internet with a
+Cloudflare-like NS-rerouting provider and an Incapsula-like CNAME one."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.clock import SimulationClock
+from repro.dns.root import DnsHierarchy
+from repro.dps.portal import ReroutingMethod
+from repro.dps.provider import DpsProvider, ProviderBuild
+from repro.net.asn import AsRegistry
+from repro.net.fabric import NetworkFabric
+from repro.net.ipaddr import AddressAllocator
+
+
+class MiniInternet:
+    def __init__(self) -> None:
+        self.fabric = NetworkFabric()
+        self.clock = SimulationClock()
+        self.allocator = AddressAllocator("10.0.0.0/8")
+        self.hierarchy = DnsHierarchy(self.fabric, self.clock, self.allocator)
+        self.as_registry = AsRegistry()
+
+    def build_provider(self, **overrides) -> DpsProvider:
+        params = dict(
+            name="cloudflare",
+            infra_domain="cloudflare.com",
+            as_numbers=[13335],
+            rerouting_methods=[ReroutingMethod.NS_BASED, ReroutingMethod.CNAME_BASED],
+            ns_host_suffix="ns.cloudflare.com",
+            supports_pause=True,
+            num_pops=4,
+            num_edges=4,
+            num_customer_nameservers=8,
+        )
+        params.update(overrides)
+        build = ProviderBuild(**params)
+        return DpsProvider(
+            build,
+            self.fabric,
+            self.clock,
+            self.hierarchy,
+            self.as_registry,
+            self.allocator,
+        )
+
+
+@pytest.fixture
+def mini() -> MiniInternet:
+    return MiniInternet()
+
+
+@pytest.fixture
+def cloudflare_like(mini) -> DpsProvider:
+    return mini.build_provider()
+
+
+@pytest.fixture
+def incapsula_like(mini) -> DpsProvider:
+    return mini.build_provider(
+        name="incapsula",
+        infra_domain="incapdns.net",
+        as_numbers=[19551],
+        rerouting_methods=[ReroutingMethod.CNAME_BASED],
+        ns_host_suffix=None,
+        num_customer_nameservers=0,
+    )

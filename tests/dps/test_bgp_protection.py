@@ -1,0 +1,114 @@
+"""Tests for BGP-based rerouting and its interaction with the
+residual-resolution threat."""
+
+import pytest
+
+from repro.core.attacker import DdosSimulator, ResidualResolutionAttacker
+from repro.core.matching import ProviderMatcher
+from repro.dps.bgp_protection import BgpProtectionService
+from repro.dps.plans import PlanTier
+from repro.dps.portal import ReroutingMethod
+from repro.errors import PortalError
+from repro.net.ipaddr import IPv4Prefix
+
+
+@pytest.fixture
+def setup(world_factory):
+    world = world_factory(population_size=120, seed=89)
+    incapsula = world.provider("incapsula")
+    service = BgpProtectionService(incapsula, world.routeviews)
+    site = next(
+        s for s in world.population
+        if s.provider is None and s.alive and not s.multicdn
+        and not s.is_rotating
+    )
+    # The customer's block: a /28 around the origin (host bits cleared).
+    block = IPv4Prefix.from_int(site.origin.ip.value & ~0xF, 28)
+    return world, incapsula, service, site, block
+
+
+class TestAnnouncements:
+    def test_protect_moves_origination(self, setup):
+        world, incapsula, service, site, block = setup
+        before = world.routeviews.lookup(site.origin.ip)
+        service.protect(block)
+        after = world.routeviews.lookup(site.origin.ip)
+        assert before != after
+        assert after in incapsula.build.as_numbers
+
+    def test_withdraw_restores_routing(self, setup):
+        world, incapsula, service, site, block = setup
+        before = world.routeviews.lookup(site.origin.ip)
+        service.protect(block)
+        service.withdraw(block)
+        assert world.routeviews.lookup(site.origin.ip) == before
+
+    def test_double_protect_rejected(self, setup):
+        _, _, service, _, block = setup
+        service.protect(block)
+        with pytest.raises(PortalError):
+            service.protect(block)
+
+    def test_withdraw_unknown_rejected(self, setup):
+        _, _, service, _, block = setup
+        with pytest.raises(PortalError):
+            service.withdraw(block)
+
+    def test_is_protected(self, setup):
+        _, _, service, site, block = setup
+        assert not service.is_protected(site.origin.ip)
+        service.protect(block)
+        assert service.is_protected(site.origin.ip)
+        assert block in service.protected_blocks
+
+
+class TestThreatNeutralisation:
+    def test_direct_origin_attack_now_scrubbed(self, setup):
+        """The core BGP-protection property: even a *known* origin
+        address routes through the scrubbers."""
+        world, incapsula, service, site, block = setup
+        matcher = ProviderMatcher(world.specs, world.routeviews)
+        simulator = DdosSimulator(world.providers, matcher)
+        naked = simulator.attack(site.origin.ip, attack_gbps=800.0)
+        assert naked.attack_succeeded
+        service.protect(block)
+        protected = simulator.attack(site.origin.ip, attack_gbps=800.0)
+        assert protected.path == "scrubbed"
+        assert not protected.attack_succeeded
+
+    def test_residual_resolution_harmless_under_bgp(self, setup):
+        """A previous DNS-based provider may leak the origin — but with
+        BGP protection in place the leak is not exploitable (the
+        complete §VI counter-story)."""
+        world, incapsula, service, site, block = setup
+        cloudflare = world.provider("cloudflare")
+        site.join(cloudflare, ReroutingMethod.NS_BASED)
+        site.leave(informed=True)  # residual record now at Cloudflare
+        service.protect(block)
+
+        matcher = ProviderMatcher(world.specs, world.routeviews)
+        attacker = ResidualResolutionAttacker(world.dns_client(), matcher)
+        discovery = attacker.probe_nameservers(
+            site.www, cloudflare.customer_fleet.all_addresses()[:10]
+        )
+        # The stale record now *A-matches* the BGP provider, so the
+        # attacker cannot even distinguish it from an edge address —
+        # and attacking it lands in the scrubbers anyway.
+        if discovery.succeeded:
+            simulator = DdosSimulator(world.providers, matcher)
+            outcome = simulator.attack(
+                discovery.candidate_origins[0], attack_gbps=800.0
+            )
+            assert not outcome.attack_succeeded
+        else:
+            assert not discovery.succeeded  # filtered as provider space
+
+    def test_a_matching_sees_provider_space(self, setup):
+        """Measurement side-effect: the customer's own addresses now
+        classify as the provider's (A-matched → status ON)."""
+        world, incapsula, service, site, block = setup
+        matcher = ProviderMatcher(world.specs, world.routeviews)
+        assert matcher.a_match(site.origin.ip) is None
+        service.protect(block)
+        fresh_matcher = ProviderMatcher(world.specs, world.routeviews)
+        assert fresh_matcher.a_match(site.origin.ip) == "incapsula"

@@ -1,0 +1,119 @@
+"""Tests for the Table II catalog and the multi-CDN front-end."""
+
+import pytest
+
+from repro.dps.catalog import (
+    PAPER_PROVIDERS,
+    normalised_market_shares,
+    provider_spec,
+)
+from repro.dps.multicdn import MultiCdnService
+from repro.dps.portal import ReroutingMethod
+from repro.dps.residual_policy import AnswerWithOrigin, RefuseAfterTermination
+from repro.errors import ConfigurationError
+
+
+class TestCatalogTableII:
+    def test_eleven_providers(self):
+        assert len(PAPER_PROVIDERS) == 11
+
+    def test_provider_names_match_paper(self):
+        names = {spec.name for spec in PAPER_PROVIDERS}
+        assert names == {
+            "akamai", "cloudflare", "cloudfront", "cdn77", "cdnetworks",
+            "dosarrest", "edgecast", "fastly", "incapsula", "limelight",
+            "stackpath",
+        }
+
+    def test_cloudflare_row(self):
+        spec = provider_spec("cloudflare")
+        assert "cloudflare" in spec.cname_substrings
+        assert "cloudflare" in spec.ns_substrings
+        assert 13335 in spec.as_numbers
+        assert ReroutingMethod.NS_BASED in spec.rerouting_methods
+        assert ReroutingMethod.CNAME_BASED in spec.rerouting_methods
+        assert spec.num_customer_nameservers == 391
+
+    def test_incapsula_row(self):
+        spec = provider_spec("incapsula")
+        assert spec.cname_substrings == ("incapdns",)
+        assert spec.as_numbers == (19551,)
+        assert spec.rerouting_methods == (ReroutingMethod.CNAME_BASED,)
+
+    def test_dosarrest_is_a_based_only(self):
+        spec = provider_spec("dosarrest")
+        assert spec.rerouting_methods == (ReroutingMethod.A_BASED,)
+        assert spec.cname_substrings == ()
+
+    def test_akamai_substrings(self):
+        spec = provider_spec("akamai")
+        assert set(spec.cname_substrings) == {"akamai", "edgekey", "edgesuite"}
+        assert spec.ns_substrings == ("akam",)
+
+    def test_only_cloudflare_and_incapsula_vulnerable(self):
+        vulnerable = {s.name for s in PAPER_PROVIDERS if s.vulnerable_residual}
+        assert vulnerable == {"cloudflare", "incapsula"}
+
+    def test_only_cloudflare_and_incapsula_support_pause(self):
+        pausing = {s.name for s in PAPER_PROVIDERS if s.supports_pause}
+        assert pausing == {"cloudflare", "incapsula"}
+
+    def test_policies_follow_vulnerability_flag(self):
+        assert isinstance(provider_spec("cloudflare").make_residual_policy(), AnswerWithOrigin)
+        assert isinstance(provider_spec("fastly").make_residual_policy(), RefuseAfterTermination)
+
+    def test_unknown_provider_raises(self):
+        with pytest.raises(ConfigurationError):
+            provider_spec("notacdn")
+
+    def test_shared_ip_quirk_limited_to_akamai_cdnetworks(self):
+        quirky = {s.name for s in PAPER_PROVIDERS if s.shared_ip_fraction > 0}
+        assert quirky == {"akamai", "cdnetworks"}
+
+
+class TestMarketShares:
+    def test_shares_normalised(self):
+        shares = normalised_market_shares()
+        assert sum(shares.values()) == pytest.approx(1.0)
+
+    def test_cloudflare_dominates(self):
+        shares = normalised_market_shares()
+        assert shares["cloudflare"] > 0.75
+        assert shares["cloudflare"] == max(shares.values())
+
+    def test_cloudflare_plus_incapsula_share(self):
+        # §V: 82.6% of DPS customers are on these two platforms.
+        shares = normalised_market_shares()
+        assert shares["cloudflare"] + shares["incapsula"] == pytest.approx(0.826, abs=0.02)
+
+    def test_table5_unchanged_rates_encoded(self):
+        assert provider_spec("cloudfront").ip_unchanged_rate == pytest.approx(0.350)
+        assert provider_spec("cdn77").ip_unchanged_rate == pytest.approx(0.938)
+
+
+class TestMultiCdn:
+    def test_needs_two_members(self):
+        with pytest.raises(ValueError):
+            MultiCdnService("x", ["fastly"])
+
+    def test_enrollment(self):
+        service = MultiCdnService("x", ["fastly", "akamai"])
+        service.enroll("www.example.com")
+        assert service.is_customer("www.example.com")
+        assert not service.is_customer("www.other.com")
+
+    def test_selection_deterministic_per_day(self):
+        service = MultiCdnService("x", ["fastly", "akamai", "cloudfront"])
+        assert service.provider_for("www.example.com", 3) == service.provider_for(
+            "www.example.com", 3
+        )
+
+    def test_selection_changes_across_days(self):
+        service = MultiCdnService("x", ["fastly", "akamai", "cloudfront"])
+        picks = {service.provider_for("www.example.com", day) for day in range(14)}
+        assert len(picks) > 1  # flips between members
+
+    def test_selection_within_members(self):
+        service = MultiCdnService("x", ["fastly", "akamai"])
+        for day in range(10):
+            assert service.provider_for("www.site.com", day) in {"fastly", "akamai"}

@@ -1,0 +1,71 @@
+"""Tests for plan tiers and residual policies."""
+
+from repro.dns.name import DomainName
+from repro.dps.plans import DEFAULT_PLAN_POLICIES, PlanTier
+from repro.dps.residual_policy import (
+    AnswerWithOrigin,
+    RefuseAfterTermination,
+    TrackAndCompare,
+)
+from repro.net.ipaddr import IPv4Address
+
+
+class TestPlans:
+    def test_cname_setup_requires_paid_plan(self):
+        assert not DEFAULT_PLAN_POLICIES[PlanTier.FREE].cname_setup_allowed
+        assert not DEFAULT_PLAN_POLICIES[PlanTier.PRO].cname_setup_allowed
+        assert DEFAULT_PLAN_POLICIES[PlanTier.BUSINESS].cname_setup_allowed
+        assert DEFAULT_PLAN_POLICIES[PlanTier.ENTERPRISE].cname_setup_allowed
+
+    def test_free_plan_purges_in_fourth_week(self):
+        # 28 days = "purged at the 4th week" (§V-A-3).
+        assert DEFAULT_PLAN_POLICIES[PlanTier.FREE].purge_horizon_days == 28
+
+    def test_horizons_non_decreasing_with_tier(self):
+        free = DEFAULT_PLAN_POLICIES[PlanTier.FREE].purge_horizon_days
+        pro = DEFAULT_PLAN_POLICIES[PlanTier.PRO].purge_horizon_days
+        business = DEFAULT_PLAN_POLICIES[PlanTier.BUSINESS].purge_horizon_days
+        enterprise = DEFAULT_PLAN_POLICIES[PlanTier.ENTERPRISE].purge_horizon_days
+        assert free <= pro <= business
+        assert enterprise is None  # kept indefinitely
+
+
+_HOST = DomainName("www.example.com")
+_ORIGIN = IPv4Address("172.16.0.10")
+
+
+class TestResidualPolicies:
+    def test_answer_with_origin_exposes(self):
+        policy = AnswerWithOrigin()
+        answer = policy.records_after_termination(_HOST, _ORIGIN, lambda n: [])
+        assert answer == _ORIGIN
+
+    def test_refuse_never_answers(self):
+        policy = RefuseAfterTermination()
+        answer = policy.records_after_termination(
+            _HOST, _ORIGIN, lambda n: [_ORIGIN]
+        )
+        assert answer is None
+
+    def test_track_and_compare_answers_while_unmoved(self):
+        policy = TrackAndCompare()
+        answer = policy.records_after_termination(
+            _HOST, _ORIGIN, lambda n: [_ORIGIN]
+        )
+        assert answer == _ORIGIN
+
+    def test_track_and_compare_stops_after_move(self):
+        policy = TrackAndCompare()
+        moved = IPv4Address("198.51.100.1")
+        assert (
+            policy.records_after_termination(_HOST, _ORIGIN, lambda n: [moved]) is None
+        )
+
+    def test_track_and_compare_stops_when_dark(self):
+        policy = TrackAndCompare()
+        assert policy.records_after_termination(_HOST, _ORIGIN, lambda n: []) is None
+
+    def test_policy_names(self):
+        assert AnswerWithOrigin().name == "answer-with-origin"
+        assert RefuseAfterTermination().name == "refuse"
+        assert TrackAndCompare().name == "track-and-compare"

@@ -1,0 +1,100 @@
+"""Tests for the customer-portal data model and portal edge cases."""
+
+import pytest
+
+from repro.dns.name import DomainName
+from repro.dps.plans import PlanTier
+from repro.dps.portal import (
+    CustomerRecord,
+    CustomerStatus,
+    OnboardingInstructions,
+    ReroutingMethod,
+)
+from repro.errors import PortalError
+from repro.net.ipaddr import IPv4Address
+
+ORIGIN = IPv4Address("172.16.0.10")
+WWW = "www.example.com"
+
+
+class TestCustomerRecord:
+    def _record(self, **kwargs):
+        defaults = dict(
+            hostname=DomainName(WWW),
+            origin_ip=ORIGIN,
+            rerouting=ReroutingMethod.NS_BASED,
+            plan=PlanTier.FREE,
+        )
+        defaults.update(kwargs)
+        return CustomerRecord(**defaults)
+
+    def test_active_by_default(self):
+        record = self._record()
+        assert record.status is CustomerStatus.ACTIVE
+        assert record.is_active
+        assert not record.is_terminated
+
+    def test_terminated_state(self):
+        record = self._record(status=CustomerStatus.TERMINATED)
+        assert record.is_terminated
+        assert not record.is_active
+
+    def test_paused_is_neither(self):
+        record = self._record(status=CustomerStatus.PAUSED)
+        assert not record.is_active
+        assert not record.is_terminated
+
+    def test_informed_departure_default(self):
+        assert self._record().informed_departure
+
+
+class TestOnboardingInstructions:
+    def test_ns_instructions(self):
+        instructions = OnboardingInstructions(
+            rerouting=ReroutingMethod.NS_BASED,
+            nameservers=[DomainName("kate.ns.cloudflare.com")],
+        )
+        assert instructions.cname is None
+        assert instructions.edge_ip is None
+
+    def test_enum_str(self):
+        assert str(ReroutingMethod.NS_BASED) == "NS"
+        assert str(CustomerStatus.PAUSED) == "paused"
+
+
+class TestPortalEdgeCases:
+    def test_update_origin_unknown_customer(self, mini, cloudflare_like):
+        with pytest.raises(PortalError):
+            cloudflare_like.update_origin(WWW, "172.16.0.99")
+
+    def test_update_origin_terminated_customer(self, mini, cloudflare_like):
+        cloudflare_like.onboard(WWW, ORIGIN, ReroutingMethod.NS_BASED)
+        cloudflare_like.terminate(WWW)
+        with pytest.raises(PortalError):
+            cloudflare_like.update_origin(WWW, "172.16.0.99")
+
+    def test_update_origin_reconfigures_edges(self, mini, cloudflare_like):
+        cloudflare_like.onboard(WWW, ORIGIN, ReroutingMethod.NS_BASED)
+        new_origin = IPv4Address("172.16.0.55")
+        cloudflare_like.update_origin(WWW, new_origin)
+        for edge in cloudflare_like.edges:
+            assert edge.origin_for(WWW) == new_origin
+
+    def test_customer_for_apex_lookup(self, mini, cloudflare_like):
+        cloudflare_like.onboard(WWW, ORIGIN, ReroutingMethod.NS_BASED)
+        record = cloudflare_like.customer_for("example.com")
+        assert record is not None
+        assert record.hostname == DomainName(WWW)
+
+    def test_terminate_unknown_customer(self, mini, cloudflare_like):
+        with pytest.raises(PortalError):
+            cloudflare_like.terminate("www.stranger.com")
+
+    def test_edge_assignment_deterministic(self, mini, cloudflare_like):
+        first = cloudflare_like.edge_for(WWW)
+        assert cloudflare_like.edge_for(WWW) is first
+
+    def test_nameserver_hostnames_exposed(self, mini, cloudflare_like):
+        hostnames = cloudflare_like.nameserver_hostnames()
+        assert len(hostnames) == 8
+        assert all("ns.cloudflare.com" in str(h) for h in hostnames)

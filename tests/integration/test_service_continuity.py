@@ -1,0 +1,112 @@
+"""§VI-A — the provider's dilemma, demonstrated end to end.
+
+Why do Cloudflare and Incapsula answer for departed customers at all?
+Because resolvers across the Internet hold *cached NS/CNAME records*
+with long TTLs that still point at the previous provider.  If the
+provider refuses, those clients get resolution failures until the cache
+expires; if it answers with the stored origin, service continues — and
+the origin leaks.
+
+These tests construct the exact situation: a resolver that cached the
+delegation, a customer that left, and both provider policies.
+"""
+
+import pytest
+
+from repro.dns.message import Rcode
+from repro.dps.plans import PlanTier
+from repro.dps.portal import ReroutingMethod
+from repro.core.countermeasures import silent_termination, track_and_compare
+from repro.world import SimulatedInternet, WorldConfig
+
+
+@pytest.fixture
+def scenario(world_factory):
+    world = world_factory(population_size=120, seed=73)
+    site = next(
+        s for s in world.population
+        if s.provider is None and s.alive and not s.multicdn
+        and not s.is_rotating
+    )
+    cf = world.provider("cloudflare")
+    site.join(cf, ReroutingMethod.NS_BASED)
+    # A client-side resolver caches the (long-TTL) delegation while the
+    # site is still a customer.
+    resolver = world.make_resolver()
+    assert resolver.resolve(site.www).ok
+    return world, site, cf, resolver
+
+
+class TestStaleCacheContinuity:
+    def test_stale_resolver_still_served_after_leave(self, scenario):
+        """AnswerWithOrigin keeps stale-cache clients working — the
+        'service continuity' that motivates the vulnerable config."""
+        world, site, cf, resolver = scenario
+        site.leave(informed=True)  # same origin, site stays up
+        resolver.cache.evict(site.www)  # A record expired; NS cache remains
+        result = resolver.resolve(site.www)
+        assert result.ok
+        assert result.addresses == [site.origin.ip]
+        # And the page actually loads end to end.
+        response = world.http_client().get(result.addresses[0], site.www)
+        assert response.ok
+
+    def test_refusal_breaks_stale_cache_clients(self, scenario):
+        """Silent termination closes the hole but strands stale-cache
+        clients until the NS TTL expires — the §VI-A trade-off."""
+        world, site, cf, resolver = scenario
+        silent_termination(cf)
+        site.leave(informed=True)
+        resolver.cache.evict(site.www)
+        result = resolver.resolve(site.www)
+        assert result.rcode in (Rcode.REFUSED, Rcode.SERVFAIL)
+
+    def test_stale_cache_heals_after_ttl(self, scenario):
+        """Once the cached delegation expires, clients follow the new
+        registry delegation and reach the (restored) hosting zone."""
+        world, site, cf, resolver = scenario
+        silent_termination(cf)
+        site.leave(informed=True)
+        world.clock.advance(86400 + 1)  # NS TTL expiry
+        resolver.cache.evict(site.www)
+        result = resolver.resolve(site.www)
+        assert result.ok
+        assert result.addresses == [site.origin.ip]
+
+    def test_track_and_compare_gives_both(self, scenario):
+        """The paper's recommended middle ground: continuity while the
+        customer is visibly unmoved, refusal once they move."""
+        world, site, cf, resolver = scenario
+        track_and_compare(cf)
+        site.leave(informed=True)
+        resolver.cache.evict(site.www)
+        # Unmoved: continuity preserved.
+        assert resolver.resolve(site.www).ok
+
+        # Now the ex-customer moves behind a new DPS.
+        inc = world.provider("incapsula")
+        site.join(inc, ReroutingMethod.CNAME_BASED, PlanTier.BUSINESS)
+        resolver.cache.evict(site.www)
+        result = resolver.resolve(site.www)
+        # The stale-cache client gets refused (no leak) rather than the
+        # origin; fresh resolvers reach the new provider.
+        assert result.rcode in (Rcode.REFUSED, Rcode.SERVFAIL) or (
+            result.ok and result.addresses[0] != site.origin.ip
+        )
+        fresh = world.make_resolver().resolve(site.www)
+        assert fresh.ok
+        assert any(fresh.addresses[0] in p for p in inc.prefixes)
+
+    def test_uninformed_leave_keeps_edge_continuity(self, scenario):
+        """Footnote 9: the unaware provider keeps proxying — stale-cache
+        clients get the edge, which still serves the site."""
+        world, site, cf, resolver = scenario
+        site.leave(informed=False)
+        resolver.cache.evict(site.www)
+        result = resolver.resolve(site.www)
+        assert result.ok
+        edge_ip = result.addresses[0]
+        assert any(edge_ip in p for p in cf.prefixes)
+        # The edge still proxies (configuration unchanged).
+        response = world.http_client().get(edge_ip, site.www)
+        assert response.ok

@@ -1,0 +1,112 @@
+"""Tests for the AS registry and the RouteViews LPM database."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.net.asn import AsRegistry, AutonomousSystem
+from repro.net.ipaddr import IPv4Prefix
+from repro.net.routeviews import RouteViewsDb
+
+
+class TestAsRegistry:
+    def test_register_and_get(self):
+        registry = AsRegistry()
+        asys = registry.register(13335, "cloudflare", ["1.0.0.0/24"])
+        assert registry.get(13335) is asys
+        assert registry.organisation_of(13335) == "cloudflare"
+
+    def test_duplicate_asn_rejected(self):
+        registry = AsRegistry()
+        registry.register(1, "a")
+        with pytest.raises(ConfigurationError):
+            registry.register(1, "b")
+
+    def test_invalid_asn_rejected(self):
+        with pytest.raises(ConfigurationError):
+            AutonomousSystem(0, "x")
+
+    def test_org_lookups(self):
+        registry = AsRegistry()
+        registry.register(10, "org-a", ["10.0.0.0/16"])
+        registry.register(11, "org-a", ["10.1.0.0/16"])
+        registry.register(20, "org-b")
+        assert registry.numbers_of("org-a") == [10, 11]
+        assert len(registry.prefixes_of("org-a")) == 2
+        assert registry.prefixes_of("missing") == []
+
+    def test_announce_after_registration(self):
+        registry = AsRegistry()
+        asys = registry.register(10, "org-a")
+        asys.announce("192.0.2.0/24")
+        assert IPv4Prefix("192.0.2.0/24") in registry.prefixes_of("org-a")
+
+    def test_all_announcements(self):
+        registry = AsRegistry()
+        registry.register(10, "a", ["10.0.0.0/8"])
+        registry.register(20, "b", ["20.0.0.0/8", "21.0.0.0/8"])
+        assert len(registry.all_announcements()) == 3
+
+    def test_iteration_and_len(self):
+        registry = AsRegistry()
+        registry.register(10, "a")
+        registry.register(20, "b")
+        assert len(registry) == 2
+        assert {a.number for a in registry} == {10, 20}
+
+
+class TestRouteViewsDb:
+    def test_exact_lookup(self):
+        db = RouteViewsDb.from_announcements([("10.0.0.0/8", 100)])
+        assert db.lookup("10.1.2.3") == 100
+        assert db.lookup("11.0.0.0") is None
+
+    def test_longest_prefix_wins(self):
+        db = RouteViewsDb.from_announcements(
+            [("10.0.0.0/8", 100), ("10.5.0.0/16", 200)]
+        )
+        assert db.lookup("10.5.1.1") == 200
+        assert db.lookup("10.6.1.1") == 100
+
+    def test_lookup_prefix_returns_match(self):
+        db = RouteViewsDb.from_announcements([("10.0.0.0/8", 100)])
+        matched = db.lookup_prefix("10.9.9.9")
+        assert matched == (IPv4Prefix("10.0.0.0/8"), 100)
+
+    def test_default_route(self):
+        db = RouteViewsDb.from_announcements([("0.0.0.0/0", 1), ("10.0.0.0/8", 2)])
+        assert db.lookup("99.0.0.1") == 1
+        assert db.lookup("10.0.0.1") == 2
+
+    def test_overwrite_announcement(self):
+        db = RouteViewsDb()
+        db.announce("10.0.0.0/8", 100)
+        db.announce("10.0.0.0/8", 200)
+        assert db.lookup("10.0.0.1") == 200
+        assert len(db) == 1
+
+    def test_withdraw(self):
+        db = RouteViewsDb.from_announcements(
+            [("10.0.0.0/8", 100), ("10.5.0.0/16", 200)]
+        )
+        assert db.withdraw("10.5.0.0/16")
+        assert db.lookup("10.5.1.1") == 100
+        assert len(db) == 1
+
+    def test_withdraw_absent(self):
+        db = RouteViewsDb()
+        assert not db.withdraw("10.0.0.0/8")
+        db.announce("10.0.0.0/8", 1)
+        assert not db.withdraw("10.0.0.0/16")
+
+    def test_from_registry(self):
+        registry = AsRegistry()
+        registry.register(13335, "cloudflare", ["104.16.0.0/12"])
+        registry.register(19551, "incapsula", ["45.60.0.0/16"])
+        db = RouteViewsDb.from_registry(registry)
+        assert db.lookup("104.16.1.1") == 13335
+        assert db.lookup("45.60.2.2") == 19551
+
+    def test_slash32_announcement(self):
+        db = RouteViewsDb.from_announcements([("10.0.0.5/32", 7)])
+        assert db.lookup("10.0.0.5") == 7
+        assert db.lookup("10.0.0.6") is None

@@ -1,0 +1,134 @@
+"""Tests for the network fabric (IP → handler dispatch, anycast)."""
+
+import pytest
+
+from repro.errors import ConfigurationError, RoutingError
+from repro.net.anycast import AnycastNetwork
+from repro.net.fabric import NetworkFabric
+from repro.net.geo import PointOfPresence, region
+
+
+class _Server:
+    def __init__(self, tag):
+        self.tag = tag
+
+
+class TestUnicastDns:
+    def test_register_and_lookup(self):
+        fabric = NetworkFabric()
+        server = _Server("a")
+        fabric.register_dns("10.0.0.1", server)
+        assert fabric.dns_server_at("10.0.0.1") is server
+
+    def test_unbound_address_returns_none(self):
+        assert NetworkFabric().dns_server_at("10.0.0.1") is None
+
+    def test_double_bind_rejected(self):
+        fabric = NetworkFabric()
+        fabric.register_dns("10.0.0.1", _Server("a"))
+        with pytest.raises(ConfigurationError):
+            fabric.register_dns("10.0.0.1", _Server("b"))
+
+    def test_unregister(self):
+        fabric = NetworkFabric()
+        fabric.register_dns("10.0.0.1", _Server("a"))
+        fabric.unregister_dns("10.0.0.1")
+        assert fabric.dns_server_at("10.0.0.1") is None
+
+    def test_unregister_unbound_raises(self):
+        with pytest.raises(RoutingError):
+            NetworkFabric().unregister_dns("10.0.0.1")
+
+
+def _two_pop_network():
+    pops = [
+        PointOfPresence("pop-london", region("london")),
+        PointOfPresence("pop-tokyo", region("tokyo")),
+    ]
+    return AnycastNetwork("net", pops)
+
+
+class TestAnycastDns:
+    def test_region_selects_pop(self):
+        fabric = NetworkFabric()
+        network = _two_pop_network()
+        london, tokyo = _Server("london"), _Server("tokyo")
+        fabric.register_dns_anycast(
+            "10.0.0.1", network, {"pop-london": london, "pop-tokyo": tokyo}
+        )
+        assert fabric.dns_server_at("10.0.0.1", region("paris")) is london
+        assert fabric.dns_server_at("10.0.0.1", region("seoul")) is tokyo
+
+    def test_no_region_deterministic_fallback(self):
+        fabric = NetworkFabric()
+        network = _two_pop_network()
+        servers = {"pop-london": _Server("l"), "pop-tokyo": _Server("t")}
+        fabric.register_dns_anycast("10.0.0.1", network, servers)
+        picks = {fabric.dns_server_at("10.0.0.1").tag for _ in range(5)}
+        assert len(picks) == 1
+
+    def test_missing_pop_server_rejected(self):
+        fabric = NetworkFabric()
+        network = _two_pop_network()
+        with pytest.raises(ConfigurationError):
+            fabric.register_dns_anycast("10.0.0.1", network, {"pop-london": _Server("l")})
+
+    def test_anycast_conflicts_with_unicast(self):
+        fabric = NetworkFabric()
+        fabric.register_dns("10.0.0.1", _Server("a"))
+        with pytest.raises(ConfigurationError):
+            fabric.register_dns_anycast(
+                "10.0.0.1",
+                _two_pop_network(),
+                {"pop-london": _Server("l"), "pop-tokyo": _Server("t")},
+            )
+
+    def test_unregister_anycast(self):
+        fabric = NetworkFabric()
+        fabric.register_dns_anycast(
+            "10.0.0.1",
+            _two_pop_network(),
+            {"pop-london": _Server("l"), "pop-tokyo": _Server("t")},
+        )
+        fabric.unregister_dns("10.0.0.1")
+        assert fabric.dns_server_at("10.0.0.1") is None
+
+
+class TestHttpPlane:
+    def test_register_and_lookup(self):
+        fabric = NetworkFabric()
+        handler = _Server("web")
+        fabric.register_http("10.0.0.2", handler)
+        assert fabric.http_handler_at("10.0.0.2") is handler
+
+    def test_http_and_dns_planes_independent(self):
+        fabric = NetworkFabric()
+        fabric.register_dns("10.0.0.1", _Server("dns"))
+        fabric.register_http("10.0.0.1", _Server("http"))
+        assert fabric.dns_server_at("10.0.0.1").tag == "dns"
+        assert fabric.http_handler_at("10.0.0.1").tag == "http"
+
+    def test_http_unregister(self):
+        fabric = NetworkFabric()
+        fabric.register_http("10.0.0.2", _Server("web"))
+        fabric.unregister_http("10.0.0.2")
+        assert fabric.http_handler_at("10.0.0.2") is None
+
+    def test_http_unregister_unbound_raises(self):
+        with pytest.raises(RoutingError):
+            NetworkFabric().unregister_http("10.0.0.2")
+
+    def test_http_double_bind_rejected(self):
+        fabric = NetworkFabric()
+        fabric.register_http("10.0.0.2", _Server("a"))
+        with pytest.raises(ConfigurationError):
+            fabric.register_http("10.0.0.2", _Server("b"))
+
+    def test_http_anycast(self):
+        fabric = NetworkFabric()
+        network = _two_pop_network()
+        london, tokyo = _Server("l"), _Server("t")
+        fabric.register_http_anycast(
+            "10.0.0.3", network, {"pop-london": london, "pop-tokyo": tokyo}
+        )
+        assert fabric.http_handler_at("10.0.0.3", region("madrid")) is london

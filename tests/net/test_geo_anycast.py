@@ -1,0 +1,102 @@
+"""Tests for geography and anycast catchment."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.net.anycast import AnycastNetwork
+from repro.net.geo import (
+    GeoLocation,
+    PAPER_VANTAGE_REGIONS,
+    PointOfPresence,
+    Region,
+    WELL_KNOWN_REGIONS,
+    great_circle_km,
+    region,
+)
+
+
+class TestGeo:
+    def test_great_circle_zero_for_same_point(self):
+        loc = GeoLocation(10.0, 20.0)
+        assert great_circle_km(loc, loc) == pytest.approx(0.0)
+
+    def test_great_circle_known_distance(self):
+        # London ↔ Tokyo is roughly 9,560 km.
+        d = region("london").distance_to(region("tokyo"))
+        assert 9000 < d < 10100
+
+    def test_distance_symmetric(self):
+        a, b = region("oregon"), region("sydney")
+        assert a.distance_to(b) == pytest.approx(b.distance_to(a))
+
+    def test_invalid_latitude(self):
+        with pytest.raises(ConfigurationError):
+            GeoLocation(91.0, 0.0)
+
+    def test_invalid_longitude(self):
+        with pytest.raises(ConfigurationError):
+            GeoLocation(0.0, -181.0)
+
+    def test_paper_vantage_regions_exist(self):
+        for name in PAPER_VANTAGE_REGIONS:
+            assert name in WELL_KNOWN_REGIONS
+
+    def test_unknown_region_raises(self):
+        with pytest.raises(ConfigurationError):
+            region("atlantis")
+
+
+def _network(*names: str) -> AnycastNetwork:
+    pops = [PointOfPresence(f"pop-{n}", region(n)) for n in names]
+    return AnycastNetwork("test", pops)
+
+
+class TestAnycast:
+    def test_needs_pops(self):
+        with pytest.raises(ConfigurationError):
+            AnycastNetwork("empty", [])
+
+    def test_duplicate_pop_ids_rejected(self):
+        pop = PointOfPresence("x", region("london"))
+        with pytest.raises(ConfigurationError):
+            AnycastNetwork("dup", [pop, pop])
+
+    def test_catchment_is_nearest(self):
+        network = _network("london", "tokyo")
+        assert network.catchment(region("frankfurt")).pop_id == "pop-london"
+        assert network.catchment(region("seoul")).pop_id == "pop-tokyo"
+
+    def test_catchment_stable(self):
+        network = _network("london", "tokyo", "oregon")
+        first = network.catchment(region("sydney"))
+        assert all(
+            network.catchment(region("sydney")).pop_id == first.pop_id
+            for _ in range(5)
+        )
+
+    def test_own_region_maps_to_own_pop(self):
+        network = _network("london", "tokyo", "sydney")
+        assert network.catchment(region("sydney")).pop_id == "pop-sydney"
+
+    def test_distinct_catchments_for_paper_vantage_points(self):
+        # A global PoP deployment separates the paper's five VPs.
+        network = _network(*PAPER_VANTAGE_REGIONS)
+        clients = [region(n) for n in PAPER_VANTAGE_REGIONS]
+        assert network.distinct_catchments(clients) == 5
+
+    def test_single_pop_captures_everything(self):
+        network = _network("london")
+        clients = [region(n) for n in PAPER_VANTAGE_REGIONS]
+        assert network.distinct_catchments(clients) == 1
+
+    def test_load_share_sums_to_one(self):
+        network = _network("london", "tokyo", "oregon")
+        clients = [region(n) for n in WELL_KNOWN_REGIONS]
+        shares = network.load_share(clients)
+        assert sum(shares.values()) == pytest.approx(1.0)
+
+    def test_catchment_map_keys(self):
+        network = _network("london", "tokyo")
+        clients = [region("paris"), region("seoul")]
+        mapping = network.catchment_map(clients)
+        assert set(mapping) == {"paris", "seoul"}

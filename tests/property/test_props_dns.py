@@ -1,0 +1,127 @@
+"""Property-based tests for the DNS substrate."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.clock import SimulationClock
+from repro.dns.cache import DnsCache
+from repro.dns.name import DomainName
+from repro.dns.records import RecordType, a_record
+from repro.dns.zone import Zone
+from repro.net.ipaddr import IPv4Address
+
+labels = st.text(alphabet="abcdefghijklmnopqrstuvwxyz0123456789", min_size=1, max_size=12)
+names = st.lists(labels, min_size=1, max_size=5).map(DomainName)
+
+
+class TestDomainNameProperties:
+    @given(names)
+    def test_str_roundtrip(self, name):
+        assert DomainName(str(name)) == name
+
+    @given(names)
+    def test_hash_equals_for_equal(self, name):
+        assert hash(DomainName(str(name).upper())) == hash(name)
+
+    @given(names)
+    def test_suffixes_are_ancestors_inclusive(self, name):
+        suffixes = name.suffixes()
+        assert suffixes[0] == name
+        assert len(suffixes) == len(name)
+        for shorter, longer in zip(suffixes[1:], suffixes):
+            assert longer.is_subdomain_of(shorter)
+
+    @given(names, labels)
+    def test_child_parent_inverse(self, name, label):
+        assert name.child(label).parent() == name
+
+    @given(names, names)
+    def test_subdomain_antisymmetry(self, a, b):
+        if a.is_subdomain_of(b) and b.is_subdomain_of(a):
+            assert a == b
+
+    @given(names, names, names)
+    @settings(max_examples=60)
+    def test_subdomain_transitivity(self, a, b, c):
+        if a.is_subdomain_of(b) and b.is_subdomain_of(c):
+            assert a.is_subdomain_of(c)
+
+
+class TestCacheProperties:
+    @given(
+        st.integers(min_value=1, max_value=10_000),
+        st.integers(min_value=0, max_value=20_000),
+    )
+    def test_visibility_window(self, ttl, elapsed):
+        clock = SimulationClock()
+        cache = DnsCache(clock)
+        cache.put(a_record("www.example.com", "1.2.3.4", ttl=ttl))
+        clock.advance(elapsed)
+        records = cache.get("www.example.com", RecordType.A)
+        if elapsed < ttl:
+            assert records is not None
+            assert records[0].ttl == ttl - elapsed
+        else:
+            assert records is None
+
+    @given(st.lists(st.integers(min_value=1, max_value=100), min_size=1, max_size=10))
+    def test_len_counts_distinct_rdata(self, last_octets):
+        clock = SimulationClock()
+        cache = DnsCache(clock)
+        for octet in last_octets:
+            cache.put(a_record("www.example.com", f"10.0.0.{octet}", ttl=60))
+        assert len(cache) == len(set(last_octets))
+
+
+@st.composite
+def zone_operations(draw):
+    """Random sequences of adds/removes at names under example.com."""
+    ops = []
+    for _ in range(draw(st.integers(min_value=1, max_value=15))):
+        kind = draw(st.sampled_from(["add", "remove"]))
+        depth = draw(st.integers(min_value=0, max_value=2))
+        parts = [draw(st.sampled_from(["a", "b", "c"])) for _ in range(depth + 1)]
+        name = ".".join(parts) + ".example.com"
+        octet = draw(st.integers(min_value=1, max_value=250))
+        ops.append((kind, name, octet))
+    return ops
+
+
+class TestZoneIndexProperties:
+    @given(zone_operations())
+    @settings(max_examples=80)
+    def test_name_exists_matches_bruteforce(self, ops):
+        zone = Zone("example.com")
+        for kind, name, octet in ops:
+            if kind == "add":
+                try:
+                    zone.add(a_record(name, f"10.0.0.{octet}"))
+                except Exception:
+                    pass  # duplicate rdata — fine
+            else:
+                zone.remove_all(name, RecordType.A)
+        # Brute-force existence from the record store itself.
+        live_names = {r.name for r in zone.all_records() if r.rtype is RecordType.A}
+        probes = {DomainName(n) for _, n, _ in ops}
+        for probe in probes:
+            expected = any(
+                existing == probe or existing.is_subdomain_of(probe)
+                for existing in live_names
+            )
+            assert zone.name_exists(probe) == expected, str(probe)
+
+    @given(zone_operations())
+    @settings(max_examples=40)
+    def test_serial_monotone(self, ops):
+        zone = Zone("example.com")
+        previous = zone.serial
+        for kind, name, octet in ops:
+            if kind == "add":
+                try:
+                    zone.add(a_record(name, f"10.0.0.{octet}"))
+                except Exception:
+                    pass
+            else:
+                zone.remove_all(name, RecordType.A)
+            assert zone.serial >= previous
+            previous = zone.serial

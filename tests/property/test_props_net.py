@@ -1,0 +1,116 @@
+"""Property-based tests for the network substrate."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net.ipaddr import IPv4Address, IPv4Prefix
+from repro.net.routeviews import RouteViewsDb
+from repro.net.traffic import CapacityTarget, TrafficFlow
+
+addresses = st.integers(min_value=0, max_value=(1 << 32) - 1)
+prefix_lengths = st.integers(min_value=0, max_value=32)
+
+
+@st.composite
+def prefixes(draw):
+    return IPv4Prefix.from_int(draw(addresses), draw(prefix_lengths))
+
+
+class TestAddressProperties:
+    @given(addresses)
+    def test_int_str_roundtrip(self, value):
+        address = IPv4Address(value)
+        assert IPv4Address(str(address)) == address
+        assert int(address) == value
+
+    @given(addresses, addresses)
+    def test_ordering_matches_integers(self, a, b):
+        assert (IPv4Address(a) < IPv4Address(b)) == (a < b)
+
+    @given(prefixes())
+    def test_prefix_contains_own_network(self, prefix):
+        assert prefix.network in prefix
+        assert prefix.contains_prefix(prefix)
+
+    @given(prefixes())
+    def test_prefix_str_roundtrip(self, prefix):
+        assert IPv4Prefix(str(prefix)) == prefix
+
+    @given(prefixes(), addresses)
+    def test_membership_is_mask_equality(self, prefix, value):
+        address = IPv4Address(value)
+        inside = address in prefix
+        shift = 32 - prefix.length
+        if prefix.length == 0:
+            assert inside
+        else:
+            assert inside == (value >> shift == prefix.network.value >> shift)
+
+    @given(st.integers(min_value=0, max_value=24).flatmap(
+        lambda length: st.tuples(
+            st.just(length),
+            st.integers(min_value=length, max_value=min(length + 6, 32)),
+            addresses,
+        )
+    ))
+    def test_subnets_partition_parent(self, params):
+        length, sub_length, base = params
+        parent = IPv4Prefix.from_int(base, length)
+        subnets = list(parent.subnets(sub_length))
+        # Disjoint and complete.
+        assert len(subnets) == 1 << (sub_length - length)
+        total = sum(s.num_addresses for s in subnets)
+        assert total == parent.num_addresses
+        for i, a in enumerate(subnets):
+            assert parent.contains_prefix(a)
+            for b in subnets[i + 1:]:
+                assert not a.overlaps(b)
+
+
+class TestRouteViewsProperties:
+    @given(
+        st.lists(
+            st.tuples(addresses, st.integers(min_value=8, max_value=28),
+                      st.integers(min_value=1, max_value=2**16)),
+            min_size=1, max_size=20,
+        ),
+        addresses,
+    )
+    @settings(max_examples=60)
+    def test_lpm_matches_bruteforce(self, announcements, query):
+        table = [
+            (IPv4Prefix.from_int(base, length), asn)
+            for base, length, asn in announcements
+        ]
+        db = RouteViewsDb.from_announcements(table)
+        # Brute force: longest matching prefix; on equal prefixes the
+        # later announcement overwrites.
+        best = None
+        for prefix, asn in table:
+            if IPv4Address(query) in prefix:
+                if best is None or prefix.length >= best[0].length:
+                    if best is None or prefix.length > best[0].length or best[0] == prefix:
+                        best = (prefix, asn)
+        expected = best[1] if best else None
+        assert db.lookup(query) == expected
+
+
+class TestTrafficProperties:
+    volumes = st.floats(min_value=0.0, max_value=1e4, allow_nan=False)
+    capacities = st.floats(min_value=0.01, max_value=1e4, allow_nan=False)
+
+    @given(volumes, volumes, capacities)
+    def test_conservation_and_bounds(self, legit, attack, capacity):
+        flow = TrafficFlow(legit, attack)
+        report = CapacityTarget("t", capacity).offer(flow)
+        delivered = report.delivered_legitimate_gbps + report.delivered_attack_gbps
+        assert delivered <= flow.total_gbps + 1e-9
+        assert abs(delivered + report.dropped_gbps - flow.total_gbps) < 1e-6
+        assert 0.0 <= report.availability <= 1.0 + 1e-9
+        assert delivered <= capacity + 1e-6
+
+    @given(volumes, volumes)
+    def test_saturation_iff_over_capacity(self, legit, attack):
+        flow = TrafficFlow(legit, attack)
+        target = CapacityTarget("t", 100.0)
+        assert target.offer(flow).saturated == (flow.total_gbps > 100.0)

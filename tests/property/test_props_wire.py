@@ -1,0 +1,104 @@
+"""Property/fuzz tests for the wire codec and zone-file parser.
+
+Decoders face attacker-controlled bytes; whatever garbage arrives, they
+must fail with :class:`~repro.errors.DnsError`/`ZoneError` (or succeed),
+never with an arbitrary internal exception.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dns.message import DnsQuery
+from repro.dns.name import DomainName
+from repro.dns.records import RecordType
+from repro.dns.wire import decode_query, decode_response, encode_query
+from repro.dns.zonefile import zone_from_text
+from repro.errors import DnsError, NameError_, ZoneError
+
+
+class TestWireFuzz:
+    @given(st.binary(max_size=200))
+    @settings(max_examples=300)
+    def test_decode_query_never_crashes(self, data):
+        try:
+            decode_query(data)
+        except (DnsError, NameError_):
+            pass
+
+    @given(st.binary(max_size=200))
+    @settings(max_examples=300)
+    def test_decode_response_never_crashes(self, data):
+        try:
+            decode_response(data)
+        except (DnsError, NameError_):
+            pass
+
+    @given(st.binary(max_size=64), st.integers(0, 50))
+    @settings(max_examples=150)
+    def test_truncated_valid_query_rejected_cleanly(self, _, cut):
+        packet = encode_query(DnsQuery(DomainName("www.example.com"), RecordType.A))
+        truncated = packet[: min(cut, len(packet) - 1)]
+        try:
+            decode_query(truncated)
+        except (DnsError, NameError_):
+            pass
+
+    def test_high_byte_label_rejected_cleanly(self):
+        # A structurally valid query whose label carries non-ASCII bytes
+        # must fail with DnsError, not UnicodeDecodeError.
+        packet = (
+            bytes.fromhex("0001" "0000" "0001" "0000" "0000" "0000")
+            + bytes([3, 0xFF, 0xFE, 0xFD, 0])  # one 3-byte high label
+            + bytes.fromhex("0001" "0001")
+        )
+        try:
+            decode_query(packet)
+            raise AssertionError("expected rejection")
+        except (DnsError, NameError_):
+            pass
+
+    @given(st.binary(min_size=2, max_size=40))
+    @settings(max_examples=150)
+    def test_bitflipped_query_rejected_cleanly(self, noise):
+        packet = bytearray(
+            encode_query(DnsQuery(DomainName("www.example.com"), RecordType.A))
+        )
+        for index, byte in enumerate(noise):
+            packet[index % len(packet)] ^= byte
+        try:
+            decode_query(bytes(packet))
+        except (DnsError, NameError_):
+            pass
+
+
+class TestZonefileFuzz:
+    @given(st.text(max_size=300))
+    @settings(max_examples=300)
+    def test_parser_never_crashes(self, text):
+        try:
+            zone_from_text(text)
+        except (ZoneError, NameError_):
+            pass
+
+    @given(
+        st.lists(
+            st.sampled_from([
+                "$ORIGIN example.com.",
+                "$TTL 60",
+                "www 60 IN A 10.0.0.1",
+                "@ 60 IN NS ns1.example.com.",
+                "bogus line here",
+                "; comment",
+                "",
+                'txt 60 IN TXT "hello"',
+                "@ 60 IN MX 10 mail",
+            ]),
+            max_size=12,
+        )
+    )
+    @settings(max_examples=200)
+    def test_shuffled_fragments_never_crash(self, lines):
+        try:
+            zone_from_text("\n".join(lines))
+        except (ZoneError, NameError_):
+            pass

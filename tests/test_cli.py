@@ -1,0 +1,60 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_study_defaults(self):
+        args = build_parser().parse_args(["study"])
+        assert args.population == 2000
+        assert args.days == 42
+        assert args.warmup == 56
+
+    def test_attack_args(self):
+        args = build_parser().parse_args(
+            ["attack", "--population", "300", "--gbps", "500"]
+        )
+        assert args.gbps == 500.0
+
+    def test_plan_choices_validated(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["purge-probe", "--plan", "platinum"])
+
+
+class TestCommands:
+    def test_attack_command(self, capsys):
+        code = main(["attack", "--population", "200", "--seed", "3"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "path=scrubbed" in out
+        assert "path=direct" in out
+        assert "site down" in out
+
+    def test_purge_probe_command(self, capsys):
+        code = main(["purge-probe", "--population", "120", "--seed", "3",
+                     "--trials", "1"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "purged in week 4" in out
+
+    def test_scan_command(self, capsys):
+        code = main(["scan", "--population", "800", "--seed", "3",
+                     "--warmup", "40"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "hidden=" in out
+
+    def test_study_command_small(self, capsys):
+        code = main([
+            "study", "--population", "250", "--seed", "3",
+            "--days", "8", "--warmup", "5",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Fig. 2" in out and "Table VI" in out

@@ -1,0 +1,80 @@
+"""Tests for the simulation clock."""
+
+import pytest
+
+from repro.clock import DAYS_PER_WEEK, SECONDS_PER_DAY, SimulationClock
+from repro.errors import SimulationError
+
+
+class TestConstruction:
+    def test_starts_at_epoch_by_default(self):
+        assert SimulationClock().now == 0
+
+    def test_custom_start(self):
+        assert SimulationClock(start=100).now == 100
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(SimulationError):
+            SimulationClock(start=-1)
+
+
+class TestAdvancing:
+    def test_advance_moves_forward(self):
+        clock = SimulationClock()
+        clock.advance(10)
+        assert clock.now == 10
+
+    def test_advance_returns_new_time(self):
+        assert SimulationClock().advance(5) == 5
+
+    def test_advance_negative_rejected(self):
+        with pytest.raises(SimulationError):
+            SimulationClock().advance(-1)
+
+    def test_advance_to_absolute(self):
+        clock = SimulationClock()
+        clock.advance_to(500)
+        assert clock.now == 500
+
+    def test_advance_to_cannot_rewind(self):
+        clock = SimulationClock(start=100)
+        with pytest.raises(SimulationError):
+            clock.advance_to(50)
+
+    def test_advance_to_same_time_is_noop(self):
+        clock = SimulationClock(start=100)
+        assert clock.advance_to(100) == 100
+
+    def test_advance_days(self):
+        clock = SimulationClock()
+        clock.advance_days(3)
+        assert clock.now == 3 * SECONDS_PER_DAY
+
+    def test_advance_to_day(self):
+        clock = SimulationClock()
+        clock.advance_to_day(5)
+        assert clock.day == 5
+        assert clock.seconds_into_day() == 0
+
+
+class TestDayWeekArithmetic:
+    def test_day_zero_at_epoch(self):
+        assert SimulationClock().day == 0
+
+    def test_day_boundaries(self):
+        clock = SimulationClock(start=SECONDS_PER_DAY - 1)
+        assert clock.day == 0
+        clock.advance(1)
+        assert clock.day == 1
+
+    def test_week_derivation(self):
+        clock = SimulationClock()
+        clock.advance_days(DAYS_PER_WEEK)
+        assert clock.week == 1
+
+    def test_seconds_into_day(self):
+        clock = SimulationClock()
+        clock.advance(3600)
+        assert clock.seconds_into_day() == 3600
+        clock.advance_days(1)
+        assert clock.seconds_into_day() == 3600

@@ -1,0 +1,59 @@
+"""Smoke tests for the runnable examples.
+
+Each example is executed as a subprocess (as a user would run it) at a
+small scale, and its narrative output is checked for the load-bearing
+lines.  `residual_scan.py` is exercised indirectly (its machinery is the
+CLI `scan` command, covered in test_cli.py) because its fixed warm-up
+makes it the slowest example.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+_REPO = pathlib.Path(__file__).resolve().parent.parent
+_EXAMPLES = _REPO / "examples"
+
+
+def _run(script: str, *args: str) -> str:
+    result = subprocess.run(
+        [sys.executable, str(_EXAMPLES / script), *args],
+        capture_output=True,
+        text=True,
+        timeout=300,
+        cwd=_REPO,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    return result.stdout
+
+
+class TestExamples:
+    def test_quickstart(self):
+        out = _run("quickstart.py", "400", "3")
+        assert "Fig. 2" in out
+        assert "Table VI" in out
+        assert "residual resolution reproduced" in out
+
+    def test_attack_bypass_demo(self):
+        out = _run("attack_bypass_demo.py")
+        assert "ATTACK FAILED" in out
+        assert "SITE DOWN" in out
+        assert "hole closed" in out
+
+    def test_bgp_protection_demo(self):
+        out = _run("bgp_protection_demo.py")
+        assert "SITE DOWN" in out
+        assert "exposure neutralised" in out
+
+    def test_usage_dynamics_study(self):
+        out = _run("usage_dynamics_study.py", "400", "10")
+        assert "Table V" in out
+        assert "Measured vs planted" in out
+
+    @pytest.mark.slow
+    def test_countermeasures_eval(self):
+        out = _run("countermeasures_eval.py")
+        assert "baseline" in out
+        assert "-100%" in out

@@ -1,0 +1,111 @@
+"""Tests for the deterministic RNG."""
+
+import pytest
+
+from repro.rng import SeededRng, stable_hash
+
+
+class TestStableHash:
+    def test_deterministic(self):
+        assert stable_hash("a", 1) == stable_hash("a", 1)
+
+    def test_order_sensitive(self):
+        assert stable_hash("a", "b") != stable_hash("b", "a")
+
+    def test_distinguishes_adjacent_parts(self):
+        # ("ab", "c") must not collide with ("a", "bc").
+        assert stable_hash("ab", "c") != stable_hash("a", "bc")
+
+    def test_fits_64_bits(self):
+        assert 0 <= stable_hash("anything") < 2**64
+
+
+class TestDeterminism:
+    def test_same_seed_same_stream(self):
+        a, b = SeededRng(7), SeededRng(7)
+        assert [a.random() for _ in range(10)] == [b.random() for _ in range(10)]
+
+    def test_different_seeds_differ(self):
+        assert SeededRng(1).random() != SeededRng(2).random()
+
+    def test_fork_is_deterministic(self):
+        a = SeededRng(7).fork("child")
+        b = SeededRng(7).fork("child")
+        assert a.random() == b.random()
+
+    def test_fork_labels_independent(self):
+        root = SeededRng(7)
+        assert root.fork("x").random() != root.fork("y").random()
+
+    def test_fork_unaffected_by_parent_draws(self):
+        a = SeededRng(7)
+        a.random()
+        a.random()
+        b = SeededRng(7)
+        assert a.fork("child").random() == b.fork("child").random()
+
+
+class TestDraws:
+    def test_randint_bounds(self):
+        rng = SeededRng(1)
+        draws = [rng.randint(3, 5) for _ in range(100)]
+        assert set(draws) <= {3, 4, 5}
+        assert set(draws) == {3, 4, 5}  # all values reachable
+
+    def test_choice_from_sequence(self):
+        rng = SeededRng(1)
+        assert rng.choice([42]) == 42
+
+    def test_sample_distinct(self):
+        rng = SeededRng(1)
+        sample = rng.sample(list(range(20)), 5)
+        assert len(sample) == len(set(sample)) == 5
+
+    def test_shuffle_preserves_elements(self):
+        rng = SeededRng(1)
+        items = list(range(10))
+        rng.shuffle(items)
+        assert sorted(items) == list(range(10))
+
+    def test_weighted_choice_respects_zero_weight(self):
+        rng = SeededRng(1)
+        draws = {rng.weighted_choice(["a", "b"], [1.0, 0.0]) for _ in range(50)}
+        assert draws == {"a"}
+
+    def test_weighted_choice_length_mismatch(self):
+        with pytest.raises(ValueError):
+            SeededRng(1).weighted_choice(["a"], [0.5, 0.5])
+
+    def test_bernoulli_extremes(self):
+        rng = SeededRng(1)
+        assert all(rng.bernoulli(1.0) for _ in range(20))
+        assert not any(rng.bernoulli(0.0) for _ in range(20))
+
+    def test_bernoulli_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            SeededRng(1).bernoulli(1.5)
+
+    def test_bernoulli_rate_approximation(self):
+        rng = SeededRng(123)
+        hits = sum(rng.bernoulli(0.3) for _ in range(10_000))
+        assert 0.27 < hits / 10_000 < 0.33
+
+    def test_geometric_minimum_one(self):
+        rng = SeededRng(1)
+        assert all(rng.geometric(0.5) >= 1 for _ in range(100))
+
+    def test_geometric_certain_success(self):
+        assert SeededRng(1).geometric(1.0) == 1
+
+    def test_geometric_rejects_zero(self):
+        with pytest.raises(ValueError):
+            SeededRng(1).geometric(0.0)
+
+    def test_pick_subset_all_or_nothing(self):
+        rng = SeededRng(1)
+        assert rng.pick_subset([1, 2, 3], 1.0) == [1, 2, 3]
+        assert rng.pick_subset([1, 2, 3], 0.0) == []
+
+    def test_expovariate_positive(self):
+        rng = SeededRng(1)
+        assert all(rng.expovariate(0.5) > 0 for _ in range(100))

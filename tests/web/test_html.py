@@ -1,0 +1,58 @@
+"""Tests for the HTML document model."""
+
+from repro.web.html import HtmlDocument
+
+
+class TestRenderParse:
+    def test_round_trip(self):
+        doc = HtmlDocument(
+            title="Example — home",
+            meta={"description": "d", "generator": "g"},
+            body="<h1>hi</h1>",
+        )
+        parsed = HtmlDocument.parse(doc.render())
+        assert parsed.title == doc.title
+        assert parsed.meta == doc.meta
+        assert parsed.body == doc.body
+
+    def test_parse_missing_title(self):
+        assert HtmlDocument.parse("<html><body>x</body></html>").title == ""
+
+    def test_parse_ignores_malformed_meta(self):
+        text = '<title>t</title><meta charset="utf-8"><meta name="a" content="b">'
+        parsed = HtmlDocument.parse(text)
+        assert parsed.meta == {"a": "b"}
+
+    def test_meta_rendered_sorted(self):
+        doc = HtmlDocument("t", {"b": "2", "a": "1"})
+        rendered = doc.render()
+        assert rendered.index('name="a"') < rendered.index('name="b"')
+
+
+class TestMatching:
+    def test_identical_documents_match(self):
+        a = HtmlDocument("t", {"k": "v"})
+        b = HtmlDocument("t", {"k": "v"})
+        assert a.matches(b)
+
+    def test_title_mismatch(self):
+        assert not HtmlDocument("a", {}).matches(HtmlDocument("b", {}))
+
+    def test_meta_value_mismatch(self):
+        a = HtmlDocument("t", {"k": "v1"})
+        b = HtmlDocument("t", {"k": "v2"})
+        assert not a.matches(b)
+
+    def test_extra_meta_key_mismatch(self):
+        a = HtmlDocument("t", {"k": "v"})
+        b = HtmlDocument("t", {"k": "v", "extra": "x"})
+        assert not a.matches(b)
+
+    def test_body_is_ignored_by_matching(self):
+        a = HtmlDocument("t", {"k": "v"}, body="one")
+        b = HtmlDocument("t", {"k": "v"}, body="two")
+        assert a.matches(b)
+
+    def test_fingerprint_hashable(self):
+        a = HtmlDocument("t", {"k": "v"})
+        assert {a.fingerprint()} == {HtmlDocument("t", {"k": "v"}).fingerprint()}

@@ -1,0 +1,130 @@
+"""Tests for the event engine and the SimulatedInternet composition."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.net.geo import PAPER_VANTAGE_REGIONS
+from repro.world import SimulatedInternet, WorldConfig
+from repro.world.admin import BehaviorKind
+
+
+class TestWorldEngine:
+    def test_run_day_advances_clock(self, world_factory):
+        world = world_factory(population_size=100)
+        day_before = world.clock.day
+        world.engine.run_day()
+        assert world.clock.day == day_before + 1
+
+    def test_events_accumulate(self, world_factory):
+        world = world_factory(population_size=800, seed=31)
+        world.engine.run_days(10)
+        assert world.engine.events == sorted(
+            world.engine.events, key=lambda e: e.day
+        )
+
+    def test_daily_counts_structure(self, world_factory):
+        world = world_factory(population_size=800, seed=32)
+        world.engine.run_days(10)
+        counts = world.engine.daily_counts()
+        for day, per_kind in counts.items():
+            assert set(per_kind) == set(BehaviorKind)
+
+    def test_interval_jitter_moves_clock_irregularly(self, world_factory):
+        world = world_factory(population_size=50, seed=33)
+        world.engine.interval_jitter_hours = 4
+        seconds = []
+        for _ in range(5):
+            before = world.clock.now
+            world.engine.run_day()
+            seconds.append(world.clock.now - before)
+        assert len(set(seconds)) > 1  # 20-30h style variation (§IV-B-3)
+
+    def test_purge_runs_daily(self, world_factory):
+        world = world_factory(population_size=200, seed=34)
+        cf = world.provider("cloudflare")
+        site = next(
+            s for s in world.population
+            if s.provider is cf
+        )
+        www = site.www
+        site.leave(informed=True)
+        assert cf.customer_for(www) is not None
+        world.engine.run_days(60)  # past every plan horizon except enterprise
+        record = cf.customer_for(www)
+        if record is not None:
+            from repro.dps.plans import PlanTier
+            assert record.plan is PlanTier.ENTERPRISE
+
+    def test_multicdn_sites_flip_cnames(self, world_factory):
+        world = world_factory(population_size=2000, seed=35, multicdn_fraction=0.01)
+        flagged = [s for s in world.population if s.multicdn]
+        if not flagged:
+            pytest.skip("no multicdn site drawn at this seed")
+        site = flagged[0]
+        resolver = world.make_resolver()
+        seen = set()
+        for _ in range(8):
+            resolver.purge_cache()
+            result = resolver.resolve(site.www)
+            seen.update(str(t).split(".")[-2] for t in result.cname_targets)
+            world.engine.run_day()
+        assert len(seen) > 1  # provider changes day to day
+
+
+class TestSimulatedInternet:
+    def test_vantage_points_present(self, shared_world):
+        for name in PAPER_VANTAGE_REGIONS:
+            vp = shared_world.vantage_point(name)
+            assert vp.region.name == name
+            assert vp.source_ip is not None
+
+    def test_unknown_vantage_point(self, shared_world):
+        with pytest.raises(ConfigurationError):
+            shared_world.vantage_point("mars")
+
+    def test_unknown_provider(self, shared_world):
+        with pytest.raises(ConfigurationError):
+            shared_world.provider("notacdn")
+
+    def test_unknown_website(self, shared_world):
+        with pytest.raises(ConfigurationError):
+            shared_world.website("www.unknown-host.com")
+
+    def test_routeviews_maps_provider_space(self, shared_world):
+        cf = shared_world.provider("cloudflare")
+        edge_ip = cf.edges[0].ip
+        asn = shared_world.routeviews.lookup(edge_ip)
+        assert asn in cf.build.as_numbers
+
+    def test_routeviews_maps_hosting_space(self, shared_world):
+        site = shared_world.population[0]
+        asn = shared_world.routeviews.lookup(site.origin.ip)
+        assert shared_world.as_registry.organisation_of(asn).startswith("hostco")
+
+    def test_determinism_same_seed(self):
+        a = SimulatedInternet(WorldConfig(population_size=200, seed=77))
+        b = SimulatedInternet(WorldConfig(population_size=200, seed=77))
+        assert [str(s.apex) for s in a.population] == [str(s.apex) for s in b.population]
+        assert {
+            p: c for p, c in a.adoption_by_provider().items()
+        } == {p: c for p, c in b.adoption_by_provider().items()}
+
+    def test_determinism_events(self):
+        def run(seed):
+            world = SimulatedInternet(WorldConfig(population_size=300, seed=seed))
+            return [
+                (e.day, e.website, e.kind.value) for e in world.engine.run_days(15)
+            ]
+        assert run(5) == run(5)
+        assert run(5) != run(6)
+
+    def test_http_client_from_vantage_point(self, shared_world):
+        client = shared_world.http_client("tokyo")
+        assert client.source_ip == shared_world.vantage_point("tokyo").source_ip
+
+    def test_world_without_multicdn(self):
+        world = SimulatedInternet(
+            WorldConfig(population_size=100, seed=1), with_multicdn=False
+        )
+        assert world.multicdn is None
+        assert not any(s.multicdn for s in world.population)

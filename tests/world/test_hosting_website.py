@@ -1,0 +1,222 @@
+"""Tests for hosting providers and website admin operations."""
+
+import pytest
+
+from repro.dps.plans import PlanTier
+from repro.dps.portal import ReroutingMethod
+from repro.errors import SimulationError
+from repro.world.website import GroundTruthStatus
+from repro.dns.records import RecordType
+
+
+@pytest.fixture
+def world(world_factory):
+    return world_factory(population_size=50, seed=3)
+
+
+def _fresh_site(world):
+    """A site currently on no DPS platform."""
+    for site in world.population:
+        if site.provider is None and site.alive and not site.multicdn:
+            return site
+    raise AssertionError("no unprotected site in population")
+
+
+class TestHostingProvider:
+    def test_zone_serves_origin(self, world):
+        site = _fresh_site(world)
+        result = world.make_resolver().resolve(site.www)
+        assert result.ok
+        assert result.addresses == [site.origin.ip]
+
+    def test_origin_reachable_over_http(self, world):
+        site = _fresh_site(world)
+        response = world.http_client().get(site.origin.ip, site.www)
+        assert response.ok
+
+    def test_move_origin_reregisters(self, world):
+        site = _fresh_site(world)
+        old_ip = site.origin.ip
+        new_ip = site.hosting.move_origin(site.origin)
+        assert new_ip != old_ip
+        assert world.http_client().get(old_ip, site.www) is None
+        assert world.http_client().get(new_ip, site.www).ok
+
+    def test_zone_of_unknown_apex_raises(self, world):
+        with pytest.raises(SimulationError):
+            world.hosting_providers[0].zone_of("unknown-apex.com")
+
+    def test_apex_has_ns_records(self, world):
+        site = _fresh_site(world)
+        result = world.make_resolver().resolve(site.apex, RecordType.NS)
+        assert result.ok
+
+
+class TestJoin:
+    def test_join_ns_based(self, world):
+        site = _fresh_site(world)
+        cf = world.provider("cloudflare")
+        site.join(cf, ReroutingMethod.NS_BASED)
+        assert site.status is GroundTruthStatus.ON
+        result = world.make_resolver().resolve(site.www)
+        assert any(result.addresses[0] in p for p in cf.prefixes)
+
+    def test_join_cname_based(self, world):
+        site = _fresh_site(world)
+        inc = world.provider("incapsula")
+        site.join(inc, ReroutingMethod.CNAME_BASED, PlanTier.BUSINESS)
+        result = world.make_resolver().resolve(site.www)
+        assert any(result.addresses[0] in p for p in inc.prefixes)
+        assert any("incapdns" in str(t) for t in result.cname_targets)
+
+    def test_join_a_based(self, world):
+        site = _fresh_site(world)
+        dos = world.provider("dosarrest")
+        site.join(dos, ReroutingMethod.A_BASED)
+        result = world.make_resolver().resolve(site.www)
+        assert any(result.addresses[0] in p for p in dos.prefixes)
+        assert result.cname_targets == []
+
+    def test_join_with_rotation_changes_origin(self, world):
+        site = _fresh_site(world)
+        old_ip = site.origin.ip
+        site.join(world.provider("cloudflare"), ReroutingMethod.NS_BASED,
+                  rotate_origin_ip=True)
+        assert site.origin.ip != old_ip
+        record = world.provider("cloudflare").customer_for(site.www)
+        assert record.origin_ip == site.origin.ip
+
+    def test_double_join_rejected(self, world):
+        site = _fresh_site(world)
+        site.join(world.provider("cloudflare"), ReroutingMethod.NS_BASED)
+        with pytest.raises(SimulationError):
+            site.join(world.provider("fastly"), ReroutingMethod.CNAME_BASED)
+
+    def test_firewalled_site_blocks_direct_probes(self, world):
+        site = next(
+            s for s in world.population
+            if s.firewall_inclined and s.provider is None and s.alive and not s.multicdn
+        )
+        site.join(world.provider("cloudflare"), ReroutingMethod.NS_BASED)
+        probe = world.http_client("oregon")
+        assert probe.get(site.origin.ip, site.www) is None
+
+
+class TestLeave:
+    def test_leave_restores_origin_resolution(self, world):
+        site = _fresh_site(world)
+        site.join(world.provider("cloudflare"), ReroutingMethod.NS_BASED)
+        site.leave(informed=True)
+        assert site.status is GroundTruthStatus.NONE
+        result = world.make_resolver().resolve(site.www)
+        assert result.addresses == [site.origin.ip]
+
+    def test_leave_with_rehost_moves_origin(self, world):
+        site = _fresh_site(world)
+        old_ip = site.origin.ip
+        site.join(world.provider("cloudflare"), ReroutingMethod.NS_BASED)
+        site.leave(informed=True, rehost=True)
+        assert site.origin.ip != old_ip
+        result = world.make_resolver().resolve(site.www)
+        assert result.addresses == [site.origin.ip]
+
+    def test_leave_and_die_goes_dark(self, world):
+        site = _fresh_site(world)
+        origin_ip = site.origin.ip
+        site.join(world.provider("cloudflare"), ReroutingMethod.NS_BASED)
+        site.leave(informed=True, die=True)
+        assert not site.alive
+        result = world.make_resolver().resolve(site.www)
+        assert not result.ok
+        assert world.http_client().get(origin_ip, site.www) is None
+
+    def test_dead_site_cannot_rejoin(self, world):
+        site = _fresh_site(world)
+        site.join(world.provider("cloudflare"), ReroutingMethod.NS_BASED)
+        site.leave(die=True)
+        with pytest.raises(SimulationError):
+            site.join(world.provider("fastly"), ReroutingMethod.CNAME_BASED)
+
+    def test_leave_removes_firewall(self, world):
+        site = next(
+            s for s in world.population
+            if s.firewall_inclined and s.provider is None and s.alive and not s.multicdn
+        )
+        site.join(world.provider("cloudflare"), ReroutingMethod.NS_BASED)
+        site.leave()
+        assert world.http_client("oregon").get(site.origin.ip, site.www).ok
+
+
+class TestPauseResume:
+    def test_pause_exposes_origin_publicly(self, world):
+        site = _fresh_site(world)
+        site.join(world.provider("cloudflare"), ReroutingMethod.NS_BASED)
+        site.pause(day=world.clock.day, resume_on_day=world.clock.day + 3)
+        assert site.status is GroundTruthStatus.OFF
+        result = world.make_resolver().resolve(site.www)
+        assert result.addresses == [site.origin.ip]
+
+    def test_resume_restores_protection(self, world):
+        site = _fresh_site(world)
+        cf = world.provider("cloudflare")
+        site.join(cf, ReroutingMethod.NS_BASED)
+        site.pause(day=0, resume_on_day=1)
+        site.resume()
+        result = world.make_resolver().resolve(site.www)
+        assert any(result.addresses[0] in p for p in cf.prefixes)
+
+    def test_resume_with_rotation_updates_provider_record(self, world):
+        site = _fresh_site(world)
+        cf = world.provider("cloudflare")
+        site.join(cf, ReroutingMethod.NS_BASED)
+        old_ip = site.origin.ip
+        site.pause(day=0, resume_on_day=1)
+        site.resume(rotate_origin_ip=True)
+        assert site.origin.ip != old_ip
+        assert cf.customer_for(site.www).origin_ip == site.origin.ip
+
+    def test_pause_requires_on(self, world):
+        site = _fresh_site(world)
+        with pytest.raises(SimulationError):
+            site.pause(day=0, resume_on_day=1)
+
+
+class TestSwitch:
+    def test_switch_ns_to_cname(self, world):
+        site = _fresh_site(world)
+        cf, inc = world.provider("cloudflare"), world.provider("incapsula")
+        site.join(cf, ReroutingMethod.NS_BASED)
+        site.switch(inc, ReroutingMethod.CNAME_BASED, PlanTier.BUSINESS)
+        assert site.provider is inc
+        result = world.make_resolver().resolve(site.www)
+        assert any(result.addresses[0] in p for p in inc.prefixes)
+
+    def test_switch_cname_to_ns(self, world):
+        site = _fresh_site(world)
+        cf, inc = world.provider("cloudflare"), world.provider("incapsula")
+        site.join(inc, ReroutingMethod.CNAME_BASED)
+        site.switch(cf, ReroutingMethod.NS_BASED)
+        result = world.make_resolver().resolve(site.www)
+        assert any(result.addresses[0] in p for p in cf.prefixes)
+        assert result.cname_targets == []
+
+    def test_switch_to_same_provider_rejected(self, world):
+        site = _fresh_site(world)
+        cf = world.provider("cloudflare")
+        site.join(cf, ReroutingMethod.NS_BASED)
+        with pytest.raises(SimulationError):
+            site.switch(cf, ReroutingMethod.NS_BASED)
+
+    def test_switch_leaves_residual_record_at_old_provider(self, world):
+        """The paper's core threat scenario (Fig. 1b)."""
+        site = _fresh_site(world)
+        cf, inc = world.provider("cloudflare"), world.provider("incapsula")
+        site.join(cf, ReroutingMethod.NS_BASED)
+        origin_ip = site.origin.ip
+        site.switch(inc, ReroutingMethod.CNAME_BASED, informed=True)
+        # Attacker queries the previous provider directly.
+        client = world.dns_client()
+        ns_ip = cf.customer_fleet.all_addresses()[0]
+        response = client.query(ns_ip, site.www)
+        assert response.is_answer
+        assert response.answers[0].address == origin_ip
