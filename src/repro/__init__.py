@@ -14,6 +14,11 @@ The library has two halves:
   behaviour inference, the hidden-record filter pipeline, the residual-
   resolution scanners, the attacker, and the countermeasures.
 
+:mod:`repro.analysis` guards both halves: a static-analysis engine
+(``repro lint``) that enforces the determinism invariants — no ambient
+randomness, no wall-clock reads, no unordered-set iteration — with a
+self-hosting tier-1 gate.
+
 Quickstart::
 
     from repro import SimulatedInternet, WorldConfig, SixWeekStudy

@@ -1,0 +1,51 @@
+"""Static analysis for determinism and simulation invariants.
+
+The whole reproduction rests on bit-for-bit determinism: every figure and
+table replays a seeded world through :class:`~repro.rng.SeededRng` and
+:class:`~repro.clock.SimulationClock`.  A single stray ``random.random()``,
+wall-clock read, or unordered-``set`` iteration silently corrupts results
+without failing any test.  This package enforces those invariants with an
+AST-based lint engine instead of review-time convention:
+
+* :mod:`repro.analysis.findings` — the :class:`Finding` / :class:`Severity`
+  model with process-stable fingerprints;
+* :mod:`repro.analysis.rules` — the :class:`Rule` base class and registry;
+* :mod:`repro.analysis.determinism`, :mod:`repro.analysis.clockrules`,
+  :mod:`repro.analysis.hygiene` — the built-in rule packs (REP0xx);
+* :mod:`repro.analysis.baseline` — the grandfathered-violation allowlist;
+* :mod:`repro.analysis.engine` — the :class:`Analyzer` driver;
+* :mod:`repro.analysis.report` — text and JSON reporters.
+
+The engine self-hosts: a tier-1 test lints ``src/repro`` itself and fails
+on any non-baselined finding, so every PR is lint-clean by construction.
+
+Example
+-------
+>>> from repro.analysis import Analyzer
+>>> findings = Analyzer().run(["src/repro"])  # doctest: +SKIP
+"""
+
+from __future__ import annotations
+
+from .baseline import Baseline, BaselineEntry
+from .engine import Analyzer
+from .findings import Finding, Severity
+from .report import render_json, render_text
+from .rules import ModuleContext, Rule, RuleRegistry, default_registry
+
+# Importing the rule packs registers their rules with the default registry.
+from . import clockrules, determinism, hygiene  # noqa: F401  (side effect)
+
+__all__ = [
+    "Analyzer",
+    "Baseline",
+    "BaselineEntry",
+    "Finding",
+    "ModuleContext",
+    "Rule",
+    "RuleRegistry",
+    "Severity",
+    "default_registry",
+    "render_json",
+    "render_text",
+]

@@ -1,0 +1,172 @@
+"""The baseline (allowlist) file for grandfathered findings.
+
+A baseline entry records one finding's fingerprint together with a human
+comment explaining why the violation is intentional.  The file format is
+line-oriented and diff-friendly::
+
+    # repro lint baseline — grandfathered findings.
+    REP001 src/repro/rng.py 0f3a... # SeededRng wraps random.Random by design
+
+Fingerprints hash the rule ID, path, and the violating line's *text*, so
+entries survive unrelated edits (lines moving) but go stale the moment
+the grandfathered line itself changes — forcing a human re-review, which
+is the point.  Stale entries are reported so the baseline never silently
+accretes dead weight.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from ..errors import AnalysisError
+from .findings import Finding
+
+__all__ = ["Baseline", "BaselineEntry"]
+
+_HEADER = (
+    "# repro lint baseline — grandfathered findings.\n"
+    "# Format: <rule_id> <path> <fingerprint>  # why this is intentional\n"
+    "# Regenerate with: repro lint --update-baseline\n"
+)
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    """One grandfathered finding."""
+
+    rule_id: str
+    path: str
+    fingerprint: str
+    comment: str = ""
+
+    def render(self) -> str:
+        line = f"{self.rule_id} {self.path} {self.fingerprint}"
+        if self.comment:
+            line += f"  # {self.comment}"
+        return line
+
+
+class Baseline:
+    """An ordered set of grandfathered findings keyed by fingerprint."""
+
+    def __init__(self, entries: Iterable[BaselineEntry] = ()) -> None:
+        self._entries: Dict[str, BaselineEntry] = {}
+        for entry in entries:
+            self._entries[entry.fingerprint] = entry
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, fingerprint: str) -> bool:
+        return fingerprint in self._entries
+
+    def entries(self) -> List[BaselineEntry]:
+        """All entries, ordered by (path, rule, fingerprint)."""
+        return sorted(
+            self._entries.values(),
+            key=lambda e: (e.path, e.rule_id, e.fingerprint),
+        )
+
+    def comment_for(self, fingerprint: str) -> str:
+        """The recorded justification for one entry ('' if absent)."""
+        entry = self._entries.get(fingerprint)
+        return entry.comment if entry else ""
+
+    # -- persistence ----------------------------------------------------
+
+    @classmethod
+    def parse(cls, text: str, source: str = "<baseline>") -> "Baseline":
+        """Parse baseline file content; malformed lines raise."""
+        entries: List[BaselineEntry] = []
+        for lineno, raw in enumerate(text.splitlines(), start=1):
+            line, _, comment = raw.partition("#")
+            line = line.strip()
+            if not line:
+                continue
+            fields = line.split()
+            if len(fields) != 3:
+                raise AnalysisError(
+                    f"{source}:{lineno}: malformed baseline entry "
+                    f"(expected 'RULE PATH FINGERPRINT'): {raw.strip()!r}"
+                )
+            rule_id, path, fingerprint = fields
+            entries.append(
+                BaselineEntry(rule_id, path, fingerprint, comment.strip())
+            )
+        return cls(entries)
+
+    @classmethod
+    def load(cls, path: str) -> "Baseline":
+        """Read a baseline file; a missing file is an empty baseline."""
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                text = handle.read()
+        except FileNotFoundError:
+            return cls()
+        except OSError as exc:
+            raise AnalysisError(f"cannot read baseline {path}: {exc}") from exc
+        return cls.parse(text, source=path)
+
+    def render(self) -> str:
+        """The full file content, header included."""
+        lines = [_HEADER.rstrip("\n")]
+        lines.extend(entry.render() for entry in self.entries())
+        return "\n".join(lines) + "\n"
+
+    def save(self, path: str) -> None:
+        """Write the baseline file."""
+        try:
+            with open(path, "w", encoding="utf-8") as handle:
+                handle.write(self.render())
+        except OSError as exc:
+            raise AnalysisError(f"cannot write baseline {path}: {exc}") from exc
+
+    # -- application ----------------------------------------------------
+
+    def split(
+        self, findings: Sequence[Finding]
+    ) -> Tuple[List[Finding], List[Finding]]:
+        """Partition findings into (new, suppressed-by-baseline)."""
+        new: List[Finding] = []
+        suppressed: List[Finding] = []
+        for finding in findings:
+            if finding.fingerprint in self._entries:
+                suppressed.append(finding)
+            else:
+                new.append(finding)
+        return new, suppressed
+
+    def stale_entries(
+        self, findings: Sequence[Finding]
+    ) -> List[BaselineEntry]:
+        """Entries whose violation no longer exists (should be pruned)."""
+        live = {finding.fingerprint for finding in findings}
+        return [
+            entry for entry in self.entries() if entry.fingerprint not in live
+        ]
+
+    @classmethod
+    def from_findings(
+        cls, findings: Sequence[Finding], previous: "Baseline" = None
+    ) -> "Baseline":
+        """Build a baseline covering ``findings``.
+
+        Comments from ``previous`` are preserved for fingerprints that
+        survive; new entries get the finding's message as a placeholder
+        comment for a human to refine.
+        """
+        entries = []
+        for finding in sorted(findings, key=lambda f: f.sort_key):
+            comment = (
+                previous.comment_for(finding.fingerprint) if previous else ""
+            )
+            entries.append(
+                BaselineEntry(
+                    rule_id=finding.rule_id,
+                    path=finding.path,
+                    fingerprint=finding.fingerprint,
+                    comment=comment or finding.message,
+                )
+            )
+        return cls(entries)

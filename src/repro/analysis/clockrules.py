@@ -1,0 +1,113 @@
+"""Clock-discipline rules (REP010–REP011).
+
+All simulated time flows through :class:`~repro.clock.SimulationClock`.
+These rules catch code that hard-codes second arithmetic or smuggles raw
+timestamps around the clock.  ``clock.py`` itself is exempt — it is the
+one place allowed to define what a day is.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..clock import DAYS_PER_WEEK, SECONDS_PER_DAY, SECONDS_PER_HOUR
+from .findings import Severity
+from .rules import ModuleContext, Rule, register
+
+__all__ = ["MagicTimeLiteralRule", "RawTimestampParameterRule"]
+
+#: Integer literal → the named constant that should replace it.  Built
+#: from the canonical constants so this rule can never drift from
+#: :mod:`repro.clock` (and passes its own check).
+_MAGIC_TIME_LITERALS = {
+    SECONDS_PER_HOUR: "SECONDS_PER_HOUR",
+    SECONDS_PER_DAY: "SECONDS_PER_DAY",
+    SECONDS_PER_DAY * DAYS_PER_WEEK: "SECONDS_PER_DAY * DAYS_PER_WEEK",
+}
+
+#: Parameter names that smell like a raw wall/epoch timestamp.
+_TIMESTAMP_PARAM_NAMES = frozenset(
+    {"timestamp", "timestamps", "wall_time", "unix_time", "unix_ts",
+     "epoch", "epoch_seconds", "wallclock"}
+)
+
+
+@register
+class MagicTimeLiteralRule(Rule):
+    """REP010: magic second-count literals and clock internals.
+
+    ``3600``/``86400``/``604800`` literals duplicate the definitions in
+    :mod:`repro.clock`; when the paper's day/week structure is tuned they
+    drift apart silently.  Also flags reaching into another object's
+    private ``_now`` — clock state is read through ``.now`` only.
+    """
+
+    rule_id = "REP010"
+    title = "magic time literal"
+    severity = Severity.WARNING
+    exempt_basenames = frozenset({"clock.py"})
+
+    def check(self, module: ModuleContext) -> Iterator:
+        for node in ast.walk(module.tree):
+            if (
+                isinstance(node, ast.Constant)
+                and type(node.value) is int
+                and node.value in _MAGIC_TIME_LITERALS
+            ):
+                constant = _MAGIC_TIME_LITERALS[node.value]
+                yield self.finding(
+                    module,
+                    node,
+                    f"magic literal {node.value}; use repro.clock."
+                    f"{constant}",
+                )
+            elif (
+                isinstance(node, ast.Attribute)
+                and node.attr == "_now"
+                and not (
+                    isinstance(node.value, ast.Name)
+                    and node.value.id == "self"
+                )
+            ):
+                yield self.finding(
+                    module,
+                    node,
+                    "access to private clock state '_now'; read "
+                    "SimulationClock.now instead",
+                )
+
+
+@register
+class RawTimestampParameterRule(Rule):
+    """REP011: functions that accept raw timestamps.
+
+    A parameter named ``timestamp``/``epoch_seconds``/… means the caller
+    is passing loose integers around the clock, losing the monotonicity
+    guarantee.  Pass the :class:`SimulationClock` (or a day/week index)
+    instead.
+    """
+
+    rule_id = "REP011"
+    title = "raw timestamp parameter"
+    severity = Severity.WARNING
+    exempt_basenames = frozenset({"clock.py"})
+
+    def check(self, module: ModuleContext) -> Iterator:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            args = node.args
+            every_arg = (
+                list(args.posonlyargs)
+                + list(args.args)
+                + list(args.kwonlyargs)
+            )
+            for arg in every_arg:
+                if arg.arg in _TIMESTAMP_PARAM_NAMES:
+                    yield self.finding(
+                        module,
+                        arg,
+                        f"parameter '{arg.arg}' bypasses the simulation "
+                        "clock; pass the SimulationClock or a day index",
+                    )

@@ -1,0 +1,326 @@
+"""Determinism rules (REP001–REP005).
+
+These catch the ways a simulated experiment silently stops being
+reproducible: ambient randomness, wall-clock reads, unordered-set
+iteration, and Python's per-process string-hash salt.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Set
+
+from .findings import Severity
+from .rules import ModuleContext, Rule, register
+
+__all__ = [
+    "AmbientRandomRule",
+    "WallClockRule",
+    "UnorderedSetIterationRule",
+    "SaltedHashRule",
+    "OsEntropyRule",
+]
+
+#: ``time`` module attributes that read the host clock.
+_WALL_TIME_ATTRS = frozenset(
+    {
+        "time",
+        "time_ns",
+        "monotonic",
+        "monotonic_ns",
+        "perf_counter",
+        "perf_counter_ns",
+        "localtime",
+        "gmtime",
+    }
+)
+#: ``datetime``/``date`` constructors that read the host clock.
+_WALL_DATETIME_ATTRS = frozenset({"now", "utcnow", "today"})
+#: Annotation names that denote an unordered collection.
+_SET_ANNOTATIONS = frozenset(
+    {"Set", "FrozenSet", "AbstractSet", "MutableSet", "set", "frozenset"}
+)
+
+
+def _attr_root(node: ast.Attribute) -> str:
+    """The leftmost name of a dotted access ('' when not a plain name)."""
+    value = node.value
+    while isinstance(value, ast.Attribute):
+        value = value.value
+    return value.id if isinstance(value, ast.Name) else ""
+
+
+@register
+class AmbientRandomRule(Rule):
+    """REP001: randomness outside :class:`~repro.rng.SeededRng`.
+
+    Flags ``import random`` / ``from random import ...`` (including
+    ``numpy.random``) and every ``random.<attr>`` use.  All stochastic
+    behaviour must flow through a forked :class:`SeededRng` stream;
+    ``rng.py``'s own wrapper import is grandfathered in the baseline.
+    """
+
+    rule_id = "REP001"
+    title = "ambient randomness"
+    severity = Severity.ERROR
+
+    def check(self, module: ModuleContext) -> Iterator:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "random" or alias.name.endswith(".random"):
+                        yield self.finding(
+                            module,
+                            node,
+                            f"import of '{alias.name}' bypasses SeededRng; "
+                            "draw from a forked SeededRng stream instead",
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                if node.module == "random" or (
+                    node.module or ""
+                ).endswith(".random"):
+                    yield self.finding(
+                        module,
+                        node,
+                        f"import from '{node.module}' bypasses SeededRng; "
+                        "draw from a forked SeededRng stream instead",
+                    )
+            elif isinstance(node, ast.Attribute):
+                if isinstance(node.value, ast.Name) and node.value.id == "random":
+                    yield self.finding(
+                        module,
+                        node,
+                        f"'random.{node.attr}' is ambient randomness; "
+                        "draw from a forked SeededRng stream instead",
+                    )
+
+
+@register
+class WallClockRule(Rule):
+    """REP002: wall-clock reads.
+
+    Simulation time comes from :class:`~repro.clock.SimulationClock`
+    only.  Flags ``time.time()``-family calls and
+    ``datetime.now/utcnow/today`` (module- or class-qualified), plus
+    ``from time import time``-style imports of clock readers.
+    """
+
+    rule_id = "REP002"
+    title = "wall-clock read"
+    severity = Severity.ERROR
+
+    def check(self, module: ModuleContext) -> Iterator:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Attribute):
+                root = _attr_root(node)
+                if root == "time" and node.attr in _WALL_TIME_ATTRS:
+                    yield self.finding(
+                        module,
+                        node,
+                        f"'time.{node.attr}' reads the wall clock; "
+                        "use SimulationClock.now",
+                    )
+                elif (
+                    root in ("datetime", "date")
+                    and node.attr in _WALL_DATETIME_ATTRS
+                ):
+                    yield self.finding(
+                        module,
+                        node,
+                        f"'{root}.{node.attr}' reads the wall clock; "
+                        "use SimulationClock.now",
+                    )
+            elif isinstance(node, ast.ImportFrom) and node.module == "time":
+                for alias in node.names:
+                    if alias.name in _WALL_TIME_ATTRS:
+                        yield self.finding(
+                            module,
+                            node,
+                            f"'from time import {alias.name}' imports a "
+                            "wall-clock reader; use SimulationClock.now",
+                        )
+
+
+def _set_returning_callables(tree: ast.Module) -> Set[str]:
+    """Names of functions/methods annotated as returning a set type."""
+    names: Set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            if node.returns is not None and _is_set_annotation(node.returns):
+                names.add(node.name)
+    return names
+
+
+def _is_set_annotation(node: ast.AST) -> bool:
+    if isinstance(node, ast.Subscript):
+        return _is_set_annotation(node.value)
+    if isinstance(node, ast.Name):
+        return node.id in _SET_ANNOTATIONS
+    if isinstance(node, ast.Attribute):
+        return node.attr in _SET_ANNOTATIONS
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        head = node.value.split("[", 1)[0].strip()
+        return head.split(".")[-1] in _SET_ANNOTATIONS
+    return False
+
+
+@register
+class UnorderedSetIterationRule(Rule):
+    """REP003: iterating an unordered set without ``sorted()``.
+
+    Set iteration order depends on insertion history and (for strings)
+    the per-process hash salt, so any result that flows out of a bare
+    set loop is unstable.  Flags ``for``/comprehension iteration over
+    set literals, set comprehensions, ``set()``/``frozenset()`` calls,
+    and calls to same-module functions annotated ``-> Set[...]``.
+    Wrapping the iterable in ``sorted(...)`` clears the finding.
+    """
+
+    rule_id = "REP003"
+    title = "unordered set iteration"
+    severity = Severity.ERROR
+
+    def check(self, module: ModuleContext) -> Iterator:
+        set_fns = _set_returning_callables(module.tree)
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.For):
+                iters = [node.iter]
+            elif isinstance(
+                node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)
+            ):
+                iters = [gen.iter for gen in node.generators]
+            else:
+                continue
+            for iterable in iters:
+                if self._is_unordered(iterable, set_fns):
+                    yield self.finding(
+                        module,
+                        iterable,
+                        "iteration over an unordered set; wrap the iterable "
+                        "in sorted(...) to fix the order",
+                    )
+
+    @staticmethod
+    def _is_unordered(node: ast.AST, set_fns: Set[str]) -> bool:
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Call):
+            func = node.func
+            if isinstance(func, ast.Name):
+                return func.id in ("set", "frozenset") or func.id in set_fns
+            if isinstance(func, ast.Attribute):
+                # Only self.method() calls are resolvable within the module.
+                if isinstance(func.value, ast.Name) and func.value.id == "self":
+                    return func.attr in set_fns
+        return False
+
+
+@register
+class SaltedHashRule(Rule):
+    """REP004: builtin ``hash()`` outside ``__hash__``.
+
+    Python salts string hashing per process, so ``hash()`` values must
+    never feed ordering, bucketing, or persisted artefacts.  Inside a
+    ``__hash__`` method the value stays process-local by construction;
+    everywhere else, use :func:`repro.rng.stable_hash`.
+    """
+
+    rule_id = "REP004"
+    title = "salted hash()"
+    severity = Severity.ERROR
+
+    def check(self, module: ModuleContext) -> Iterator:
+        for scope, node in _walk_with_function_scope(module.tree):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id == "hash"
+                and scope != "__hash__"
+            ):
+                yield self.finding(
+                    module,
+                    node,
+                    "builtin hash() is salted per process; use "
+                    "repro.rng.stable_hash for stable values",
+                )
+
+
+def _walk_with_function_scope(tree: ast.Module):
+    """Yield (enclosing-function-name, node) pairs, '' at module level."""
+    stack = [("", tree)]
+    while stack:
+        scope, node = stack.pop()
+        yield scope, node
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                stack.append((child.name, child))
+            else:
+                stack.append((scope, child))
+
+
+@register
+class OsEntropyRule(Rule):
+    """REP005: OS entropy sources.
+
+    ``os.urandom``, ``uuid.uuid1``/``uuid4``, and everything in
+    ``secrets`` are non-reproducible by design.  Identifiers must be
+    derived from the world seed (e.g. ``stable_hash``/``SeededRng``).
+    """
+
+    rule_id = "REP005"
+    title = "OS entropy"
+    severity = Severity.ERROR
+
+    def check(self, module: ModuleContext) -> Iterator:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "secrets":
+                        yield self.finding(
+                            module, node,
+                            "the 'secrets' module is OS entropy; derive "
+                            "values from the world seed",
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                if node.module == "secrets":
+                    yield self.finding(
+                        module, node,
+                        "the 'secrets' module is OS entropy; derive values "
+                        "from the world seed",
+                    )
+                elif node.module == "os":
+                    for alias in node.names:
+                        if alias.name in ("urandom", "getrandom"):
+                            yield self.finding(
+                                module, node,
+                                f"'os.{alias.name}' is OS entropy; derive "
+                                "values from the world seed",
+                            )
+                elif node.module == "uuid":
+                    for alias in node.names:
+                        if alias.name in ("uuid1", "uuid4"):
+                            yield self.finding(
+                                module, node,
+                                f"'uuid.{alias.name}' is OS entropy; derive "
+                                "identifiers from stable_hash",
+                            )
+            elif isinstance(node, ast.Attribute):
+                root = _attr_root(node)
+                if root == "os" and node.attr in ("urandom", "getrandom"):
+                    yield self.finding(
+                        module, node,
+                        f"'os.{node.attr}' is OS entropy; derive values "
+                        "from the world seed",
+                    )
+                elif root == "uuid" and node.attr in ("uuid1", "uuid4"):
+                    yield self.finding(
+                        module, node,
+                        f"'uuid.{node.attr}' is OS entropy; derive "
+                        "identifiers from stable_hash",
+                    )
+                elif root == "secrets":
+                    yield self.finding(
+                        module, node,
+                        f"'secrets.{node.attr}' is OS entropy; derive "
+                        "values from the world seed",
+                    )

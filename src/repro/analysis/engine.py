@@ -1,0 +1,138 @@
+"""The analysis driver: file discovery, parsing, and rule application.
+
+:class:`Analyzer` turns a list of paths (files or directories) into a
+deterministic, sorted list of :class:`~repro.analysis.findings.Finding`.
+Discovery order, finding order, and fingerprints are all stable across
+processes — the linter holds itself to the same reproducibility bar it
+enforces.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from dataclasses import replace
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..errors import AnalysisError
+from .findings import Finding
+from .rules import ModuleContext, Rule, RuleRegistry, default_registry
+
+__all__ = ["Analyzer"]
+
+
+class Analyzer:
+    """Runs a rule pack over Python source trees.
+
+    Parameters
+    ----------
+    rules:
+        Explicit rule instances; defaults to the full registered pack.
+    select / ignore:
+        Rule-ID filters applied when ``rules`` is not given.
+    root:
+        Directory that finding paths are made relative to (defaults to
+        the current working directory).  Using repo-relative paths keeps
+        baseline fingerprints identical no matter where the tree is
+        checked out.
+    registry:
+        Registry to draw rules from; defaults to the process-wide one.
+    """
+
+    def __init__(
+        self,
+        rules: Optional[Sequence[Rule]] = None,
+        select: Optional[Iterable[str]] = None,
+        ignore: Optional[Iterable[str]] = None,
+        root: Optional[str] = None,
+        registry: Optional[RuleRegistry] = None,
+    ) -> None:
+        registry = registry or default_registry()
+        if rules is None:
+            rules = registry.instantiate(select=select, ignore=ignore)
+        self.rules: List[Rule] = list(rules)
+        self.root = os.path.abspath(root or os.getcwd())
+
+    # -- discovery ------------------------------------------------------
+
+    def discover(self, paths: Iterable[str]) -> List[str]:
+        """Expand files/directories into a sorted list of ``.py`` files."""
+        files: List[str] = []
+        for path in paths:
+            if os.path.isdir(path):
+                for dirpath, dirnames, filenames in os.walk(path):
+                    dirnames.sort()
+                    dirnames[:] = [
+                        d for d in dirnames
+                        if d != "__pycache__" and not d.startswith(".")
+                    ]
+                    for filename in sorted(filenames):
+                        if filename.endswith(".py"):
+                            files.append(os.path.join(dirpath, filename))
+            elif os.path.isfile(path):
+                files.append(path)
+            else:
+                raise AnalysisError(f"no such file or directory: {path}")
+        # De-duplicate while keeping a deterministic order.
+        unique: Dict[str, None] = {}
+        for path in files:
+            unique.setdefault(os.path.abspath(path), None)
+        return sorted(unique)
+
+    def _display_path(self, abspath: str) -> str:
+        relative = os.path.relpath(abspath, self.root)
+        if relative.startswith(".."):
+            return abspath.replace(os.sep, "/")
+        return relative.replace(os.sep, "/")
+
+    # -- execution ------------------------------------------------------
+
+    def parse(self, abspath: str) -> ModuleContext:
+        """Read and parse one file into a :class:`ModuleContext`."""
+        try:
+            with open(abspath, "r", encoding="utf-8") as handle:
+                source = handle.read()
+        except OSError as exc:
+            raise AnalysisError(f"cannot read {abspath}: {exc}") from exc
+        try:
+            tree = ast.parse(source, filename=abspath)
+        except SyntaxError as exc:
+            raise AnalysisError(
+                f"cannot parse {abspath}: {exc.msg} (line {exc.lineno})"
+            ) from exc
+        return ModuleContext(
+            path=self._display_path(abspath),
+            basename=os.path.basename(abspath),
+            tree=tree,
+            lines=source.splitlines(),
+        )
+
+    def check_module(self, module: ModuleContext) -> List[Finding]:
+        """Apply every rule to one parsed module."""
+        findings: List[Finding] = []
+        for rule in self.rules:
+            if rule.applies_to(module):
+                findings.extend(rule.check(module))
+        return findings
+
+    def run(self, paths: Iterable[str]) -> List[Finding]:
+        """Lint ``paths`` and return findings in deterministic order.
+
+        Findings are sorted by location and assigned occurrence indices
+        so two identical violating lines in one file get distinct
+        fingerprints.
+        """
+        findings: List[Finding] = []
+        for abspath in self.discover(paths):
+            findings.extend(self.check_module(self.parse(abspath)))
+        findings.sort(key=lambda f: f.sort_key)
+        counts: Dict[Tuple[str, str, str], int] = {}
+        numbered: List[Finding] = []
+        for finding in findings:
+            key = (finding.rule_id, finding.path, finding.source.strip())
+            occurrence = counts.get(key, 0)
+            counts[key] = occurrence + 1
+            if occurrence:
+                finding = replace(finding, occurrence=occurrence)
+            numbered.append(finding)
+        return numbered

@@ -1,0 +1,74 @@
+"""Reporters: render findings for humans (text) and CI (JSON)."""
+
+from __future__ import annotations
+
+import json
+from typing import List, Optional, Sequence
+
+from .baseline import Baseline
+from .findings import Finding, Severity
+
+__all__ = ["render_json", "render_text"]
+
+
+def render_text(
+    findings: Sequence[Finding],
+    suppressed: Sequence[Finding] = (),
+    baseline: Optional[Baseline] = None,
+) -> str:
+    """Human-readable report: one line per finding plus a summary.
+
+    ``suppressed`` findings (matched by the baseline) are counted but not
+    listed; stale baseline entries are listed so the allowlist cannot
+    silently rot.
+    """
+    lines: List[str] = [finding.render() for finding in findings]
+    errors = sum(1 for f in findings if f.severity is Severity.ERROR)
+    warnings = len(findings) - errors
+    summary = (
+        f"{len(findings)} finding(s): {errors} error(s), "
+        f"{warnings} warning(s)"
+    )
+    if suppressed:
+        summary += f"; {len(suppressed)} baselined"
+    lines.append(summary)
+    if baseline is not None:
+        live = list(findings) + list(suppressed)
+        for entry in baseline.stale_entries(live):
+            lines.append(
+                f"stale baseline entry (violation no longer exists): "
+                f"{entry.render()}"
+            )
+    return "\n".join(lines)
+
+
+def render_json(
+    findings: Sequence[Finding],
+    suppressed: Sequence[Finding] = (),
+    baseline: Optional[Baseline] = None,
+) -> str:
+    """Machine-readable report for CI gating."""
+    live = list(findings) + list(suppressed)
+    stale = baseline.stale_entries(live) if baseline is not None else []
+    payload = {
+        "version": 1,
+        "count": len(findings),
+        "errors": sum(
+            1 for f in findings if f.severity is Severity.ERROR
+        ),
+        "warnings": sum(
+            1 for f in findings if f.severity is Severity.WARNING
+        ),
+        "baselined": len(suppressed),
+        "findings": [finding.to_dict() for finding in findings],
+        "stale_baseline_entries": [
+            {
+                "rule": entry.rule_id,
+                "path": entry.path,
+                "fingerprint": entry.fingerprint,
+                "comment": entry.comment,
+            }
+            for entry in stale
+        ],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)

@@ -1,0 +1,165 @@
+"""Rule base class, module context, and the rule registry.
+
+A rule is a small class with a ``rule_id`` (``REPnnn``), a severity, and a
+``check`` method that walks one module's AST and yields findings.  Rules
+register themselves with the default :class:`RuleRegistry` via the
+:func:`register` decorator at import time; the engine instantiates the
+registry's rules once per run and applies ``--select`` / ``--ignore``
+filtering by rule ID.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import ClassVar, Dict, Iterable, Iterator, List, Optional, Type
+
+from ..errors import AnalysisError
+from .findings import Finding, Severity
+
+__all__ = [
+    "ModuleContext",
+    "Rule",
+    "RuleRegistry",
+    "default_registry",
+    "register",
+]
+
+
+@dataclass
+class ModuleContext:
+    """One parsed module, as seen by every rule.
+
+    ``path`` is the posix-style path recorded in findings (relative to the
+    analysis root when possible), ``basename`` the file name, ``tree`` the
+    parsed AST, and ``lines`` the raw source split into lines (1-indexed
+    through :meth:`source_line`).
+    """
+
+    path: str
+    basename: str
+    tree: ast.Module
+    lines: List[str] = field(default_factory=list)
+
+    def source_line(self, lineno: int) -> str:
+        """The raw text of a 1-indexed source line ("" out of range)."""
+        if 1 <= lineno <= len(self.lines):
+            return self.lines[lineno - 1]
+        return ""
+
+
+class Rule:
+    """Base class for all lint rules.
+
+    Subclasses set the class attributes and implement :meth:`check`.
+    The :meth:`finding` helper builds a :class:`Finding` anchored to an
+    AST node, pulling the source line text for fingerprinting.
+    """
+
+    rule_id: ClassVar[str] = ""
+    title: ClassVar[str] = ""
+    severity: ClassVar[Severity] = Severity.ERROR
+    #: Module basenames this rule never applies to (e.g. the clock rules
+    #: do not police ``clock.py`` itself).
+    exempt_basenames: ClassVar[frozenset] = frozenset()
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        """Yield findings for one module.  Subclasses must override."""
+        raise NotImplementedError
+
+    def applies_to(self, module: ModuleContext) -> bool:
+        """Whether this rule runs on the given module at all."""
+        return module.basename not in self.exempt_basenames
+
+    def finding(
+        self, module: ModuleContext, node: ast.AST, message: str
+    ) -> Finding:
+        """Build a finding anchored at ``node``."""
+        line = getattr(node, "lineno", 1)
+        column = getattr(node, "col_offset", 0)
+        return Finding(
+            rule_id=self.rule_id,
+            path=module.path,
+            line=line,
+            column=column,
+            message=message,
+            severity=self.severity,
+            source=module.source_line(line),
+        )
+
+
+class RuleRegistry:
+    """An ordered collection of rule classes keyed by rule ID."""
+
+    def __init__(self) -> None:
+        self._rules: Dict[str, Type[Rule]] = {}
+
+    def add(self, rule_cls: Type[Rule]) -> Type[Rule]:
+        """Register a rule class; duplicate IDs are a programming error."""
+        rule_id = rule_cls.rule_id
+        if not rule_id:
+            raise AnalysisError(f"rule {rule_cls.__name__} has no rule_id")
+        if rule_id in self._rules and self._rules[rule_id] is not rule_cls:
+            raise AnalysisError(f"duplicate rule id: {rule_id}")
+        self._rules[rule_id] = rule_cls
+        return rule_cls
+
+    def __contains__(self, rule_id: str) -> bool:
+        return rule_id in self._rules
+
+    def __len__(self) -> int:
+        return len(self._rules)
+
+    def ids(self) -> List[str]:
+        """All registered rule IDs, sorted."""
+        return sorted(self._rules)
+
+    def get(self, rule_id: str) -> Type[Rule]:
+        """Look up one rule class by ID."""
+        try:
+            return self._rules[rule_id]
+        except KeyError:
+            raise AnalysisError(f"unknown rule id: {rule_id}") from None
+
+    def instantiate(
+        self,
+        select: Optional[Iterable[str]] = None,
+        ignore: Optional[Iterable[str]] = None,
+    ) -> List[Rule]:
+        """Build rule instances, honouring select/ignore ID filters.
+
+        Unknown IDs in either filter raise :class:`AnalysisError` so typos
+        fail loudly instead of silently disabling nothing.
+        """
+        selected = self._validate(select)
+        ignored = self._validate(ignore)
+        rules: List[Rule] = []
+        for rule_id in self.ids():
+            if selected is not None and rule_id not in selected:
+                continue
+            if ignored is not None and rule_id in ignored:
+                continue
+            rules.append(self._rules[rule_id]())
+        return rules
+
+    def _validate(self, ids: Optional[Iterable[str]]) -> Optional[frozenset]:
+        if ids is None:
+            return None
+        wanted = frozenset(ids)
+        for rule_id in sorted(wanted):
+            if rule_id not in self._rules:
+                raise AnalysisError(f"unknown rule id: {rule_id}")
+        return wanted
+
+
+_DEFAULT = RuleRegistry()
+
+
+def default_registry() -> RuleRegistry:
+    """The process-wide registry that built-in rules register into."""
+    return _DEFAULT
+
+
+def register(rule_cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator: add a rule to the default registry."""
+    return _DEFAULT.add(rule_cls)

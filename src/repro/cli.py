@@ -6,16 +6,23 @@
     python -m repro scan   [--population N] [--seed S]
     python -m repro attack [--population N] [--seed S] [--gbps G]
     python -m repro purge-probe [--trials T] [--plan PLAN]
+    python -m repro lint   [paths] [--select IDS] [--ignore IDS]
+                           [--format text|json] [--baseline PATH]
+                           [--update-baseline]
 
 ``study`` runs the full six-week campaign and prints every table and
 figure; ``scan`` runs one §V residual-resolution sweep; ``attack``
 demonstrates the Fig. 1 bypass; ``purge-probe`` reruns the §V-A-3
-controlled purge measurement.
+controlled purge measurement; ``lint`` runs the determinism and
+simulation-invariant static analysis (exit 0 clean, 1 findings, 2
+usage error).
 """
 
 from __future__ import annotations
 
 import argparse
+import os
+import sys
 from typing import List, Optional
 
 from .core.attacker import DdosSimulator, ResidualResolutionAttacker
@@ -74,12 +81,85 @@ def build_parser() -> argparse.ArgumentParser:
     probe.add_argument(
         "--plan", choices=[t.value for t in PlanTier], default="free"
     )
+
+    lint = subparsers.add_parser(
+        "lint", help="determinism & simulation-invariant static analysis"
+    )
+    lint.add_argument(
+        "paths", nargs="*", default=None, metavar="PATH",
+        help="files or directories to lint (default: the repro package)",
+    )
+    lint.add_argument(
+        "--select", default=None, metavar="IDS",
+        help="comma-separated rule IDs to run (default: all)",
+    )
+    lint.add_argument(
+        "--ignore", default=None, metavar="IDS",
+        help="comma-separated rule IDs to skip",
+    )
+    lint.add_argument(
+        "--format", choices=["text", "json"], default="text",
+        dest="output_format", help="report format (default: text)",
+    )
+    lint.add_argument(
+        "--baseline", default="lint-baseline.txt", metavar="PATH",
+        help="baseline (allowlist) file (default: lint-baseline.txt)",
+    )
+    lint.add_argument(
+        "--update-baseline", action="store_true",
+        help="rewrite the baseline to cover all current findings",
+    )
     return parser
+
+
+def _default_lint_paths() -> List[str]:
+    """Lint ``src/repro`` when run from a checkout, else the package."""
+    if os.path.isdir(os.path.join("src", "repro")):
+        return [os.path.join("src", "repro")]
+    return [os.path.dirname(os.path.abspath(__file__))]
+
+
+def _cmd_lint(args) -> int:
+    from .analysis import Analyzer, Baseline, render_json, render_text
+    from .errors import AnalysisError
+
+    def split_ids(raw: Optional[str]) -> Optional[List[str]]:
+        if raw is None:
+            return None
+        ids = [part.strip() for part in raw.split(",") if part.strip()]
+        if not ids:
+            raise AnalysisError("empty rule-ID list for --select/--ignore")
+        return ids
+
+    try:
+        analyzer = Analyzer(
+            select=split_ids(args.select), ignore=split_ids(args.ignore)
+        )
+        findings = analyzer.run(args.paths or _default_lint_paths())
+        baseline = Baseline.load(args.baseline)
+        if args.update_baseline:
+            Baseline.from_findings(findings, previous=baseline).save(
+                args.baseline
+            )
+            print(
+                f"baseline updated: {len(findings)} entry(ies) -> "
+                f"{args.baseline}"
+            )
+            return 0
+        new, suppressed = baseline.split(findings)
+    except AnalysisError as exc:
+        print(f"repro lint: error: {exc}", file=sys.stderr)
+        return 2
+    renderer = render_json if args.output_format == "json" else render_text
+    print(renderer(new, suppressed, baseline))
+    return 1 if new else 0
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
+    if args.command == "lint":
+        return _cmd_lint(args)
     world = SimulatedInternet(
         WorldConfig(population_size=args.population, seed=args.seed)
     )

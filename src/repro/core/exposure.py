@@ -91,7 +91,7 @@ class ExposureTimeline:
         if len(self._weeks) < 3:
             return set()
         bounded: Set[str] = set()
-        for site in self.all_websites():
+        for site in sorted(self.all_websites()):
             present = [i for i, week in enumerate(self._weeks) if site in week]
             first, last = present[0], present[-1]
             if first > 0 and last < len(self._weeks) - 1:
@@ -99,9 +99,10 @@ class ExposureTimeline:
         return bounded
 
     def exposure_spans(self) -> Dict[str, int]:
-        """Site → observed exposure span in weeks (last - first + 1)."""
+        """Site → observed exposure span in weeks (last - first + 1),
+        keyed in sorted-site order so exports are byte-stable."""
         spans: Dict[str, int] = {}
-        for site in self.all_websites():
+        for site in sorted(self.all_websites()):
             present = [i for i, week in enumerate(self._weeks) if site in week]
             spans[site] = present[-1] - present[0] + 1
         return spans

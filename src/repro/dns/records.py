@@ -15,6 +15,7 @@ import enum
 from dataclasses import dataclass
 from typing import Union
 
+from ..clock import SECONDS_PER_DAY
 from ..errors import ZoneError
 from ..net.ipaddr import IPv4Address
 from .name import DomainName
@@ -39,7 +40,7 @@ __all__ = [
 #: keeps stale delegations alive after a customer departs.
 DEFAULT_A_TTL = 300
 DEFAULT_CNAME_TTL = 300
-DEFAULT_NS_TTL = 86400
+DEFAULT_NS_TTL = SECONDS_PER_DAY
 
 
 class RecordType(enum.Enum):

@@ -20,7 +20,7 @@ from ..errors import ConfigurationError, ZoneError
 from ..net.fabric import NetworkFabric
 from ..net.geo import Region
 from ..net.ipaddr import AddressAllocator, IPv4Address
-from ..clock import SimulationClock
+from ..clock import SECONDS_PER_DAY, SimulationClock
 from .authoritative import AuthoritativeServer
 from .name import DomainName, ROOT
 from .records import RecordType
@@ -68,7 +68,7 @@ class DnsHierarchy:
             self._tld_servers[tld] = server
             self._root_zone.delegate(tld_name, [ns_host], glue={str(ns_host): ip})
             # The TLD zone must also answer for its own nameserver's address.
-            zone.set_a(ns_host, ip, ttl=86400)
+            zone.set_a(ns_host, ip, ttl=SECONDS_PER_DAY)
 
     # -- plumbing accessors ------------------------------------------------------
 

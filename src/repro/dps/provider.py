@@ -27,7 +27,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional
 
-from ..clock import SimulationClock
+from ..clock import SECONDS_PER_DAY, SimulationClock
 from ..dns.authoritative import AnswerPolicy, AuthoritativeServer
 from ..dns.message import DnsQuery, DnsResponse, Rcode
 from ..dns.name import DomainName
@@ -236,7 +236,7 @@ class DpsProvider:
         )
         self.infra_zone = Zone(self.infra_domain, primary_ns=infra_ns_hosts[0])
         for host in infra_ns_hosts:
-            self.infra_zone.set_a(host, self.infra_fleet.address_of(host), ttl=86400)
+            self.infra_zone.set_a(host, self.infra_fleet.address_of(host), ttl=SECONDS_PER_DAY)
         self.infra_fleet.backend.host_zone(self.infra_zone)
 
         self.customer_fleet: Optional[NameserverFleet] = None
@@ -251,7 +251,7 @@ class DpsProvider:
             # Customer-fleet hostnames resolve via the infra zone.
             for hostname in hostnames:
                 self.infra_zone.set_a(
-                    hostname, self.customer_fleet.address_of(hostname), ttl=86400
+                    hostname, self.customer_fleet.address_of(hostname), ttl=SECONDS_PER_DAY
                 )
 
         # Delegate the infra domain from its TLD so the world can find us.
@@ -480,7 +480,7 @@ class DpsProvider:
             horizon_days = self.plan_policy(record.plan).purge_horizon_days
             if horizon_days is None:
                 continue
-            age_days = (self.clock.now - record.terminated_at) // 86400
+            age_days = (self.clock.now - record.terminated_at) // SECONDS_PER_DAY
             if age_days >= horizon_days:
                 self._forget(record)
                 purged.append(name)

@@ -8,6 +8,28 @@ hierarchy is visible in one place and there are no circular imports.
 
 from __future__ import annotations
 
+__all__ = [
+    "ReproError",
+    "ConfigurationError",
+    "NetworkError",
+    "AddressError",
+    "AllocationError",
+    "RoutingError",
+    "DnsError",
+    "NameError_",
+    "ZoneError",
+    "ResolutionError",
+    "WebError",
+    "ConnectionRefused",
+    "BadGateway",
+    "DpsError",
+    "PortalError",
+    "PlanError",
+    "SimulationError",
+    "MeasurementError",
+    "AnalysisError",
+]
+
 
 class ReproError(Exception):
     """Base class for all errors raised by the ``repro`` library."""
@@ -114,3 +136,13 @@ class SimulationError(ReproError):
 class MeasurementError(ReproError):
     """A measurement component was used incorrectly (e.g. diffing
     snapshots from non-consecutive days)."""
+
+
+# ---------------------------------------------------------------------------
+# Static analysis
+# ---------------------------------------------------------------------------
+
+
+class AnalysisError(ReproError):
+    """The ``repro lint`` engine was misused (bad rule ID, unreadable
+    path, malformed baseline file).  Maps to CLI exit code 2."""

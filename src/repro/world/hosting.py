@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional
 
+from ..clock import SECONDS_PER_DAY, SECONDS_PER_HOUR
 from ..dns.authoritative import AuthoritativeServer
 from ..dns.name import DomainName
 from ..dns.records import RecordType, cname_record, ns_record
@@ -56,7 +57,7 @@ class HostingProvider:
         ns_ips: Dict[str, IPv4Address] = {}
         for host in self.ns_hostnames:
             ip = self._pool.allocate_address()
-            infra_zone.set_a(host, ip, ttl=86400)
+            infra_zone.set_a(host, ip, ttl=SECONDS_PER_DAY)
             fabric.register_dns(ip, self.server)
             ns_ips[str(host)] = ip
         self.server.host_zone(infra_zone)
@@ -103,8 +104,8 @@ class HostingProvider:
         zone = Zone(apex_name, primary_ns=self.ns_hostnames[0])
         for ns_host in self.ns_hostnames:
             zone.add(ns_record(apex_name, ns_host))
-        zone.set_a(apex_name, www_ip, ttl=3600)
-        zone.set_a(apex_name.child("www"), www_ip, ttl=3600)
+        zone.set_a(apex_name, www_ip, ttl=SECONDS_PER_HOUR)
+        zone.set_a(apex_name.child("www"), www_ip, ttl=SECONDS_PER_HOUR)
         self.server.host_zone(zone)
         self._zones[apex_name] = zone
         self._hierarchy.delegate_apex(apex_name, self.ns_hostnames)
@@ -134,15 +135,15 @@ class HostingProvider:
         zone = self.zone_of(apex)
         www = DomainName(apex).child("www")
         zone.remove_all(www, RecordType.CNAME)
-        zone.set_a(www, address, ttl=3600)
-        zone.set_a(DomainName(apex), address, ttl=3600)
+        zone.set_a(www, address, ttl=SECONDS_PER_HOUR)
+        zone.set_a(DomainName(apex), address, ttl=SECONDS_PER_HOUR)
 
     def set_www_cname(self, apex: "DomainName | str", target: DomainName) -> None:
         """Point the www hostname at a canonical name (CNAME rerouting)."""
         zone = self.zone_of(apex)
         www = DomainName(apex).child("www")
         zone.remove_name(www)
-        zone.add(cname_record(www, target, ttl=3600))
+        zone.add(cname_record(www, target, ttl=SECONDS_PER_HOUR))
 
     def remove_www(self, apex: "DomainName | str") -> None:
         """Drop the www records entirely (the site going dark)."""

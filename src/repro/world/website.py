@@ -17,6 +17,7 @@ from __future__ import annotations
 import enum
 from typing import Optional
 
+from ..clock import SECONDS_PER_HOUR
 from ..dns.name import DomainName
 from ..dps.plans import PlanTier
 from ..dps.portal import ReroutingMethod
@@ -137,12 +138,12 @@ class Website:
         records = []
         if self.has_dev_subdomain:
             records.append(
-                a_record(self.apex.child(self.leak_label), self.origin.ip, ttl=3600)
+                a_record(self.apex.child(self.leak_label), self.origin.ip, ttl=SECONDS_PER_HOUR)
             )
         if self.has_mx_leak:
             mail_host = self.apex.child("mail")
             records.append(mx_record(self.apex, mail_host))
-            records.append(a_record(mail_host, self.origin.ip, ttl=3600))
+            records.append(a_record(mail_host, self.origin.ip, ttl=SECONDS_PER_HOUR))
         return records
 
     def refresh_leak_records(self) -> None:
@@ -154,9 +155,9 @@ class Website:
         from ..dns.records import RecordType
 
         if self.has_dev_subdomain:
-            zone.set_a(self.apex.child(self.leak_label), self.origin.ip, ttl=3600)
+            zone.set_a(self.apex.child(self.leak_label), self.origin.ip, ttl=SECONDS_PER_HOUR)
         if self.has_mx_leak:
-            zone.set_a(self.apex.child("mail"), self.origin.ip, ttl=3600)
+            zone.set_a(self.apex.child("mail"), self.origin.ip, ttl=SECONDS_PER_HOUR)
 
     def pause(self, day: int, resume_on_day: Optional[int]) -> None:
         """Temporarily disable protection (ON → OFF)."""

@@ -1,0 +1,30 @@
+"""Shared helpers for the analysis-engine tests."""
+
+import textwrap
+
+import pytest
+
+from repro.analysis import Analyzer
+
+
+@pytest.fixture
+def lint(tmp_path):
+    """Lint one source snippet and return its findings.
+
+    Usage: ``lint("import random\\n", select=["REP001"])``.  The snippet
+    is written to a file under ``tmp_path`` (name controllable via
+    ``filename`` to exercise basename exemptions).
+    """
+
+    def _lint(source, filename="snippet.py", select=None, ignore=None):
+        path = tmp_path / filename
+        path.write_text(textwrap.dedent(source), encoding="utf-8")
+        analyzer = Analyzer(root=str(tmp_path), select=select, ignore=ignore)
+        return analyzer.run([str(path)])
+
+    return _lint
+
+
+def rule_ids(findings):
+    """The rule IDs of a findings list, in report order."""
+    return [finding.rule_id for finding in findings]

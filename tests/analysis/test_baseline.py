@@ -1,0 +1,103 @@
+"""Baseline (allowlist) round-trip, suppression, and staleness."""
+
+import pytest
+
+from repro.analysis import Analyzer, Baseline, BaselineEntry
+from repro.errors import AnalysisError
+
+
+def findings_for(tmp_path, source="import random\nx = 86400\n"):
+    path = tmp_path / "mod.py"
+    path.write_text(source, encoding="utf-8")
+    return Analyzer(
+        root=str(tmp_path), select=["REP001", "REP010"]
+    ).run([str(path)])
+
+
+class TestRoundTrip:
+    def test_write_reload_suppress(self, tmp_path):
+        findings = findings_for(tmp_path)
+        assert findings
+        baseline = Baseline.from_findings(findings)
+        baseline_path = tmp_path / "baseline.txt"
+        baseline.save(str(baseline_path))
+
+        reloaded = Baseline.load(str(baseline_path))
+        assert len(reloaded) == len(findings)
+        new, suppressed = reloaded.split(findings)
+        assert new == []
+        assert len(suppressed) == len(findings)
+
+    def test_comments_survive_regeneration(self, tmp_path):
+        findings = findings_for(tmp_path)
+        first = Baseline.from_findings(findings)
+        hand_edited = Baseline(
+            [
+                BaselineEntry(
+                    entry.rule_id,
+                    entry.path,
+                    entry.fingerprint,
+                    "reviewed by a human",
+                )
+                for entry in first.entries()
+            ]
+        )
+        regenerated = Baseline.from_findings(findings, previous=hand_edited)
+        assert all(
+            entry.comment == "reviewed by a human"
+            for entry in regenerated.entries()
+        )
+
+    def test_render_parse_identity(self, tmp_path):
+        baseline = Baseline.from_findings(findings_for(tmp_path))
+        assert Baseline.parse(baseline.render()).entries() == (
+            baseline.entries()
+        )
+
+
+class TestSuppression:
+    def test_unrelated_edit_keeps_entry_alive(self, tmp_path):
+        findings = findings_for(tmp_path, "import random\n")
+        baseline = Baseline.from_findings(findings)
+        # Insert a line above: line numbers shift, text does not.
+        moved = findings_for(tmp_path, "'''doc'''\nimport random\n")
+        new, suppressed = baseline.split(moved)
+        assert new == []
+        assert len(suppressed) == 1
+
+    def test_editing_violating_line_orphans_entry(self, tmp_path):
+        findings = findings_for(tmp_path, "import random\n")
+        baseline = Baseline.from_findings(findings)
+        changed = findings_for(tmp_path, "import random as rnd\n")
+        new, _ = baseline.split(changed)
+        assert len(new) == 1
+        assert baseline.stale_entries(changed)
+
+    def test_stale_entries_reported_when_violation_removed(self, tmp_path):
+        findings = findings_for(tmp_path)
+        baseline = Baseline.from_findings(findings)
+        clean = findings_for(tmp_path, "x = 1\n")
+        assert clean == []
+        assert len(baseline.stale_entries(clean)) == len(findings)
+
+
+class TestFileFormat:
+    def test_missing_file_is_empty(self, tmp_path):
+        baseline = Baseline.load(str(tmp_path / "absent.txt"))
+        assert len(baseline) == 0
+
+    def test_malformed_line_raises(self, tmp_path):
+        path = tmp_path / "baseline.txt"
+        path.write_text("REP001 only-two-fields\n", encoding="utf-8")
+        with pytest.raises(AnalysisError):
+            Baseline.load(str(path))
+
+    def test_comments_and_blank_lines_ignored(self):
+        baseline = Baseline.parse("# header\n\n# another comment\n")
+        assert len(baseline) == 0
+
+    def test_entry_comment_parsed(self):
+        baseline = Baseline.parse(
+            "REP001 src/mod.py 00deadbeef00cafe  # intentional\n"
+        )
+        assert baseline.comment_for("00deadbeef00cafe") == "intentional"

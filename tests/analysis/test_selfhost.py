@@ -1,0 +1,76 @@
+"""The self-hosting gate: ``src/repro`` must lint clean.
+
+This is the enforcement point for the repo's determinism guarantees.  If
+this test fails, either fix the reported finding or — for a genuinely
+intended exception — add an annotated entry to ``lint-baseline.txt``.
+Injecting e.g. ``random.random()`` into any ``core/`` module makes this
+test fail with a REP001 finding naming the file and line.
+"""
+
+from pathlib import Path
+
+import repro
+from repro.analysis import Analyzer, Baseline
+
+REPO_ROOT = Path(repro.__file__).resolve().parents[2]
+PACKAGE_DIR = REPO_ROOT / "src" / "repro"
+BASELINE_PATH = REPO_ROOT / "lint-baseline.txt"
+
+
+def run_selfhost():
+    analyzer = Analyzer(root=str(REPO_ROOT))
+    findings = analyzer.run([str(PACKAGE_DIR)])
+    baseline = Baseline.load(str(BASELINE_PATH))
+    return findings, baseline
+
+
+class TestSelfHost:
+    def test_package_layout_is_where_we_expect(self):
+        assert PACKAGE_DIR.is_dir(), PACKAGE_DIR
+
+    def test_no_new_findings(self):
+        findings, baseline = run_selfhost()
+        new, _ = baseline.split(findings)
+        report = "\n".join(finding.render() for finding in new)
+        assert not new, (
+            f"repro lint found {len(new)} non-baselined finding(s) in "
+            f"src/repro — fix them or add annotated baseline entries:\n"
+            f"{report}"
+        )
+
+    def test_no_stale_baseline_entries(self):
+        findings, baseline = run_selfhost()
+        stale = baseline.stale_entries(findings)
+        listing = "\n".join(entry.render() for entry in stale)
+        assert not stale, (
+            f"{len(stale)} baseline entry(ies) no longer match any "
+            f"finding — prune them from lint-baseline.txt:\n{listing}"
+        )
+
+    def test_every_baseline_entry_is_annotated(self):
+        _, baseline = run_selfhost()
+        unannotated = [
+            entry for entry in baseline.entries() if not entry.comment
+        ]
+        assert not unannotated, (
+            "baseline entries need a '# why' comment: "
+            + ", ".join(e.fingerprint for e in unannotated)
+        )
+
+    def test_injected_hazard_is_caught(self, tmp_path):
+        """REP001 names the file and line of an injected random call."""
+        victim = PACKAGE_DIR / "core" / "exposure.py"
+        staged_pkg = tmp_path / "core"
+        staged_pkg.mkdir()
+        staged = staged_pkg / "exposure.py"
+        source = victim.read_text(encoding="utf-8")
+        staged.write_text(
+            source + "\nimport random\nJITTER = random.random()\n",
+            encoding="utf-8",
+        )
+        findings = Analyzer(root=str(tmp_path), select=["REP001"]).run(
+            [str(staged)]
+        )
+        assert [f.rule_id for f in findings] == ["REP001", "REP001"]
+        assert findings[0].path == "core/exposure.py"
+        assert findings[0].line == len(source.splitlines()) + 2

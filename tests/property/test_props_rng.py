@@ -1,0 +1,79 @@
+"""Property tests for the determinism primitives (hypothesis).
+
+The reproduction's headline guarantee: a fork's stream depends only on
+(parent seed, label) — never on fork creation order, interleaved draws,
+or the process it runs in.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.rng import SeededRng, stable_hash
+
+seeds = st.integers(min_value=0, max_value=2**64 - 1)
+labels = st.text(min_size=1, max_size=32)
+
+
+def stream(rng, n=8):
+    return [rng.random() for _ in range(n)]
+
+
+class TestForkOrderIndependence:
+    @given(seed=seeds, label_list=st.lists(labels, min_size=2, max_size=6,
+                                           unique=True))
+    def test_fork_streams_independent_of_creation_order(
+        self, seed, label_list
+    ):
+        forward = {
+            label: stream(SeededRng(seed).fork(label))
+            for label in label_list
+        }
+        root = SeededRng(seed)
+        backward = {}
+        for label in reversed(label_list):
+            backward[label] = stream(root.fork(label))
+        assert forward == backward
+
+    @given(seed=seeds, label=labels, draws=st.integers(0, 50))
+    def test_fork_unaffected_by_parent_draws(self, seed, label, draws):
+        fresh = SeededRng(seed)
+        exercised = SeededRng(seed)
+        for _ in range(draws):
+            exercised.random()
+        assert stream(fresh.fork(label)) == stream(exercised.fork(label))
+
+    @given(seed=seeds, label=labels)
+    def test_sibling_forks_do_not_interfere(self, seed, label):
+        solo = stream(SeededRng(seed).fork(label))
+        root = SeededRng(seed)
+        sibling = root.fork(label + "-sibling")
+        target = root.fork(label)
+        sibling.random()
+        assert stream(target) == solo
+
+
+class TestCrossProcessStability:
+    @given(seed=seeds, label=labels)
+    def test_fork_seed_is_stable_hash(self, seed, label):
+        # The fork derivation is exactly stable_hash(seed, label), which
+        # is BLAKE2b-based and therefore identical in every process —
+        # unlike builtin hash(), which is salted per process.
+        assert SeededRng(seed).fork(label).seed == stable_hash(seed, label)
+
+    @given(seed=seeds, label=labels)
+    @settings(max_examples=25)
+    def test_fork_of_fork_is_stable(self, seed, label):
+        a = SeededRng(seed).fork(label).fork("grandchild")
+        b = SeededRng(seed).fork(label).fork("grandchild")
+        assert a.seed == b.seed
+        assert stream(a) == stream(b)
+
+    def test_pinned_golden_values(self):
+        # Frozen constants computed once and hardcoded: a change to the
+        # hash construction or fork derivation shows up here before it
+        # silently re-randomises every recorded experiment.
+        assert stable_hash("a", 1) == 0x70BA9CA59271EDB6
+        assert SeededRng(2018).fork("admin-behavior").seed == (
+            0x71B596831C8FBBB5
+        )
+        assert SeededRng(42).fork("dns-jitter").seed == 0x6AC2138F7C6924A3
