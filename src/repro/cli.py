@@ -6,6 +6,8 @@
     python -m repro scan   [--population N] [--seed S]
     python -m repro attack [--population N] [--seed S] [--gbps G]
     python -m repro purge-probe [--trials T] [--plan PLAN]
+    python -m repro bench  [--population N] [--seed S] [--warmup W]
+                           [--label L] [--out PATH]
     python -m repro lint   [paths] [--select IDS] [--ignore IDS]
                            [--format text|json] [--baseline PATH]
                            [--update-baseline]
@@ -13,9 +15,10 @@
 ``study`` runs the full six-week campaign and prints every table and
 figure; ``scan`` runs one §V residual-resolution sweep; ``attack``
 demonstrates the Fig. 1 bypass; ``purge-probe`` reruns the §V-A-3
-controlled purge measurement; ``lint`` runs the determinism and
-simulation-invariant static analysis (exit 0 clean, 1 findings, 2
-usage error).
+controlled purge measurement; ``bench`` runs the E1/E8 query-path
+workloads and writes a ``BENCH_<label>.json`` trajectory point;
+``lint`` runs the determinism and simulation-invariant static analysis
+(exit 0 clean, 1 findings, 2 usage error).
 """
 
 from __future__ import annotations
@@ -81,6 +84,19 @@ def build_parser() -> argparse.ArgumentParser:
     probe.add_argument(
         "--plan", choices=[t.value for t in PlanTier], default="free"
     )
+
+    bench = subparsers.add_parser(
+        "bench",
+        help="query-path benchmark: E1/E8 workloads -> BENCH_<label>.json",
+    )
+    add_world_args(bench)
+    bench.add_argument("--warmup", type=int, default=7,
+                       help="days of world dynamics before the workloads "
+                            "(default 7)")
+    bench.add_argument("--label", default=None,
+                       help="trajectory label (default: p<population>)")
+    bench.add_argument("--out", metavar="PATH", default=None,
+                       help="output path (default: BENCH_<label>.json)")
 
     lint = subparsers.add_parser(
         "lint", help="determinism & simulation-invariant static analysis"
@@ -169,7 +185,39 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_scan(world, args)
     if args.command == "attack":
         return _cmd_attack(world, args)
+    if args.command == "bench":
+        return _cmd_bench(world, args)
     return _cmd_purge_probe(world, args)
+
+
+def _cmd_bench(world: SimulatedInternet, args) -> int:
+    import json
+
+    from .obs.bench import run_bench
+
+    result = run_bench(world, warmup_days=args.warmup, label=args.label)
+    out_path = args.out or f"BENCH_{result['label']}.json"
+    with open(out_path, "w", encoding="utf-8") as handle:
+        json.dump(result, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    e1 = result["e1_collection"]
+    e8 = result["e8_residual_scan"]
+    comparison = e8["query_path_comparison"]
+    print(f"E1 collection: {e1['resolved']}/{e1['hostnames']} resolved, "
+          f"{e1['counters'].get('resolver.queries_sent', 0)} queries, "
+          f"{e1['counters'].get('cache.hits', 0)} cache hits")
+    print(f"E8 residual scan: {e8['harvested_nameservers']} nameservers, "
+          f"cf retrieved={e8['cloudflare_retrieved']} "
+          f"hidden={e8['cloudflare_hidden']}, "
+          f"incap retrieved={e8['incapsula_retrieved']} "
+          f"hidden={e8['incapsula_hidden']}")
+    if comparison:
+        batched = comparison["batched"]["queries_per_resolved"]
+        naive = comparison["naive"]["queries_per_resolved"]
+        print(f"query path: batched {batched:.2f} vs naive {naive:.2f} "
+              f"queries/resolved name")
+    print(f"bench written to {out_path}")
+    return 0
 
 
 def _cmd_study(world: SimulatedInternet, args) -> int:
@@ -197,6 +245,7 @@ def _cmd_scan(world: SimulatedInternet, args) -> int:
     scanner = CloudflareScanner(
         harvest.resolve_addresses(world.make_resolver()),
         [world.dns_client(region) for region in PAPER_VANTAGE_REGIONS],
+        rng=world.rng.fork("residual-scan"),
     )
     retrieved = scanner.scan(hostnames)
     pipeline = FilterPipeline(

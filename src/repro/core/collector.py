@@ -16,7 +16,7 @@ from typing import Dict, Iterable, List, Optional
 from ..dns.message import Rcode
 from ..dns.name import DomainName
 from ..dns.records import RecordType
-from ..dns.resolver import RecursiveResolver
+from ..dns.resolver import RecursiveResolver, ResolutionResult
 from ..net.ipaddr import IPv4Address
 
 __all__ = ["DomainSnapshot", "DailySnapshot", "DnsRecordCollector"]
@@ -70,33 +70,49 @@ class DnsRecordCollector:
         """One full collection run.
 
         The resolver cache is purged first so each day's records are
-        independent of the previous day's (NS TTLs exceed a day).
+        independent of the previous day's (NS TTLs exceed a day).  Both
+        passes (A with CNAME chain, then apex NS) run through
+        :meth:`~repro.dns.resolver.RecursiveResolver.resolve_many`, so
+        sites sharing a zone cut share its delegation discovery.
         """
         self._resolver.purge_cache()
         self.runs += 1
+        names = [DomainName(hostname) for hostname in hostnames]
+        a_results = self._resolver.resolve_many(
+            (name, RecordType.A) for name in names
+        )
+        ns_results = self._resolver.resolve_many(
+            (name.apex, RecordType.NS) for name in names
+        )
         snapshot = DailySnapshot(day=day)
-        for hostname in hostnames:
-            record = self.collect_one(DomainName(hostname), day)
+        for www, a_result, ns_result in zip(names, a_results, ns_results):
+            record = self._snapshot_from_results(www, day, a_result, ns_result)
             snapshot.domains[str(record.www)] = record
         return snapshot
 
     def collect_one(self, www: DomainName, day: int) -> DomainSnapshot:
         """Collect A (with the CNAME chain) and apex NS for one site."""
         result = self._resolver.resolve(www, RecordType.A)
-        a_records = tuple(result.addresses)
-        cnames = tuple(result.cname_targets)
         ns_result = self._resolver.resolve(www.apex, RecordType.NS)
-        ns_targets = tuple(
-            record.target
-            for record in ns_result.records
-            if record.rtype is RecordType.NS
-        )
+        return self._snapshot_from_results(www, day, result, ns_result)
+
+    @staticmethod
+    def _snapshot_from_results(
+        www: DomainName,
+        day: int,
+        result: ResolutionResult,
+        ns_result: ResolutionResult,
+    ) -> DomainSnapshot:
         return DomainSnapshot(
             day=day,
             www=www,
-            a_records=a_records,
-            cnames=cnames,
-            ns_targets=ns_targets,
+            a_records=tuple(result.addresses),
+            cnames=tuple(result.cname_targets),
+            ns_targets=tuple(
+                record.target
+                for record in ns_result.records
+                if record.rtype is RecordType.NS
+            ),
             rcode=result.rcode,
         )
 

@@ -20,7 +20,7 @@ The same pipeline serves both the Cloudflare and Incapsula case studies.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from ..dns.name import DomainName
 from ..dns.records import RecordType
@@ -110,17 +110,49 @@ class FilterPipeline:
         provider: str,
         week: int,
     ) -> PipelineReport:
-        """Filter one scan's worth of retrieved records."""
+        """Filter one scan's worth of retrieved records.
+
+        A record's addresses are deduplicated (order-preservingly)
+        before any stage counts them, so a provider answering with a
+        repeated address cannot inflate ``retrieved`` or emit duplicate
+        :class:`HiddenRecord`\\ s for one (www, address) pair.  The
+        A-matching stage resolves every surviving hostname in one
+        :meth:`~repro.dns.resolver.RecursiveResolver.resolve_many` batch.
+        """
         report = PipelineReport(provider=provider, week=week)
         self._resolver.purge_cache()
-        normal_cache: Dict[str, tuple] = {}
+
+        # Stage 1 over every record, remembering the survivors so stage
+        # 2 can resolve all hostnames that still matter as one batch.
+        filtered: List[Tuple[RetrievedRecord, List[IPv4Address]]] = []
+        need_normal: List[str] = []
+        queued: Set[str] = set()
         for record in records:
-            report.retrieved += len(record.addresses)
-            survivors = self._ip_matching_filter(record.addresses)
-            report.dropped_ip_filter += len(record.addresses) - len(survivors)
+            addresses = list(
+                dict.fromkeys(IPv4Address(a) for a in record.addresses)
+            )
+            report.retrieved += len(addresses)
+            survivors = self._ip_matching_filter(addresses)
+            report.dropped_ip_filter += len(addresses) - len(survivors)
             if not survivors:
                 continue
-            normal = self._normal_resolution(record.www, normal_cache)
+            filtered.append((record, survivors))
+            if record.www not in queued:
+                queued.add(record.www)
+                need_normal.append(record.www)
+
+        # Stage 2: one batched normal-resolution pass (first occurrence
+        # order, so the query sequence matches the old lazy behaviour).
+        normal_results = self._resolver.resolve_many(
+            (DomainName(www), RecordType.A) for www in need_normal
+        )
+        normal_cache: Dict[str, tuple] = {
+            www: tuple(result.addresses)
+            for www, result in zip(need_normal, normal_results)
+        }
+
+        for record, survivors in filtered:
+            normal = normal_cache[record.www]
             hidden_ips = [ip for ip in survivors if ip not in normal]
             report.dropped_a_filter += len(survivors) - len(hidden_ips)
             for address in hidden_ips:
@@ -137,14 +169,6 @@ class FilterPipeline:
             for a in addresses
             if not any(IPv4Address(a) in p for p in self._provider_prefixes)
         ]
-
-    # -- stage 2 -----------------------------------------------------------
-
-    def _normal_resolution(self, www: str, cache: Dict[str, tuple]) -> tuple:
-        if www not in cache:
-            result = self._resolver.resolve(DomainName(www), RecordType.A)
-            cache[www] = tuple(result.addresses)
-        return cache[www]
 
     # -- stage 3 -----------------------------------------------------------
 

@@ -25,6 +25,8 @@ from ..dns.name import DomainName
 from ..dns.records import RecordType
 from ..dns.resolver import RecursiveResolver
 from ..net.ipaddr import IPv4Address
+from ..obs.metrics import MetricsRegistry
+from ..rng import SeededRng, stable_hash
 from .collector import DailySnapshot
 from .matching import ProviderMatcher
 from .pipeline import RetrievedRecord
@@ -57,10 +59,17 @@ class NameserverHarvest:
         return list(self._hostnames)
 
     def resolve_addresses(self, resolver: RecursiveResolver) -> List[IPv4Address]:
-        """Resolve each harvested hostname to its (anycast) address."""
+        """Resolve each harvested hostname to its (anycast) address.
+
+        One batched pass: the hostnames all sit under the provider's
+        infrastructure zone, exactly the sibling-heavy shape the
+        resolver's zone-cut memo exists for.
+        """
+        results = resolver.resolve_many(
+            (hostname, RecordType.A) for hostname in self._hostnames
+        )
         addresses: List[IPv4Address] = []
-        for hostname in self._hostnames:
-            result = resolver.resolve(hostname, RecordType.A)
+        for result in results:
             addresses.extend(result.addresses)
         return addresses
 
@@ -76,6 +85,8 @@ class CloudflareScanner:
         nameserver_ips: Sequence["IPv4Address | str"],
         vantage_clients: Sequence[DnsClient],
         provider: str = "cloudflare",
+        rng: Optional[SeededRng] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         if not nameserver_ips:
             raise ValueError("scanner needs at least one nameserver address")
@@ -84,23 +95,38 @@ class CloudflareScanner:
         self._nameserver_ips = [IPv4Address(ip) for ip in nameserver_ips]
         self._clients = list(vantage_clients)
         self.provider = provider
+        #: Nameserver choice is random (§V-A-2: "randomly-chosen
+        #: nameservers"); a private deterministic stream keeps results
+        #: reproducible when the caller has no stream to fork.
+        self._rng = (
+            rng
+            if rng is not None
+            else SeededRng(stable_hash("cloudflare-scanner", provider))
+        )
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.queries_answered = 0
         self.queries_ignored = 0
 
     def scan(self, hostnames: Iterable["DomainName | str"]) -> List[RetrievedRecord]:
         """Retrieve the A records the provider still holds.
 
-        Each hostname is queried at one nameserver from one vantage
-        point, both chosen round-robin — the paper's way of spreading
-        the measurement across PoPs.
+        Each hostname is queried at a *randomly-chosen* nameserver from
+        the next vantage point in rotation — the paper's way of
+        spreading the measurement across PoPs (Fig. 7).  The choices are
+        independent: vantage rotation must not lock a vantage point to a
+        fixed nameserver subset, which is what an aligned
+        ``index % len`` stride does whenever the fleet size divides
+        evenly by the vantage count.
         """
         retrieved: List[RetrievedRecord] = []
         for index, hostname in enumerate(hostnames):
             client = self._clients[index % len(self._clients)]
-            ns_ip = self._nameserver_ips[index % len(self._nameserver_ips)]
+            ns_ip = self._rng.choice(self._nameserver_ips)
             response = client.query(ns_ip, hostname, RecordType.A)
+            self.metrics.incr("scan.cloudflare.queries")
             if response is None or response.rcode is not Rcode.NOERROR or not response.answers:
                 self.queries_ignored += 1
+                self.metrics.incr("scan.cloudflare.ignored")
                 continue
             addresses = tuple(
                 record.address
@@ -109,8 +135,10 @@ class CloudflareScanner:
             )
             if not addresses:
                 self.queries_ignored += 1
+                self.metrics.incr("scan.cloudflare.ignored")
                 continue
             self.queries_answered += 1
+            self.metrics.incr("scan.cloudflare.answered")
             retrieved.append(
                 RetrievedRecord(
                     www=str(DomainName(hostname)),
@@ -158,11 +186,15 @@ class IncapsulaScanner:
         like a direct query would.
         """
         self._resolver.purge_cache()
+        canonicals = list(self._canonicals.items())
+        results = self._resolver.resolve_many(
+            (canonical, RecordType.A) for canonical, _ in canonicals
+        )
         retrieved: List[RetrievedRecord] = []
-        for canonical, www in self._canonicals.items():
-            result = self._resolver.resolve(canonical, RecordType.A)
+        for (canonical, www), result in zip(canonicals, results):
             if not result.addresses:
                 continue
+            self._resolver.metrics.incr("scan.incapsula.answered")
             retrieved.append(
                 RetrievedRecord(
                     www=www,

@@ -217,7 +217,11 @@ class SixWeekStudy:
                 week = day_index // config.scan_every_days
                 if cf_pipeline is not None and len(harvest) > 0:
                     ns_ips = harvest.resolve_addresses(world.make_resolver())
-                    scanner = CloudflareScanner(ns_ips, vantage_clients)
+                    scanner = CloudflareScanner(
+                        ns_ips,
+                        vantage_clients,
+                        rng=world.rng.fork(f"cf-scan-week-{week}"),
+                    )
                     fleet = cf_provider.customer_fleet if cf_provider else None
                     before = fleet.pop_query_counts() if fleet else {}
                     retrieved = scanner.scan(hostnames)

@@ -14,6 +14,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Tuple
 
 from ..clock import SimulationClock
+from ..obs.metrics import MetricsRegistry
 from .name import DomainName
 from .records import RecordType, ResourceRecord
 
@@ -28,16 +29,30 @@ class DnsCache:
     Also supports *negative* entries (RFC 2308): a cached NXDOMAIN or
     NODATA outcome, held for the zone's negative TTL, so repeated
     queries for missing names do not re-walk the hierarchy.
+
+    Hit/miss/negative-hit accounting is kept both as plain attributes
+    (``hits``/``misses``/``negative_hits``) and mirrored into an optional
+    :class:`~repro.obs.metrics.MetricsRegistry` under ``cache.*`` so the
+    query plane's behaviour shows up in ``repro bench`` snapshots.
     """
 
-    def __init__(self, clock: SimulationClock) -> None:
+    def __init__(
+        self, clock: SimulationClock, metrics: Optional[MetricsRegistry] = None
+    ) -> None:
         self._clock = clock
+        self._metrics = metrics if metrics is not None else MetricsRegistry()
         self._entries: Dict[_Key, List[Tuple[ResourceRecord, int]]] = {}
         #: (name, type) → (rcode marker, expiry).  The marker is the
         #: string name of the negative outcome ("NXDOMAIN"/"NODATA").
         self._negative: Dict[_Key, Tuple[str, int]] = {}
         self.hits = 0
         self.misses = 0
+        self.negative_hits = 0
+
+    @property
+    def metrics(self) -> MetricsRegistry:
+        """The registry this cache reports into."""
+        return self._metrics
 
     def put(self, record: ResourceRecord) -> None:
         """Cache one record until now + its TTL (TTL 0 is never cached)."""
@@ -67,17 +82,22 @@ class DnsCache:
         key = (DomainName(name), rtype)
         bucket = self._entries.get(key)
         if not bucket:
-            self.misses += 1
+            self._count_miss()
             return None
         now = self._clock.now
         live = [(rec, exp) for rec, exp in bucket if exp > now]
         if not live:
             del self._entries[key]
-            self.misses += 1
+            self._count_miss()
             return None
         self._entries[key] = live
         self.hits += 1
+        self._metrics.incr("cache.hits")
         return [rec.with_ttl(exp - now) for rec, exp in live]
+
+    def _count_miss(self) -> None:
+        self.misses += 1
+        self._metrics.incr("cache.misses")
 
     def contains(self, name: "DomainName | str", rtype: RecordType) -> bool:
         """True when a live entry exists (does not touch hit counters)."""
@@ -113,6 +133,8 @@ class DnsCache:
         if expiry <= self._clock.now:
             del self._negative[key]
             return None
+        self.negative_hits += 1
+        self._metrics.incr("cache.negative_hits")
         return outcome
 
     def evict(self, name: "DomainName | str", rtype: Optional[RecordType] = None) -> int:
@@ -135,6 +157,7 @@ class DnsCache:
         """Empty the cache entirely (the collector's daily flush)."""
         self._entries.clear()
         self._negative.clear()
+        self._metrics.incr("cache.purges")
 
     def __len__(self) -> int:
         """Number of live cached records."""

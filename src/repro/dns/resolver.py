@@ -18,13 +18,14 @@ Two behaviours matter specifically for the paper:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from ..clock import SimulationClock
 from ..errors import ResolutionError
 from ..net.fabric import NetworkFabric
 from ..net.geo import Region
 from ..net.ipaddr import IPv4Address
+from ..obs.metrics import MetricsRegistry
 from .cache import DnsCache
 from .message import DnsQuery, DnsResponse, Rcode
 from .name import DomainName
@@ -71,6 +72,33 @@ class ResolutionResult:
         return [target for _, target in self.cname_chain]
 
 
+class _ZoneCutMemo:
+    """Per-batch deepest-known-delegation index (:meth:`resolve_many`).
+
+    Maps a zone-cut owner name to the server addresses its referral
+    handed out during the current batch.  Sibling names under an
+    already-walked zone start at that delegation directly — no repeated
+    root/TLD descent, no dependence on the referral records' TTLs being
+    long enough to survive in the TTL cache.
+    """
+
+    def __init__(self) -> None:
+        self._servers: Dict[DomainName, List[IPv4Address]] = {}
+
+    def record(self, cut: DomainName, servers: List[IPv4Address]) -> None:
+        """Remember the servers a referral handed out for ``cut``."""
+        if servers:
+            self._servers[cut] = list(servers)
+
+    def lookup(self, zone: DomainName) -> Optional[List[IPv4Address]]:
+        """Servers recorded for exactly ``zone``, or None."""
+        servers = self._servers.get(zone)
+        return list(servers) if servers else None
+
+    def __len__(self) -> int:
+        return len(self._servers)
+
+
 class RecursiveResolver:
     """An iterative-mode recursive resolver bound to one client region."""
 
@@ -81,6 +109,7 @@ class RecursiveResolver:
         root_hints: List["IPv4Address | str"],
         region: Optional[Region] = None,
         cache: Optional[DnsCache] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         if not root_hints:
             raise ResolutionError("resolver needs at least one root hint")
@@ -88,36 +117,79 @@ class RecursiveResolver:
         self._clock = clock
         self._root_hints = [IPv4Address(ip) for ip in root_hints]
         self.region = region
-        self.cache = cache if cache is not None else DnsCache(clock)
+        #: Shared observability registry; an externally supplied cache
+        #: keeps its own registry (it may be shared with other owners).
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.cache = cache if cache is not None else DnsCache(clock, self.metrics)
         self.queries_sent = 0
+        self._batch_memo: Optional[_ZoneCutMemo] = None
 
     # -- public API -----------------------------------------------------------
 
     def resolve(
         self, name: "DomainName | str", rtype: RecordType = RecordType.A
     ) -> ResolutionResult:
-        """Fully resolve ``name``/``rtype``, chasing CNAMEs."""
+        """Fully resolve ``name``/``rtype``, chasing CNAMEs.
+
+        CNAME links found *inside* an answer (a server returning
+        ``CNAME + A`` in one response) are attributed to the chain before
+        any ``rtype`` records are accepted, so ``final_name`` and
+        ``cname_targets`` are correct for single-response chains too.
+        """
         qname = DomainName(name)
+        self.metrics.incr("resolver.resolutions")
         chain: List[Tuple[DomainName, DomainName]] = []
         current = qname
-        for _ in range(_MAX_CNAME_DEPTH):
-            records, rcode = self._lookup(current, rtype)
-            if rcode is not Rcode.NOERROR:
-                return ResolutionResult(qname, rtype, rcode, [], chain)
-            direct = [r for r in records if r.rtype is rtype]
+        records: List[ResourceRecord] = []
+        while True:
+            if not any(r.name == current for r in records):
+                records, rcode = self._lookup(current, rtype)
+                if rcode is not Rcode.NOERROR:
+                    return ResolutionResult(qname, rtype, rcode, [], chain)
+            direct = [r for r in records if r.rtype is rtype and r.name == current]
             if direct:
                 return ResolutionResult(qname, rtype, Rcode.NOERROR, direct, chain)
-            cnames = [r for r in records if r.rtype is RecordType.CNAME]
+            cnames = [
+                r
+                for r in records
+                if r.rtype is RecordType.CNAME and r.name == current
+            ]
             if cnames and rtype is not RecordType.CNAME:
                 target = cnames[0].target
                 if any(seen == target for _, seen in chain) or target == current:
                     return ResolutionResult(qname, rtype, Rcode.SERVFAIL, [], chain)
+                if len(chain) >= _MAX_CNAME_DEPTH:
+                    return ResolutionResult(qname, rtype, Rcode.SERVFAIL, [], chain)
                 chain.append((current, target))
+                self.metrics.incr("resolver.cname_links")
                 current = target
                 continue
             # NODATA
             return ResolutionResult(qname, rtype, Rcode.NOERROR, [], chain)
-        return ResolutionResult(qname, rtype, Rcode.SERVFAIL, [], chain)
+
+    def resolve_many(
+        self, queries: Iterable[Tuple["DomainName | str", RecordType]]
+    ) -> List[ResolutionResult]:
+        """Resolve a batch of (name, rtype) pairs, sharing discovery.
+
+        Results align positionally with the input.  Answers are
+        byte-identical to sequential :meth:`resolve` calls; the win is in
+        *queries sent*: a per-batch zone-cut memo records every
+        delegation walked, so sibling names under one zone go straight to
+        the deepest known delegation instead of re-descending from the
+        root — the saving the E8 benchmark counters prove out.
+        """
+        batch = [(DomainName(n), rt) for n, rt in queries]
+        self.metrics.incr("resolver.batches")
+        self.metrics.incr("resolver.batch_names", len(batch))
+        fresh_memo = self._batch_memo is None
+        if fresh_memo:
+            self._batch_memo = _ZoneCutMemo()
+        try:
+            return [self.resolve(n, rt) for n, rt in batch]
+        finally:
+            if fresh_memo:
+                self._batch_memo = None
 
     def purge_cache(self) -> None:
         """Flush the cache (the collector's pre-run hygiene step)."""
@@ -167,6 +239,11 @@ class RecursiveResolver:
                 next_servers = self._servers_from_referral(response, depth)
                 if not next_servers:
                     return [], Rcode.SERVFAIL
+                self.metrics.incr("resolver.referrals")
+                if self._batch_memo is not None:
+                    self._batch_memo.record(
+                        self._referral_cut(response), next_servers
+                    )
                 servers = next_servers
                 continue
             # NODATA
@@ -183,15 +260,33 @@ class RecursiveResolver:
                 return min(record.ttl, _DEFAULT_NEGATIVE_TTL)
         return _DEFAULT_NEGATIVE_TTL
 
+    @staticmethod
+    def _referral_cut(response: DnsResponse) -> DomainName:
+        """Owner name of a referral's delegation (its NS records)."""
+        for record in response.authority:
+            if record.rtype is RecordType.NS:
+                return record.name
+        raise ResolutionError("referral without NS records")  # pragma: no cover
+
     # -- server selection -----------------------------------------------------------
 
     def _closest_known_servers(self, name: DomainName, depth: int) -> List[IPv4Address]:
-        """Start from the deepest cached delegation covering ``name``.
+        """Start from the deepest known delegation covering ``name``.
 
-        Falls back to the root hints.  Reusing cached NS sets is what
-        makes stale delegations live on until their (long) TTLs expire.
+        During a :meth:`resolve_many` batch the zone-cut memo is
+        consulted first at each depth: it holds the *server addresses* a
+        referral handed out, so it short-circuits even when the cached NS
+        set lacks usable glue.  Falls back to cached NS sets, then the
+        root hints.  Reusing cached NS sets is what makes stale
+        delegations live on until their (long) TTLs expire.
         """
+        memo = self._batch_memo
         for ancestor in self._zones_towards_root(name):
+            if memo is not None:
+                memoised = memo.lookup(ancestor)
+                if memoised:
+                    self.metrics.incr("resolver.zonecut_hits")
+                    return memoised
             ns_records = self.cache.get(ancestor, RecordType.NS) or []
             if not ns_records:
                 continue
@@ -231,6 +326,7 @@ class RecursiveResolver:
         if depth >= _MAX_NS_LOOKUP_DEPTH:
             return []
         for ns_name in ns_names:
+            self.metrics.incr("resolver.ns_fallback_lookups")
             records, rcode = self._iterate(ns_name, RecordType.A, depth + 1)
             if rcode is Rcode.NOERROR:
                 addresses.extend(
@@ -256,6 +352,7 @@ class RecursiveResolver:
             if server is None:
                 continue
             self.queries_sent += 1
+            self.metrics.incr("resolver.queries_sent")
             response = server.handle_query(DnsQuery(name, rtype), self.region)
             if response.rcode is Rcode.REFUSED:
                 refused = response

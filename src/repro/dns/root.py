@@ -20,6 +20,7 @@ from ..errors import ConfigurationError, ZoneError
 from ..net.fabric import NetworkFabric
 from ..net.geo import Region
 from ..net.ipaddr import AddressAllocator, IPv4Address
+from ..obs.metrics import MetricsRegistry
 from ..clock import SECONDS_PER_DAY, SimulationClock
 from .authoritative import AuthoritativeServer
 from .name import DomainName, ROOT
@@ -89,10 +90,20 @@ class DnsHierarchy:
         except KeyError:
             raise ConfigurationError(f"TLD not served: {tld!r}") from None
 
-    def make_resolver(self, region: Optional[Region] = None) -> RecursiveResolver:
-        """Build a recursive resolver primed with this hierarchy's roots."""
+    def make_resolver(
+        self,
+        region: Optional[Region] = None,
+        metrics: Optional["MetricsRegistry"] = None,
+    ) -> RecursiveResolver:
+        """Build a recursive resolver primed with this hierarchy's roots.
+
+        Pass a shared :class:`~repro.obs.metrics.MetricsRegistry` to
+        aggregate query-plane counters across resolvers (``repro bench``
+        does this); by default each resolver gets a private registry.
+        """
         return RecursiveResolver(
-            self._fabric, self._clock, self.root_hints, region=region
+            self._fabric, self._clock, self.root_hints, region=region,
+            metrics=metrics,
         )
 
     # -- registrar operations ------------------------------------------------------

@@ -34,6 +34,7 @@ from ..net.fabric import NetworkFabric
 from ..net.geo import PAPER_VANTAGE_REGIONS, Region, VantagePoint, region as lookup_region
 from ..net.ipaddr import AddressAllocator
 from ..net.routeviews import RouteViewsDb
+from ..obs.metrics import MetricsRegistry
 from ..rng import SeededRng
 from ..web.http import HttpClient
 from .admin import AdminBehaviorModel
@@ -147,9 +148,19 @@ class SimulatedInternet:
     # Scanner-facing interfaces
     # ------------------------------------------------------------------
 
-    def make_resolver(self, region_name: Optional[str] = None) -> RecursiveResolver:
-        """A fresh recursive resolver, optionally pinned to a region."""
-        return self.hierarchy.make_resolver(self._region_or_none(region_name))
+    def make_resolver(
+        self,
+        region_name: Optional[str] = None,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> RecursiveResolver:
+        """A fresh recursive resolver, optionally pinned to a region.
+
+        ``metrics`` lets callers aggregate query-plane counters across
+        several resolvers into one registry (see ``repro bench``).
+        """
+        return self.hierarchy.make_resolver(
+            self._region_or_none(region_name), metrics=metrics
+        )
 
     def dns_client(self, region_name: Optional[str] = None) -> DnsClient:
         """A stub client for direct-to-nameserver queries."""

@@ -13,6 +13,8 @@ from repro.core.residual_scan import (
 from repro.core.collector import DnsRecordCollector
 from repro.dps.plans import PlanTier
 from repro.dps.portal import ReroutingMethod
+from repro.net.ipaddr import IPv4Address
+from repro.rng import SeededRng
 
 
 @pytest.fixture
@@ -116,6 +118,52 @@ class TestFilterPipeline:
         assert report.dropped_ip_filter + report.dropped_a_filter + report.hidden_count == 2
 
 
+class TestDuplicateAddressDedup:
+    """Regression: a provider answering with a repeated address must not
+    inflate stage counters or emit duplicate hidden records."""
+
+    def test_duplicates_counted_once(self, world):
+        site = _unprotected(world)
+        cf, inc = world.provider("cloudflare"), world.provider("incapsula")
+        site.join(cf, ReroutingMethod.NS_BASED)
+        origin_ip = site.origin.ip
+        site.switch(inc, ReroutingMethod.CNAME_BASED, PlanTier.BUSINESS)
+        record = RetrievedRecord(
+            www=str(site.www), provider="cloudflare",
+            addresses=(origin_ip, origin_ip, origin_ip),
+        )
+        report = _pipeline(world).run([record], "cloudflare", week=0)
+        assert report.retrieved == 1
+        assert report.hidden_count == 1
+        pairs = [(r.www, r.address) for r in report.hidden]
+        assert len(set(pairs)) == len(pairs)
+
+    def test_mixed_duplicates_across_stages(self, world):
+        site = _unprotected(world)
+        cf = world.provider("cloudflare")
+        site.join(cf, ReroutingMethod.NS_BASED)
+        edge_ip = cf.customer_for(site.www).edge_ip
+        record = RetrievedRecord(
+            www=str(site.www), provider="cloudflare",
+            addresses=(edge_ip, edge_ip, IPv4Address("198.51.100.201")),
+        )
+        report = _pipeline(world).run([record], "cloudflare", week=0)
+        assert report.retrieved == 2
+        assert report.dropped_ip_filter == 1
+        assert report.hidden_count == 1
+
+    def test_dedup_preserves_first_seen_order(self, world):
+        site = _unprotected(world)
+        first = IPv4Address("198.51.100.202")
+        second = IPv4Address("198.51.100.201")
+        record = RetrievedRecord(
+            www=str(site.www), provider="cloudflare",
+            addresses=(first, second, first, second),
+        )
+        report = _pipeline(world).run([record], "cloudflare", week=0)
+        assert [r.address for r in report.hidden] == [first, second]
+
+
 class TestNameserverHarvest:
     def test_harvests_cloudflare_ns_names(self, world):
         customers = [
@@ -191,6 +239,54 @@ class TestCloudflareScanner:
         retrieved = self._scanner(world).scan([str(site.www)])
         assert len(retrieved) == 1
         assert retrieved[0].addresses == (origin_ip,)
+
+
+class _RecordingClient:
+    """Stub vantage client recording which nameserver it was told to query."""
+
+    def __init__(self):
+        self.queried = []
+
+    def query(self, server_ip, name, rtype):
+        self.queried.append(IPv4Address(server_ip))
+        return None
+
+
+class TestScannerPairingDecorrelation:
+    """Regression: when the fleet size divides evenly by the vantage
+    count, the old aligned ``index % len`` strides locked each vantage
+    point to a fixed nameserver subset (2 of 10 with 5 clients)."""
+
+    @staticmethod
+    def _scan(seed, clients=5, nameservers=10, hostnames=100):
+        ns_ips = [f"10.9.0.{i + 1}" for i in range(nameservers)]
+        vantages = [_RecordingClient() for _ in range(clients)]
+        scanner = CloudflareScanner(ns_ips, vantages, rng=SeededRng(seed))
+        scanner.scan([f"site{i}.test" for i in range(hostnames)])
+        return vantages
+
+    def test_each_vantage_reaches_beyond_aligned_subset(self):
+        for vantage in self._scan(seed=99):
+            assert len(vantage.queried) == 20  # rotation intact: 100 / 5
+            # The old stride gave each vantage exactly 2 distinct
+            # nameservers here; independent choice spreads further.
+            assert len(set(vantage.queried)) > 2
+
+    def test_pairing_deterministic_for_equal_rng(self):
+        first = [v.queried for v in self._scan(seed=7)]
+        second = [v.queried for v in self._scan(seed=7)]
+        assert first == second
+
+    def test_default_rng_is_deterministic(self):
+        ns_ips = [f"10.9.0.{i + 1}" for i in range(4)]
+        runs = []
+        for _ in range(2):
+            vantage = _RecordingClient()
+            CloudflareScanner(ns_ips, [vantage]).scan(
+                [f"site{i}.test" for i in range(12)]
+            )
+            runs.append(vantage.queried)
+        assert runs[0] == runs[1]
 
 
 class TestIncapsulaScanner:

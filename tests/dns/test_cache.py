@@ -4,6 +4,7 @@ from repro.clock import SimulationClock
 from repro.dns.cache import DnsCache
 from repro.dns.name import DomainName
 from repro.dns.records import RecordType, a_record, ns_record
+from repro.obs import MetricsRegistry
 
 
 def _cache():
@@ -120,3 +121,67 @@ class TestManagement:
         assert len(cache) == 2
         clock.advance(100)
         assert len(cache) == 1
+
+
+class TestExpiryEdge:
+    """Expiry is exclusive: at ``exp == now`` the entry is dead (an
+    answer handed out now would carry TTL 0 — uncacheable)."""
+
+    def test_live_one_second_before_expiry(self):
+        clock, cache = _cache()
+        cache.put(a_record("www.example.com", "1.1.1.1", ttl=100))
+        clock.advance(99)
+        records = cache.get("www.example.com", RecordType.A)
+        assert records is not None
+        assert records[0].ttl == 1
+
+    def test_dead_at_exact_expiry(self):
+        clock, cache = _cache()
+        cache.put(a_record("www.example.com", "1.1.1.1", ttl=100))
+        clock.advance(100)
+        assert cache.get("www.example.com", RecordType.A) is None
+        assert not cache.contains("www.example.com", RecordType.A)
+
+    def test_expired_read_counts_as_miss(self):
+        clock, cache = _cache()
+        cache.put(a_record("www.example.com", "1.1.1.1", ttl=10))
+        clock.advance(10)
+        cache.get("www.example.com", RecordType.A)
+        assert cache.misses == 1
+        assert cache.hits == 0
+
+    def test_negative_entry_dead_at_exact_expiry(self):
+        clock, cache = _cache()
+        cache.put_negative("gone.example.com", RecordType.A, "NXDOMAIN", ttl=50)
+        assert cache.get_negative("gone.example.com", RecordType.A) == "NXDOMAIN"
+        clock.advance(50)
+        assert cache.get_negative("gone.example.com", RecordType.A) is None
+        assert cache.negative_hits == 1
+
+
+class TestMetricsMirroring:
+    """Hit/miss/negative-hit accounting mirrors into an injected
+    registry under ``cache.*`` (what ``repro bench`` snapshots)."""
+
+    def test_counters_mirrored(self):
+        clock = SimulationClock()
+        metrics = MetricsRegistry()
+        cache = DnsCache(clock, metrics)
+        assert cache.metrics is metrics
+        cache.get("a.com", RecordType.A)                      # miss
+        cache.put(a_record("a.com", "1.1.1.1"))
+        cache.get("a.com", RecordType.A)                      # hit
+        cache.put_negative("b.com", RecordType.A, "NODATA", ttl=30)
+        cache.get_negative("b.com", RecordType.A)             # negative hit
+        cache.purge()
+        assert metrics.snapshot("cache") == {
+            "cache.hits": 1,
+            "cache.misses": 1,
+            "cache.negative_hits": 1,
+            "cache.purges": 1,
+        }
+
+    def test_private_registry_by_default(self):
+        _, cache = _cache()
+        cache.get("a.com", RecordType.A)
+        assert cache.metrics.value("cache.misses") == 1

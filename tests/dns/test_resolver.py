@@ -4,10 +4,10 @@ caching, and the stale-delegation behaviour at the heart of §VI-A."""
 import pytest
 
 from repro.clock import SimulationClock
-from repro.dns.authoritative import AuthoritativeServer
-from repro.dns.message import Rcode
+from repro.dns.authoritative import AnswerPolicy, AuthoritativeServer
+from repro.dns.message import DnsResponse, Rcode
 from repro.dns.name import DomainName
-from repro.dns.records import RecordType, cname_record, ns_record
+from repro.dns.records import RecordType, a_record, cname_record, ns_record
 from repro.dns.root import DnsHierarchy
 from repro.dns.zone import Zone
 from repro.net.fabric import NetworkFabric
@@ -201,6 +201,137 @@ class TestStaleDelegation:
         # After the (long) NS TTL passes, the stale delegation is gone.
         clock.advance(86400 + 1)
         assert resolver.cache.get("example.com", RecordType.NS) is None
+
+
+class _BundledAnswerPolicy(AnswerPolicy):
+    """Answers A queries for ``www.example.com`` the way many real
+    authoritatives do: the CNAME link(s) *and* the final A record in a
+    single response."""
+
+    def __init__(self, answers):
+        self._answers = answers
+
+    def intercept(self, server, query):
+        if (
+            query.qname == DomainName("www.example.com")
+            and query.qtype is RecordType.A
+        ):
+            return DnsResponse(
+                query=query, authoritative=True, answers=list(self._answers)
+            )
+        return None
+
+
+class TestSingleResponseCnameChain:
+    """Regression: a CNAME + A bundled in one response must still be
+    attributed to the chain (it used to be accepted as a direct answer,
+    losing ``final_name``/``cname_targets``)."""
+
+    def test_chain_attributed(self, setup):
+        _, _, _, hierarchy, _, server, _ = setup
+        server.policy = _BundledAnswerPolicy([
+            cname_record("www.example.com", "edge.example.com"),
+            a_record("edge.example.com", "203.0.113.88"),
+        ])
+        result = hierarchy.make_resolver().resolve("www.example.com")
+        assert result.ok
+        assert result.addresses == [IPv4Address("203.0.113.88")]
+        assert result.cname_targets == [DomainName("edge.example.com")]
+        assert result.final_name == DomainName("edge.example.com")
+        # The records kept are the chain's *final* answer, not a record
+        # mislabelled as belonging to the query name.
+        assert all(
+            r.name == DomainName("edge.example.com") for r in result.records
+        )
+
+    def test_multi_link_bundle(self, setup):
+        _, _, _, hierarchy, _, server, _ = setup
+        server.policy = _BundledAnswerPolicy([
+            cname_record("www.example.com", "mid.example.com"),
+            cname_record("mid.example.com", "edge.example.com"),
+            a_record("edge.example.com", "203.0.113.89"),
+        ])
+        result = hierarchy.make_resolver().resolve("www.example.com")
+        assert result.ok
+        assert result.cname_targets == [
+            DomainName("mid.example.com"),
+            DomainName("edge.example.com"),
+        ]
+        assert result.final_name == DomainName("edge.example.com")
+
+    def test_bundled_loop_detected(self, setup):
+        _, _, _, hierarchy, _, server, _ = setup
+        server.policy = _BundledAnswerPolicy([
+            cname_record("www.example.com", "a.example.com"),
+            cname_record("a.example.com", "www.example.com"),
+        ])
+        result = hierarchy.make_resolver().resolve("www.example.com")
+        assert result.rcode is Rcode.SERVFAIL
+
+
+class TestResolveMany:
+    """The batched query path: identical answers, fewer queries."""
+
+    @staticmethod
+    def _add_siblings(zone, count):
+        names = []
+        for i in range(count):
+            name = f"host{i}.example.com"
+            zone.set_a(name, f"203.0.113.{20 + i}")
+            names.append(name)
+        return names
+
+    def test_results_identical_to_sequential(self, setup):
+        _, _, _, hierarchy, zone, *_ = setup
+        names = self._add_siblings(zone, 6)
+        names += ["missing.example.com", "www.example.zz", "www.example.com"]
+        pairs = [(name, RecordType.A) for name in names]
+        sequential_resolver = hierarchy.make_resolver()
+        sequential = [
+            sequential_resolver.resolve(name, rtype) for name, rtype in pairs
+        ]
+        batched = hierarchy.make_resolver().resolve_many(pairs)
+        assert len(batched) == len(sequential)
+        for expected, got in zip(sequential, batched):
+            assert got.qname == expected.qname  # positional alignment
+            assert got.rcode is expected.rcode
+            assert got.records == expected.records
+            assert got.cname_chain == expected.cname_chain
+
+    def test_fewer_queries_than_naive_per_name(self, setup):
+        _, _, _, hierarchy, zone, *_ = setup
+        names = self._add_siblings(zone, 8)
+        pairs = [(name, RecordType.A) for name in names]
+
+        naive = hierarchy.make_resolver()
+        for name, rtype in pairs:
+            naive.purge_cache()
+            assert naive.resolve(name, rtype).ok
+        batched = hierarchy.make_resolver()
+        assert all(r.ok for r in batched.resolve_many(pairs))
+
+        assert batched.queries_sent < naive.queries_sent
+        # Naive re-walks root -> TLD -> authoritative for every name;
+        # the batch walks once and siblings go straight to the zone cut.
+        assert naive.queries_sent == 3 * len(names)
+        assert batched.queries_sent == 2 + len(names)
+        assert batched.metrics.value("resolver.zonecut_hits") == len(names) - 1
+
+    def test_memo_scoped_to_batch(self, setup):
+        _, _, _, hierarchy, zone, *_ = setup
+        names = self._add_siblings(zone, 3)
+        resolver = hierarchy.make_resolver()
+        resolver.resolve_many((name, RecordType.A) for name in names)
+        # After the batch the memo is gone: a purge really does force a
+        # full re-walk (nothing remembers the zone cut across batches).
+        resolver.purge_cache()
+        queries_before = resolver.queries_sent
+        assert resolver.resolve(names[0]).ok
+        assert resolver.queries_sent == queries_before + 3
+
+    def test_empty_batch(self, setup):
+        hierarchy = setup[3]
+        assert hierarchy.make_resolver().resolve_many([]) == []
 
 
 class TestFailureModes:

@@ -1,0 +1,105 @@
+"""Tests for the observability registry and simulated-time timers."""
+
+import pytest
+
+from repro.clock import SimulationClock
+from repro.errors import SimulationError
+from repro.obs import MetricsRegistry
+
+
+class TestCounters:
+    def test_unset_counter_reads_zero(self):
+        assert MetricsRegistry().value("resolver.queries_sent") == 0
+
+    def test_incr_accumulates_and_returns_total(self):
+        metrics = MetricsRegistry()
+        assert metrics.incr("cache.hits") == 1
+        assert metrics.incr("cache.hits", 4) == 5
+        assert metrics.value("cache.hits") == 5
+
+    def test_zero_increment_creates_counter(self):
+        metrics = MetricsRegistry()
+        metrics.incr("bench.warmup.sim_seconds", 0)
+        assert metrics.value("bench.warmup.sim_seconds") == 0
+        assert len(metrics) == 1
+
+    def test_negative_increment_rejected(self):
+        metrics = MetricsRegistry()
+        with pytest.raises(SimulationError):
+            metrics.incr("cache.hits", -1)
+
+    def test_len_counts_distinct_counters(self):
+        metrics = MetricsRegistry()
+        metrics.incr("a")
+        metrics.incr("a")
+        metrics.incr("b")
+        assert len(metrics) == 2
+
+
+class TestSnapshot:
+    def test_full_snapshot_sorted(self):
+        metrics = MetricsRegistry()
+        metrics.incr("resolver.queries_sent", 3)
+        metrics.incr("cache.hits", 2)
+        assert list(metrics.snapshot()) == ["cache.hits", "resolver.queries_sent"]
+
+    def test_prefix_matches_whole_dotted_segments(self):
+        metrics = MetricsRegistry()
+        metrics.incr("cache.hits")
+        metrics.incr("cache.misses", 2)
+        metrics.incr("cachex.hits", 9)
+        assert metrics.snapshot("cache") == {
+            "cache.hits": 1,
+            "cache.misses": 2,
+        }
+
+    def test_prefix_includes_exact_name(self):
+        metrics = MetricsRegistry()
+        metrics.incr("cache")
+        metrics.incr("cache.hits")
+        assert metrics.snapshot("cache") == {"cache": 1, "cache.hits": 1}
+
+    def test_snapshot_is_a_copy(self):
+        metrics = MetricsRegistry()
+        metrics.incr("a")
+        snapshot = metrics.snapshot()
+        snapshot["a"] = 99
+        assert metrics.value("a") == 1
+
+
+class TestSimTimer:
+    def test_records_sim_seconds_and_activations(self):
+        clock = SimulationClock()
+        metrics = MetricsRegistry()
+        with metrics.timer("bench.warmup", clock):
+            clock.advance(432)
+        assert metrics.value("bench.warmup.sim_seconds") == 432
+        assert metrics.value("bench.warmup.activations") == 1
+
+    def test_accumulates_across_activations(self):
+        clock = SimulationClock()
+        metrics = MetricsRegistry()
+        with metrics.timer("phase", clock):
+            clock.advance(10)
+        with metrics.timer("phase", clock):
+            clock.advance(5)
+        assert metrics.value("phase.sim_seconds") == 15
+        assert metrics.value("phase.activations") == 2
+
+    def test_untouched_clock_records_zero(self):
+        clock = SimulationClock()
+        metrics = MetricsRegistry()
+        with metrics.timer("idle", clock):
+            pass
+        assert metrics.value("idle.sim_seconds") == 0
+        assert metrics.value("idle.activations") == 1
+
+    def test_records_on_exception(self):
+        clock = SimulationClock()
+        metrics = MetricsRegistry()
+        with pytest.raises(RuntimeError):
+            with metrics.timer("failing", clock):
+                clock.advance(7)
+                raise RuntimeError("boom")
+        assert metrics.value("failing.sim_seconds") == 7
+        assert metrics.value("failing.activations") == 1

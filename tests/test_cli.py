@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -26,6 +28,13 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["purge-probe", "--plan", "platinum"])
 
+    def test_bench_defaults(self):
+        args = build_parser().parse_args(["bench"])
+        assert args.population == 2000
+        assert args.warmup == 7
+        assert args.label is None
+        assert args.out is None
+
 
 class TestCommands:
     def test_attack_command(self, capsys):
@@ -49,6 +58,29 @@ class TestCommands:
         out = capsys.readouterr().out
         assert code == 0
         assert "hidden=" in out
+
+    def test_bench_command(self, capsys, tmp_path):
+        out_path = tmp_path / "BENCH_clitest.json"
+        code = main([
+            "bench", "--population", "120", "--seed", "3",
+            "--warmup", "2", "--label", "clitest", "--out", str(out_path),
+        ])
+        printed = capsys.readouterr().out
+        assert code == 0
+        assert "E1 collection" in printed
+        assert f"bench written to {out_path}" in printed
+        payload = json.loads(out_path.read_text())
+        assert payload["label"] == "clitest"
+        assert payload["population"] == 120
+        counters = payload["e1_collection"]["counters"]
+        assert counters["resolver.queries_sent"] > 0
+
+    def test_bench_default_out_uses_label(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        code = main(["bench", "--population", "60", "--seed", "3",
+                     "--warmup", "1"])
+        assert code == 0
+        assert (tmp_path / "BENCH_p60.json").exists()
 
     def test_study_command_small(self, capsys):
         code = main([
