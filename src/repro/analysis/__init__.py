@@ -11,7 +11,8 @@ AST-based lint engine instead of review-time convention:
   model with process-stable fingerprints;
 * :mod:`repro.analysis.rules` — the :class:`Rule` base class and registry;
 * :mod:`repro.analysis.determinism`, :mod:`repro.analysis.clockrules`,
-  :mod:`repro.analysis.hygiene` — the built-in rule packs (REP0xx);
+  :mod:`repro.analysis.hygiene`, :mod:`repro.analysis.robustness` —
+  the built-in rule packs (REP0xx);
 * :mod:`repro.analysis.baseline` — the grandfathered-violation allowlist;
 * :mod:`repro.analysis.engine` — the :class:`Analyzer` driver;
 * :mod:`repro.analysis.report` — text and JSON reporters.
@@ -34,7 +35,7 @@ from .report import render_json, render_text
 from .rules import ModuleContext, Rule, RuleRegistry, default_registry
 
 # Importing the rule packs registers their rules with the default registry.
-from . import clockrules, determinism, hygiene  # noqa: F401  (side effect)
+from . import clockrules, determinism, hygiene, robustness  # noqa: F401  (side effect)
 
 __all__ = [
     "Analyzer",

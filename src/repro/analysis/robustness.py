@@ -1,0 +1,167 @@
+"""Robustness rules (REP030).
+
+.. note:: The rule packs are numbered by decade (determinism REP00x,
+   clock REP01x, hygiene REP02x); REP011 is already taken by
+   :class:`~repro.analysis.clockrules.RawTimestampParameterRule`, so
+   the robustness pack opens the REP03x decade.
+
+The fault-injection plane (:mod:`repro.faults`) makes every network
+call in the library able to fail; this rule pack polices the two ways
+retry code quietly goes wrong:
+
+* an *unbounded* retry loop — ``while True:`` wrapping a network call
+  with no visible attempt bound — which under a scheduled outage spins
+  forever instead of giving up and degrading to UNMEASURED;
+* a broad ``except`` that silently swallows the failure (``pass`` /
+  ``continue`` body), which turns an exhausted retry budget into a
+  fabricated negative observation.
+
+Both are checked on ``src/repro`` itself by the self-hosting lint gate.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Set
+
+from .findings import Severity
+from .rules import ModuleContext, Rule, register
+
+__all__ = ["UnboundedRetryRule"]
+
+#: Call names that reach the network fabric (directly or via a client).
+#: ``get`` is deliberately absent — ``dict.get`` would swamp the rule
+#: with false positives; HTTP fetch loops are caught via ``deliver_http``
+#: and ``handle_request`` instead.
+_NETWORK_CALLS = frozenset({
+    "query",
+    "resolve",
+    "resolve_many",
+    "handle_query",
+    "handle_request",
+    "deliver_dns",
+    "deliver_http",
+    "fetch",
+    "request",
+    "send",
+})
+
+#: Identifier fragments that signal the loop is bounded (an attempt
+#: counter, a budget, a deadline) even though the ``while`` test is a
+#: bare ``True``.
+_BOUND_HINTS = ("attempt", "retr", "budget", "deadline", "timeout", "max", "tries")
+
+_BROAD_EXCEPTIONS = frozenset({"Exception", "BaseException"})
+
+
+def _is_while_true(node: ast.While) -> bool:
+    test = node.test
+    return isinstance(test, ast.Constant) and bool(test.value) is True
+
+
+def _called_names(nodes) -> Set[str]:
+    names: Set[str] = set()
+    for node in nodes:
+        for child in ast.walk(node):
+            if not isinstance(child, ast.Call):
+                continue
+            func = child.func
+            if isinstance(func, ast.Attribute):
+                names.add(func.attr)
+            elif isinstance(func, ast.Name):
+                names.add(func.id)
+    return names
+
+
+def _identifiers(nodes) -> Set[str]:
+    found: Set[str] = set()
+    for node in nodes:
+        for child in ast.walk(node):
+            if isinstance(child, ast.Name):
+                found.add(child.id)
+            elif isinstance(child, ast.Attribute):
+                found.add(child.attr)
+    return found
+
+
+def _swallows_silently(handler: ast.ExceptHandler) -> bool:
+    """True when the handler body does nothing but pass/continue."""
+    return all(
+        isinstance(statement, (ast.Pass, ast.Continue))
+        for statement in handler.body
+    )
+
+
+def _broad_exception_names(node: ast.AST):
+    if isinstance(node, ast.Name):
+        if node.id in _BROAD_EXCEPTIONS:
+            yield node.id
+    elif isinstance(node, ast.Tuple):
+        for element in node.elts:
+            if isinstance(element, ast.Name) and element.id in _BROAD_EXCEPTIONS:
+                yield element.id
+
+
+@register
+class UnboundedRetryRule(Rule):
+    """REP030: unbounded retry loop or silently swallowed failure.
+
+    A ``while True:`` whose body makes a network call must show a bound
+    — an attempt counter, a retry budget, a deadline — somewhere in the
+    loop; otherwise a scheduled outage turns it into a spin.  And a
+    broad ``except`` whose body is only ``pass``/``continue`` converts
+    any failure (including an exhausted retry budget) into silence —
+    the measurement layer must degrade *explicitly* instead.
+    """
+
+    rule_id = "REP030"
+    title = "unbounded retry / swallowed failure"
+    severity = Severity.ERROR
+
+    def check(self, module: ModuleContext) -> Iterator:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.While):
+                yield from self._check_loop(module, node)
+            elif isinstance(node, ast.ExceptHandler):
+                yield from self._check_handler(module, node)
+
+    def _check_loop(self, module: ModuleContext, node: ast.While) -> Iterator:
+        if not _is_while_true(node):
+            return
+        network = _called_names(node.body) & _NETWORK_CALLS
+        if not network:
+            return
+        mentioned = _identifiers(node.body) | _identifiers([node.test])
+        bounded = any(
+            hint in name.lower() for name in mentioned for hint in _BOUND_HINTS
+        )
+        if not bounded:
+            yield self.finding(
+                module,
+                node,
+                f"'while True' wraps network call(s) "
+                f"{', '.join(sorted(network))} with no visible attempt "
+                "bound; use a RetryPolicy (bounded attempts + budget)",
+            )
+
+    def _check_handler(
+        self, module: ModuleContext, node: ast.ExceptHandler
+    ) -> Iterator:
+        if not _swallows_silently(node):
+            return
+        if node.type is None:
+            yield self.finding(
+                module,
+                node,
+                "bare 'except:' with a pass-only body swallows every "
+                "failure silently; record the failure or re-raise",
+            )
+            return
+        for name in _broad_exception_names(node.type):
+            yield self.finding(
+                module,
+                node,
+                f"'except {name}' with a pass-only body swallows "
+                "failures silently; degrade explicitly (UNMEASURED, "
+                "metrics) or catch the narrowest class",
+            )

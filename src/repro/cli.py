@@ -8,6 +8,8 @@
     python -m repro purge-probe [--trials T] [--plan PLAN]
     python -m repro bench  [--population N] [--seed S] [--warmup W]
                            [--label L] [--out PATH]
+    python -m repro chaos  --profile NAME [--population N] [--seed S]
+                           [--warmup W] [--out PATH]
     python -m repro lint   [paths] [--select IDS] [--ignore IDS]
                            [--format text|json] [--baseline PATH]
                            [--update-baseline]
@@ -17,8 +19,12 @@ figure; ``scan`` runs one §V residual-resolution sweep; ``attack``
 demonstrates the Fig. 1 bypass; ``purge-probe`` reruns the §V-A-3
 controlled purge measurement; ``bench`` runs the E1/E8 query-path
 workloads and writes a ``BENCH_<label>.json`` trajectory point;
-``lint`` runs the determinism and simulation-invariant static analysis
-(exit 0 clean, 1 findings, 2 usage error).
+``chaos`` reruns them under a named fault profile against a same-seed
+fault-free run, writes ``CHAOS_<profile>.json``, and exits nonzero if
+an equivalence profile diverged (or a degradation profile failed to
+degrade explicitly); ``lint`` runs the determinism and
+simulation-invariant static analysis (exit 0 clean, 1 findings,
+2 usage error).
 """
 
 from __future__ import annotations
@@ -98,6 +104,24 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--out", metavar="PATH", default=None,
                        help="output path (default: BENCH_<label>.json)")
 
+    chaos = subparsers.add_parser(
+        "chaos",
+        help="E1/E8 under a fault profile, diffed against a fault-free run",
+    )
+    from .faults.profiles import PROFILES
+
+    chaos.add_argument("--profile", required=True, choices=sorted(PROFILES),
+                       help="named fault profile to inject")
+    chaos.add_argument("--population", type=int, default=400,
+                       help="number of websites (default 400)")
+    chaos.add_argument("--seed", type=int, default=2018,
+                       help="world seed (default 2018)")
+    chaos.add_argument("--warmup", type=int, default=21,
+                       help="days of world dynamics before the workloads "
+                            "(default 21)")
+    chaos.add_argument("--out", metavar="PATH", default=None,
+                       help="output path (default: CHAOS_<profile>.json)")
+
     lint = subparsers.add_parser(
         "lint", help="determinism & simulation-invariant static analysis"
     )
@@ -176,6 +200,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "lint":
         return _cmd_lint(args)
+    if args.command == "chaos":
+        return _cmd_chaos(args)
     world = SimulatedInternet(
         WorldConfig(population_size=args.population, seed=args.seed)
     )
@@ -188,6 +214,42 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "bench":
         return _cmd_bench(world, args)
     return _cmd_purge_probe(world, args)
+
+
+def _cmd_chaos(args) -> int:
+    import json
+
+    from .faults.chaos import run_chaos
+
+    report = run_chaos(
+        args.profile,
+        population=args.population,
+        seed=args.seed,
+        warmup_days=args.warmup,
+    )
+    out_path = args.out or f"CHAOS_{report['profile']}.json"
+    with open(out_path, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    retries = report["retries"]
+    print(f"profile {report['profile']} "
+          f"({'equivalence' if report['expect_equivalence'] else 'degradation'}): "
+          f"{report['faults_injected']} faults injected, "
+          f"retries resolver={retries['resolver']} client={retries['client']} "
+          f"http={retries['http']}")
+    if report["identical"]:
+        print("artifacts identical to the fault-free run")
+    else:
+        print(f"{report['unmeasured_sites']} unmeasured site(s), "
+              f"{len(report['quarantined_nameservers'])} quarantined "
+              f"nameserver(s); divergences:")
+        for divergence in report["divergences"][:10]:
+            print(f"  {divergence}")
+    print(f"chaos report written to {out_path}")
+    if not report["passed"]:
+        print("chaos check FAILED", file=sys.stderr)
+        return 1
+    return 0
 
 
 def _cmd_bench(world: SimulatedInternet, args) -> int:

@@ -81,10 +81,10 @@ class BehaviorDetector:
         """Behaviours between two consecutive observation days."""
         behaviors: List[MeasuredBehavior] = []
         for www, today in current.items():
-            if www in self._excluded:
+            if www in self._excluded or not today.is_measured:
                 continue
             yesterday = previous.get(www)
-            if yesterday is None:
+            if yesterday is None or not yesterday.is_measured:
                 continue
             behaviors.extend(self._transition(www, yesterday, today, day))
         return behaviors
@@ -92,12 +92,30 @@ class BehaviorDetector:
     def diff_series(
         self, observation_days: Sequence[Dict[str, DpsObservation]], first_day: int = 1
     ) -> List[MeasuredBehavior]:
-        """Behaviours across a whole daily series."""
+        """Behaviours across a whole daily series.
+
+        UNMEASURED days are data holes, not observations: a site's last
+        *measured* observation is carried forward and diffed against its
+        next measured one, so a hole never reads as a LEAVE/JOIN pair.
+        With no holes the output is identical to pairwise
+        :meth:`diff_pair` over consecutive days; a transition observed
+        after a hole is attributed to the day it was observed on.
+        """
         collected: List[MeasuredBehavior] = []
-        for offset, (previous, current) in enumerate(
-            zip(observation_days, observation_days[1:])
-        ):
-            collected.extend(self.diff_pair(previous, current, first_day + offset))
+        carry: Dict[str, DpsObservation] = {}
+        for index, current in enumerate(observation_days):
+            if index > 0:
+                day = first_day + index - 1
+                for www, today in current.items():
+                    if www in self._excluded or not today.is_measured:
+                        continue
+                    yesterday = carry.get(www)
+                    if yesterday is None:
+                        continue
+                    collected.extend(self._transition(www, yesterday, today, day))
+            for www, observation in current.items():
+                if observation.is_measured:
+                    carry[www] = observation
         return collected
 
     # ------------------------------------------------------------------

@@ -32,6 +32,11 @@ class DomainSnapshot:
     cnames: tuple
     ns_targets: tuple
     rcode: Rcode = Rcode.NOERROR
+    #: False when resolution gave up inside its retry budget — the
+    #: snapshot is a hole in the data, not evidence of absence.  The
+    #: status determiner turns unmeasured snapshots into UNMEASURED
+    #: observations instead of a false NONE.
+    measured: bool = True
 
     @property
     def resolved(self) -> bool:
@@ -49,6 +54,16 @@ class DailySnapshot:
     def get(self, www: "DomainName | str") -> Optional[DomainSnapshot]:
         """Snapshot for one hostname, if collected."""
         return self.domains.get(str(DomainName(www)))
+
+    @property
+    def unmeasured_count(self) -> int:
+        """Sites whose resolution gave up this day (data holes)."""
+        return sum(1 for s in self.domains.values() if not s.measured)
+
+    @property
+    def is_partial(self) -> bool:
+        """True when at least one site went unmeasured this day."""
+        return self.unmeasured_count > 0
 
     def __len__(self) -> int:
         return len(self.domains)
@@ -88,6 +103,11 @@ class DnsRecordCollector:
         for www, a_result, ns_result in zip(names, a_results, ns_results):
             record = self._snapshot_from_results(www, day, a_result, ns_result)
             snapshot.domains[str(record.www)] = record
+        if snapshot.is_partial:
+            self._resolver.metrics.incr("collector.partial_days")
+            self._resolver.metrics.incr(
+                "collector.unmeasured", snapshot.unmeasured_count
+            )
         return snapshot
 
     def collect_one(self, www: DomainName, day: int) -> DomainSnapshot:
@@ -114,6 +134,7 @@ class DnsRecordCollector:
                 if record.rtype is RecordType.NS
             ),
             rcode=result.rcode,
+            measured=not (result.gave_up or ns_result.gave_up),
         )
 
     @staticmethod

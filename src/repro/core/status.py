@@ -38,11 +38,20 @@ _SHARED_IP_PROVIDERS = frozenset({"akamai", "cdnetworks"})
 
 
 class DpsStatus:
-    """The three statuses of Table III."""
+    """The three statuses of Table III, plus an explicit data hole.
+
+    ``UNMEASURED`` is not part of the paper's taxonomy: it marks a day
+    where resolution gave up inside its retry budget, so the site's
+    status that day is *unknown* — distinct from NONE, which is a
+    positive observation of no DPS involvement.  Behaviour detection
+    skips UNMEASURED days (carry-forward) rather than reading them as
+    protection changes.
+    """
 
     ON = "ON"
     OFF = "OFF"
     NONE = "NONE"
+    UNMEASURED = "UNMEASURED"
 
 
 @dataclass(frozen=True, slots=True)
@@ -65,6 +74,11 @@ class DpsObservation:
         """ON or OFF — the domain is attached to some platform."""
         return self.status in (DpsStatus.ON, DpsStatus.OFF)
 
+    @property
+    def is_measured(self) -> bool:
+        """False for an UNMEASURED data hole."""
+        return self.status != DpsStatus.UNMEASURED
+
 
 class StatusDeterminer:
     """Applies Table III to snapshots."""
@@ -79,6 +93,12 @@ class StatusDeterminer:
 
     def observe(self, snapshot: DomainSnapshot) -> DpsObservation:
         """Classify one snapshot."""
+        if not snapshot.measured:
+            return DpsObservation(
+                www=str(snapshot.www),
+                day=snapshot.day,
+                status=DpsStatus.UNMEASURED,
+            )
         a_provider = self._matcher.a_match_any(snapshot.a_records)
         cname_provider = self._matcher.cname_match_any(snapshot.cnames)
         ns_provider = self._matcher.ns_match_any(snapshot.ns_targets)

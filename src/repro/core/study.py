@@ -110,6 +110,20 @@ class StudyReport:
     incapsula_weekly: List[PipelineReport] = field(default_factory=list)
     cloudflare_exposure: Optional[ExposureSummary] = None
 
+    # Degradation bookkeeping (all empty/zero on a fault-free run):
+    # per-day UNMEASURED site counts, the days that were partial, weekly
+    # Cloudflare sweeps skipped because no nameserver address resolved,
+    # and the nameservers still quarantined when the campaign ended.
+    unmeasured_daily_counts: List[int] = field(default_factory=list)
+    partial_days: List[int] = field(default_factory=list)
+    skipped_scan_weeks: List[int] = field(default_factory=list)
+    quarantined_nameservers: List[str] = field(default_factory=list)
+
+    @property
+    def total_unmeasured(self) -> int:
+        """Site-days lost to exhausted retry budgets across the study."""
+        return sum(self.unmeasured_daily_counts)
+
     # Ground truth (unavailable to the paper; used for validation)
     ground_truth_events: List[BehaviorEvent] = field(default_factory=list)
 
@@ -173,7 +187,8 @@ class SixWeekStudy:
         world.engine.run_days(config.warmup_days)
         study_start_day = world.clock.day
 
-        collector = DnsRecordCollector(world.make_resolver())
+        collection_resolver = world.make_resolver()
+        collector = DnsRecordCollector(collection_resolver)
         verifier = HtmlVerifier(
             world.http_client(config.vantage_regions[0]),
             strictness=config.verifier_strictness,
@@ -209,14 +224,24 @@ class SixWeekStudy:
                     for www, domain_snapshot in snapshot.domains.items()
                 }
             )
+            report.unmeasured_daily_counts.append(snapshot.unmeasured_count)
+            if snapshot.is_partial:
+                report.partial_days.append(day)
             harvest.ingest([snapshot])
             if incap_scanner is not None:
                 incap_scanner.ingest([snapshot])
 
             if config.run_residual_scans and day_index % config.scan_every_days == 0:
                 week = day_index // config.scan_every_days
+                ns_ips: List = []
                 if cf_pipeline is not None and len(harvest) > 0:
                     ns_ips = harvest.resolve_addresses(world.make_resolver())
+                    if not ns_ips:
+                        # Every harvested nameserver name failed to
+                        # resolve this week (outage / exhausted budget):
+                        # carry the week as skipped, don't crash.
+                        report.skipped_scan_weeks.append(week)
+                if ns_ips:
                     scanner = CloudflareScanner(
                         ns_ips,
                         vantage_clients,
@@ -243,6 +268,9 @@ class SixWeekStudy:
 
             world.engine.run_day()
 
+        report.quarantined_nameservers = [
+            address for address, _, _ in collection_resolver.quarantine.snapshot()
+        ]
         self._analyse_usage_dynamics(report, study_start_day, verifier)
         self._analyse_adoption(report)
         if config.run_residual_scans:

@@ -5,16 +5,27 @@ resolution probe does *not* use recursive resolution; it aims queries
 directly at a previous DPS provider's nameservers (§III-B, §V-A-2).  The
 client goes through the :class:`~repro.net.fabric.NetworkFabric`, so
 anycast addresses land on the PoP matching the client's region.
+
+Queries ride the fabric's fault-aware delivery path and retry transient
+failures (timeouts and ``SERVFAIL``) under a
+:class:`~repro.faults.retry.RetryPolicy`.  ``REFUSED`` is definitive —
+that is the residual-resolution signal itself, never retried.  The
+``queries_sent`` counter and the ``client.queries`` metric count logical
+queries (first attempts); retries land in ``client.retries`` so recovery
+overhead is visible separately.
 """
 
 from __future__ import annotations
 
 from typing import Optional
 
+from ..faults.retry import RetryPolicy, default_retry_rng
 from ..net.fabric import NetworkFabric
 from ..net.geo import Region
 from ..net.ipaddr import IPv4Address
-from .message import DnsQuery, DnsResponse
+from ..obs.metrics import MetricsRegistry
+from ..rng import SeededRng
+from .message import DnsQuery, DnsResponse, Rcode
 from .name import DomainName
 from .records import RecordType
 
@@ -24,10 +35,26 @@ __all__ = ["DnsClient"]
 class DnsClient:
     """Sends non-recursive queries from a fixed client region."""
 
-    def __init__(self, fabric: NetworkFabric, region: Optional[Region] = None) -> None:
+    def __init__(
+        self,
+        fabric: NetworkFabric,
+        region: Optional[Region] = None,
+        retry_policy: Optional[RetryPolicy] = None,
+        retry_rng: Optional[SeededRng] = None,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
         self._fabric = fabric
         self.region = region
+        self.retry_policy = retry_policy if retry_policy is not None else RetryPolicy()
+        self._retry_rng = retry_rng
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.queries_sent = 0
+
+    def _jitter_rng(self) -> SeededRng:
+        if self._retry_rng is None:
+            label = self.region.name if self.region is not None else "global"
+            self._retry_rng = default_retry_rng(f"dns-client-{label}")
+        return self._retry_rng
 
     def query(
         self,
@@ -35,14 +62,37 @@ class DnsClient:
         qname: "DomainName | str",
         qtype: RecordType = RecordType.A,
     ) -> Optional[DnsResponse]:
-        """Query one server directly.
+        """Query one server directly, retrying transient failures.
 
-        Returns None when nothing answers at that address — the simulated
-        equivalent of a timeout.
+        Returns None when every attempt times out (dark address, packet
+        loss, outage) — the simulated equivalent of a timeout — or the
+        last response when the server keeps answering ``SERVFAIL``.
         """
         self.queries_sent += 1
-        server = self._fabric.dns_server_at(server_ip, self.region)
-        if server is None:
-            return None
+        self.metrics.incr("client.queries")
         query = DnsQuery(DomainName(qname), qtype, recursion_desired=False)
-        return server.handle_query(query, self.region)
+        policy = self.retry_policy
+        budget = policy.budget()
+        response: Optional[DnsResponse] = None
+        for attempt in range(1, policy.max_attempts + 1):
+            if attempt > 1:
+                budget.charge(policy.backoff_ms(attempt - 1, self._jitter_rng()))
+                if budget.exhausted:
+                    self.metrics.incr("client.budget_exhausted")
+                    break
+                self.metrics.incr("client.retries")
+            delivery = self._fabric.deliver_dns(server_ip, query, self.region)
+            budget.charge(delivery.latency_ms)
+            response = delivery.response
+            if response is not None and response.rcode is not Rcode.SERVFAIL:
+                self.metrics.incr("client.answered")
+                return response
+            if delivery.outcome == "dark":
+                # Nothing listens at this address — deterministic, so a
+                # retry can never succeed.
+                break
+        if response is None:
+            self.metrics.incr("client.unanswered")
+        else:
+            self.metrics.incr("client.servfail")
+        return response

@@ -13,6 +13,18 @@ Two behaviours matter specifically for the paper:
   queries there even after the registry delegation changed.  This is the
   root cause of residual resolution (§VI-A): providers keep answering
   those queries "for service continuity", and in doing so expose origins.
+
+Transport goes through the fabric's fault-aware delivery path: each
+server is tried under a :class:`~repro.faults.retry.RetryPolicy`
+(timeouts and transient ``SERVFAIL`` retried with seeded-jitter
+backoff), and a server that exhausts its budget triggers failover to the
+next server of the zone — timeout failover, not just the REFUSED
+failover real resolvers do on lame delegations.  Servers that give up
+this way enter a :class:`~repro.faults.quarantine.NameserverQuarantine`
+and are deprioritised until their scheduled re-probe.  A resolution
+whose failure was caused by exhausted retries is marked ``gave_up`` so
+the measurement layer can degrade to UNMEASURED instead of recording a
+false negative.
 """
 
 from __future__ import annotations
@@ -22,10 +34,13 @@ from typing import Dict, Iterable, List, Optional, Tuple
 
 from ..clock import SimulationClock
 from ..errors import ResolutionError
+from ..faults.quarantine import NameserverQuarantine
+from ..faults.retry import RetryPolicy, default_retry_rng
 from ..net.fabric import NetworkFabric
 from ..net.geo import Region
 from ..net.ipaddr import IPv4Address
 from ..obs.metrics import MetricsRegistry
+from ..rng import SeededRng
 from .cache import DnsCache
 from .message import DnsQuery, DnsResponse, Rcode
 from .name import DomainName
@@ -50,6 +65,10 @@ class ResolutionResult:
     rcode: Rcode
     records: List[ResourceRecord] = field(default_factory=list)
     cname_chain: List[Tuple[DomainName, DomainName]] = field(default_factory=list)
+    #: True when the failure was caused by exhausted retries against
+    #: unresponsive servers — the answer is *unknown*, not negative.
+    #: Fault-free resolutions never set this.
+    gave_up: bool = False
 
     @property
     def ok(self) -> bool:
@@ -110,6 +129,9 @@ class RecursiveResolver:
         region: Optional[Region] = None,
         cache: Optional[DnsCache] = None,
         metrics: Optional[MetricsRegistry] = None,
+        retry_policy: Optional[RetryPolicy] = None,
+        retry_rng: Optional[SeededRng] = None,
+        quarantine: Optional[NameserverQuarantine] = None,
     ) -> None:
         if not root_hints:
             raise ResolutionError("resolver needs at least one root hint")
@@ -121,8 +143,16 @@ class RecursiveResolver:
         #: keeps its own registry (it may be shared with other owners).
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.cache = cache if cache is not None else DnsCache(clock, self.metrics)
+        self.retry_policy = retry_policy if retry_policy is not None else RetryPolicy()
+        self._retry_rng = retry_rng
+        self.quarantine = (
+            quarantine if quarantine is not None else NameserverQuarantine(clock)
+        )
         self.queries_sent = 0
         self._batch_memo: Optional[_ZoneCutMemo] = None
+        #: Bumped each time a server exhausts its retry budget; resolve()
+        #: uses it to tell fault-induced SERVFAILs from genuine ones.
+        self._transient_failures = 0
 
     # -- public API -----------------------------------------------------------
 
@@ -135,8 +165,19 @@ class RecursiveResolver:
         ``CNAME + A`` in one response) are attributed to the chain before
         any ``rtype`` records are accepted, so ``final_name`` and
         ``cname_targets`` are correct for single-response chains too.
+
+        A ``SERVFAIL`` result caused by servers that stopped responding
+        (retry budget exhausted) is marked ``gave_up`` — the measurement
+        layer treats it as *unknown* rather than a negative observation.
         """
-        qname = DomainName(name)
+        before = self._transient_failures
+        result = self._resolve_chased(DomainName(name), rtype)
+        if result.rcode is Rcode.SERVFAIL and self._transient_failures > before:
+            result.gave_up = True
+            self.metrics.incr("resolver.gave_up")
+        return result
+
+    def _resolve_chased(self, qname: DomainName, rtype: RecordType) -> ResolutionResult:
         self.metrics.incr("resolver.resolutions")
         chain: List[Tuple[DomainName, DomainName]] = []
         current = qname
@@ -338,6 +379,12 @@ class RecursiveResolver:
 
     # -- transport ----------------------------------------------------------------------
 
+    def _jitter_rng(self) -> SeededRng:
+        if self._retry_rng is None:
+            label = self.region.name if self.region is not None else "global"
+            self._retry_rng = default_retry_rng(f"resolver-{label}")
+        return self._retry_rng
+
     def _query_any(
         self, servers: List[IPv4Address], name: DomainName, rtype: RecordType
     ) -> Optional[DnsResponse]:
@@ -345,17 +392,66 @@ class RecursiveResolver:
 
         REFUSED counts as unusable (try the next server), matching how
         real resolvers fail over when a lame delegation refuses them.
+        A server that times out through its whole retry budget triggers
+        the same failover; quarantined servers are deprioritised (tried
+        only after every healthy server of the zone has failed).
         """
         refused = None
-        for ip in servers:
-            server = self._fabric.dns_server_at(ip, self.region)
-            if server is None:
+        preferred, deferred = self.quarantine.partition(servers)
+        before = self._transient_failures
+        for ip in preferred + deferred:
+            response = self._query_server(ip, name, rtype)
+            if response is None:
                 continue
-            self.queries_sent += 1
-            self.metrics.incr("resolver.queries_sent")
-            response = server.handle_query(DnsQuery(name, rtype), self.region)
             if response.rcode is Rcode.REFUSED:
                 refused = response
                 continue
+            if self._transient_failures > before:
+                self.metrics.incr("resolver.failovers")
             return response
         return refused
+
+    def _query_server(
+        self, ip: IPv4Address, name: DomainName, rtype: RecordType
+    ) -> Optional[DnsResponse]:
+        """Query one server under the retry policy.
+
+        Returns its first usable (non-SERVFAIL) response; None when the
+        address is dark or the server stayed unresponsive through the
+        whole retry budget (in which case it is quarantined and the
+        transient-failure counter is bumped).  ``queries_sent`` counts
+        logical queries — the first attempt to a non-dark address —
+        exactly as the retry-free transport did; retries land in the
+        ``resolver.retries`` metric.
+        """
+        policy = self.retry_policy
+        budget = policy.budget()
+        query = DnsQuery(name, rtype)
+        saw_transient = False
+        for attempt in range(1, policy.max_attempts + 1):
+            if attempt > 1:
+                budget.charge(policy.backoff_ms(attempt - 1, self._jitter_rng()))
+                if budget.exhausted:
+                    self.metrics.incr("resolver.budget_exhausted")
+                    break
+                self.metrics.incr("resolver.retries")
+            delivery = self._fabric.deliver_dns(ip, query, self.region)
+            budget.charge(delivery.latency_ms)
+            if delivery.outcome == "dark":
+                # Nothing listens there — a deterministic condition, not
+                # a transient fault; never retried, never counted.
+                return None
+            if attempt == 1:
+                self.queries_sent += 1
+                self.metrics.incr("resolver.queries_sent")
+            response = delivery.response
+            if response is not None and response.rcode is not Rcode.SERVFAIL:
+                self.quarantine.release(ip)
+                return response
+            saw_transient = True
+        if saw_transient:
+            self.metrics.incr("resolver.unanswered")
+            self.quarantine.quarantine(ip)
+            self.metrics.incr("resolver.quarantined")
+            self._transient_failures += 1
+        return None

@@ -1,0 +1,34 @@
+"""Deterministic fault injection and the retry machinery to survive it.
+
+``repro.faults`` gives the simulation the one property the live
+Internet forced on the paper's measurement: the substrate can break.
+A :class:`FaultPlan` injects loss, latency, transient ``SERVFAIL``,
+lame delegations, rate limiting, and outage windows at the
+:class:`~repro.net.fabric.NetworkFabric`; a :class:`RetryPolicy`
+threads bounded, seeded-jitter retries through every network client;
+and a :class:`NameserverQuarantine` deprioritises servers that stop
+responding until their scheduled re-probe.
+
+The chaos harness (two same-seed runs, one faulty, diffed artifact by
+artifact) lives in :mod:`repro.faults.chaos`; it is imported lazily by
+the CLI because it depends on the world/study layers above this
+package.  See ``docs/ROBUSTNESS.md`` for the full model.
+"""
+
+from .plan import FaultKind, FaultPlan, FaultRule, FaultVerdict
+from .profiles import PROFILES, FaultProfile
+from .quarantine import NameserverQuarantine
+from .retry import RetryBudget, RetryPolicy, default_retry_rng
+
+__all__ = [
+    "FaultKind",
+    "FaultPlan",
+    "FaultRule",
+    "FaultVerdict",
+    "FaultProfile",
+    "PROFILES",
+    "NameserverQuarantine",
+    "RetryBudget",
+    "RetryPolicy",
+    "default_retry_rng",
+]

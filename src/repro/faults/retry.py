@@ -1,0 +1,127 @@
+"""Retry policy: bounded attempts, exponential backoff, timeout budget.
+
+The paper's measurement ran on the live Internet, where queries time
+out, nameservers throttle, and vantage points fall over.  Every network
+client in the simulation (:class:`~repro.dns.client.DnsClient`, the
+:class:`~repro.dns.resolver.RecursiveResolver` transport, and
+:class:`~repro.web.http.HttpClient`) retries transient failures under a
+:class:`RetryPolicy` before giving up, so a fault-injected run recovers
+exactly the data a fault-free run measures — up to the point where the
+fault rate exceeds the retry budget and the measurement layer must
+degrade explicitly instead.
+
+Backoff jitter draws from an injected :class:`~repro.rng.SeededRng`
+stream, never ambient randomness, and all elapsed time is *accounting
+only* — simulated milliseconds charged against the per-destination
+budget.  Nothing here advances the world's
+:class:`~repro.clock.SimulationClock`, so installing a fault plan can
+never shift TTL expiry or purge horizons.
+
+This module deliberately imports nothing from :mod:`repro.dns` or
+:mod:`repro.net` so the transport layers can import it without cycles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..errors import ConfigurationError
+from ..rng import SeededRng, stable_hash
+
+__all__ = ["RetryPolicy", "RetryBudget", "default_retry_rng"]
+
+
+def default_retry_rng(label: str) -> SeededRng:
+    """A private, reproducible jitter stream for one client instance.
+
+    Clients that are not handed a forked stream by their owner fall back
+    to this: the stream depends only on the label, so every run draws
+    the same jitter sequence.  Jitter is consumed *only* when a retry
+    actually happens, so a fault-free run never touches it.
+    """
+    return SeededRng(stable_hash("retry-jitter", label))
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retries with exponential backoff and a timeout budget.
+
+    Attributes
+    ----------
+    max_attempts:
+        Total delivery attempts per destination (first try included).
+        Must be at least 1; 1 disables retrying entirely.
+    base_backoff_ms:
+        Backoff before the second attempt; doubles (by
+        ``backoff_multiplier``) for each later attempt.
+    backoff_multiplier:
+        Exponential growth factor for successive backoffs.
+    jitter_fraction:
+        Each backoff is stretched by up to this fraction, drawn from the
+        client's seeded jitter stream (0 disables jitter).
+    budget_ms:
+        Per-destination budget in simulated milliseconds.  Injected
+        latency and backoff sleep both charge against it; once spent, no
+        further attempts are made even if ``max_attempts`` remain.
+    """
+
+    max_attempts: int = 4
+    base_backoff_ms: int = 200
+    backoff_multiplier: float = 2.0
+    jitter_fraction: float = 0.5
+    budget_ms: int = 10_000
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ConfigurationError(
+                f"max_attempts must be >= 1, got {self.max_attempts}"
+            )
+        if self.base_backoff_ms < 0 or self.budget_ms <= 0:
+            raise ConfigurationError("backoff and budget must be non-negative")
+        if self.backoff_multiplier < 1.0:
+            raise ConfigurationError(
+                f"backoff_multiplier must be >= 1, got {self.backoff_multiplier}"
+            )
+        if not 0.0 <= self.jitter_fraction <= 1.0:
+            raise ConfigurationError(
+                f"jitter_fraction out of range: {self.jitter_fraction}"
+            )
+
+    @classmethod
+    def no_retry(cls) -> "RetryPolicy":
+        """A policy that makes exactly one attempt."""
+        return cls(max_attempts=1)
+
+    def backoff_ms(self, attempt: int, rng: Optional[SeededRng] = None) -> int:
+        """Backoff charged before attempt ``attempt + 1`` (1-indexed)."""
+        if attempt < 1:
+            raise ConfigurationError(f"attempt must be >= 1, got {attempt}")
+        base = self.base_backoff_ms * self.backoff_multiplier ** (attempt - 1)
+        if rng is not None and self.jitter_fraction > 0:
+            base += base * self.jitter_fraction * rng.random()
+        return int(base)
+
+    def budget(self) -> "RetryBudget":
+        """A fresh per-destination budget tracker."""
+        return RetryBudget(self.budget_ms)
+
+
+class RetryBudget:
+    """Tracks simulated milliseconds spent against one destination."""
+
+    __slots__ = ("limit_ms", "spent_ms")
+
+    def __init__(self, limit_ms: int) -> None:
+        self.limit_ms = int(limit_ms)
+        self.spent_ms = 0
+
+    def charge(self, ms: int) -> None:
+        """Record ``ms`` simulated milliseconds of latency or sleep."""
+        if ms > 0:
+            self.spent_ms += int(ms)
+
+    @property
+    def exhausted(self) -> bool:
+        """True once the destination's budget has been spent."""
+        return self.spent_ms >= self.limit_ms

@@ -10,18 +10,42 @@ paper's vantage-point design exploits (§V-A-1, Fig. 7).
 Handlers are duck-typed: DNS servers expose
 ``handle_query(query, client_region) -> DnsResponse`` and HTTP listeners
 expose ``handle_request(request) -> HttpResponse``.
+
+A :class:`~repro.faults.plan.FaultPlan` may be installed on the fabric
+(``fabric.fault_plan = plan``); the ``deliver_dns`` / ``deliver_http``
+paths then consult it on every delivery and can drop the packet, charge
+latency, or substitute a synthetic failure response.  The plan is
+duck-typed too (``intercept_dns`` / ``intercept_http`` returning a
+verdict with ``delivered`` / ``response`` / ``outcome`` / ``latency_ms``)
+so this module never imports the DNS layer.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Dict, NamedTuple, Optional
 
 from ..errors import ConfigurationError, RoutingError
 from .anycast import AnycastNetwork
 from .geo import Region
 from .ipaddr import IPv4Address
 
-__all__ = ["NetworkFabric"]
+__all__ = ["NetworkFabric", "Delivery"]
+
+
+class Delivery(NamedTuple):
+    """Result of one fault-aware delivery through the fabric.
+
+    ``response`` is the server's (or the fault plan's synthetic) answer,
+    None for a timeout.  ``outcome`` says what happened: ``delivered``,
+    ``dark`` (no handler at the address), or a fault-plan outcome
+    (``loss``, ``outage``, ``rate-limited``, ``servfail``, ``lame``).
+    ``latency_ms`` is injected latency for the caller's retry budget —
+    accounting only, it never advances the simulation clock.
+    """
+
+    response: Optional[object]
+    outcome: str
+    latency_ms: int = 0
 
 
 class _AnycastBinding:
@@ -55,6 +79,8 @@ class NetworkFabric:
         self._dns_anycast: Dict[IPv4Address, _AnycastBinding] = {}
         self._http_unicast: Dict[IPv4Address, object] = {}
         self._http_anycast: Dict[IPv4Address, _AnycastBinding] = {}
+        #: Optional fault-injection plan consulted by deliver_dns/_http.
+        self.fault_plan: Optional[object] = None
 
     # -- DNS plane ------------------------------------------------------
 
@@ -101,6 +127,32 @@ class NetworkFabric:
             return binding.server_for(client_region)
         return None
 
+    def deliver_dns(
+        self,
+        ip: "IPv4Address | str",
+        query: object,
+        client_region: Optional[Region] = None,
+    ) -> Delivery:
+        """Deliver one DNS query through the (possibly faulty) fabric.
+
+        The fault plan, when installed, rules first: it may drop the
+        packet or substitute a synthetic SERVFAIL/REFUSED.  Otherwise
+        the query reaches the server bound at ``ip`` (``dark`` outcome
+        when nothing listens there).
+        """
+        addr = IPv4Address(ip)
+        latency = 0
+        plan = self.fault_plan
+        if plan is not None:
+            verdict = plan.intercept_dns(addr, query, client_region)
+            if not verdict.delivered:
+                return Delivery(verdict.response, verdict.outcome, verdict.latency_ms)
+            latency = verdict.latency_ms
+        server = self.dns_server_at(addr, client_region)
+        if server is None:
+            return Delivery(None, "dark", latency)
+        return Delivery(server.handle_query(query, client_region), "delivered", latency)
+
     # -- HTTP plane -------------------------------------------------------
 
     def register_http(self, ip: "IPv4Address | str", handler: object) -> None:
@@ -141,3 +193,28 @@ class NetworkFabric:
         if binding is not None:
             return binding.server_for(client_region)
         return None
+
+    def deliver_http(
+        self,
+        ip: "IPv4Address | str",
+        request: object,
+        client_region: Optional[Region] = None,
+    ) -> Delivery:
+        """Deliver one HTTP request through the (possibly faulty) fabric.
+
+        Mirrors :meth:`deliver_dns`; HTTP faults have no synthetic
+        response — a dropped request looks like a connection timeout.
+        """
+        addr = IPv4Address(ip)
+        latency = 0
+        plan = self.fault_plan
+        if plan is not None:
+            host = getattr(request, "host", None)
+            verdict = plan.intercept_http(addr, host, client_region)
+            if not verdict.delivered:
+                return Delivery(None, verdict.outcome, verdict.latency_ms)
+            latency = verdict.latency_ms
+        handler = self.http_handler_at(addr, client_region)
+        if handler is None:
+            return Delivery(None, "dark", latency)
+        return Delivery(handler.handle_request(request), "delivered", latency)

@@ -14,9 +14,12 @@ from dataclasses import dataclass, field
 from typing import Dict, Optional
 
 from ..dns.name import DomainName
+from ..faults.retry import RetryPolicy, default_retry_rng
 from ..net.fabric import NetworkFabric
 from ..net.geo import Region
 from ..net.ipaddr import IPv4Address
+from ..obs.metrics import MetricsRegistry
+from ..rng import SeededRng
 
 __all__ = ["HttpRequest", "HttpResponse", "HttpClient", "StatusCode"]
 
@@ -82,11 +85,23 @@ class HttpClient:
         fabric: NetworkFabric,
         source_ip: Optional["IPv4Address | str"] = None,
         region: Optional[Region] = None,
+        retry_policy: Optional[RetryPolicy] = None,
+        retry_rng: Optional[SeededRng] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         self._fabric = fabric
         self.source_ip = IPv4Address(source_ip) if source_ip is not None else None
         self.region = region
+        self.retry_policy = retry_policy if retry_policy is not None else RetryPolicy()
+        self._retry_rng = retry_rng
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.requests_sent = 0
+
+    def _jitter_rng(self) -> SeededRng:
+        if self._retry_rng is None:
+            label = self.region.name if self.region is not None else "global"
+            self._retry_rng = default_retry_rng(f"http-client-{label}")
+        return self._retry_rng
 
     def get(
         self,
@@ -96,17 +111,35 @@ class HttpClient:
     ) -> Optional[HttpResponse]:
         """GET ``http://host{path}`` from the server at ``ip``.
 
-        Returns None when nothing listens at the address (connection
-        timeout / refused at the transport level).
+        Transient connection failures (injected loss, outages, rate
+        limiting) are retried under the client's retry policy.  Returns
+        None when nothing listens at the address or every attempt was
+        dropped — a connection timeout at the transport level.
         """
         self.requests_sent += 1
-        handler = self._fabric.http_handler_at(ip, self.region)
-        if handler is None:
-            return None
+        self.metrics.incr("http.requests")
         request = HttpRequest(
             host=DomainName(host),
             path=path,
             source_ip=self.source_ip,
             client_region=self.region,
         )
-        return handler.handle_request(request)
+        policy = self.retry_policy
+        budget = policy.budget()
+        for attempt in range(1, policy.max_attempts + 1):
+            if attempt > 1:
+                budget.charge(policy.backoff_ms(attempt - 1, self._jitter_rng()))
+                if budget.exhausted:
+                    self.metrics.incr("http.budget_exhausted")
+                    break
+                self.metrics.incr("http.retries")
+            delivery = self._fabric.deliver_http(ip, request, self.region)
+            budget.charge(delivery.latency_ms)
+            if delivery.outcome == "dark":
+                # No listener bound — deterministic, never retried.
+                break
+            if delivery.response is not None:
+                self.metrics.incr("http.answered")
+                return delivery.response
+        self.metrics.incr("http.unanswered")
+        return None

@@ -29,6 +29,8 @@ from ..dps.catalog import PAPER_PROVIDERS, ProviderSpec, build_providers
 from ..dps.multicdn import MultiCdnService
 from ..dps.provider import DpsProvider
 from ..errors import ConfigurationError
+from ..faults.plan import FaultPlan
+from ..faults.profiles import FaultProfile, profile as lookup_profile
 from ..net.asn import AsRegistry
 from ..net.fabric import NetworkFabric
 from ..net.geo import PAPER_VANTAGE_REGIONS, Region, VantagePoint, region as lookup_region
@@ -162,16 +164,60 @@ class SimulatedInternet:
             self._region_or_none(region_name), metrics=metrics
         )
 
-    def dns_client(self, region_name: Optional[str] = None) -> DnsClient:
+    def dns_client(
+        self,
+        region_name: Optional[str] = None,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> DnsClient:
         """A stub client for direct-to-nameserver queries."""
-        return DnsClient(self.fabric, self._region_or_none(region_name))
+        return DnsClient(
+            self.fabric, self._region_or_none(region_name), metrics=metrics
+        )
 
-    def http_client(self, region_name: Optional[str] = None) -> HttpClient:
+    def http_client(
+        self,
+        region_name: Optional[str] = None,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> HttpClient:
         """An HTTP client sourced from a vantage point's address."""
         if region_name is None:
-            return HttpClient(self.fabric)
+            return HttpClient(self.fabric, metrics=metrics)
         vp = self.vantage_point(region_name)
-        return HttpClient(self.fabric, source_ip=vp.source_ip, region=vp.region)
+        return HttpClient(
+            self.fabric,
+            source_ip=vp.source_ip,
+            region=vp.region,
+            metrics=metrics,
+        )
+
+    def install_faults(
+        self,
+        profile: "FaultProfile | FaultPlan | str",
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> FaultPlan:
+        """Install a fault plan on the fabric and return it.
+
+        Accepts a profile name (see :data:`repro.faults.PROFILES`), a
+        :class:`~repro.faults.profiles.FaultProfile`, or a ready-built
+        :class:`~repro.faults.plan.FaultPlan`.  Profiles are built at
+        install time, so their day-windowed rules are relative to the
+        clock's current day.  The plan's RNG is forked from the world's
+        root RNG — installation never perturbs world dynamics.
+        """
+        if isinstance(profile, str):
+            profile = lookup_profile(profile)
+        if isinstance(profile, FaultProfile):
+            plan = profile.build(
+                self, metrics if metrics is not None else MetricsRegistry()
+            )
+        else:
+            plan = profile
+        self.fabric.fault_plan = plan
+        return plan
+
+    def clear_faults(self) -> None:
+        """Remove any installed fault plan (deliveries become perfect)."""
+        self.fabric.fault_plan = None
 
     def vantage_point(self, region_name: str) -> VantagePoint:
         """One of the five measurement vantage points (Fig. 7)."""

@@ -1,0 +1,144 @@
+"""Tests for the robustness rule pack (REP030)."""
+
+from .conftest import rule_ids
+
+
+class TestUnboundedRetryLoop:
+    def test_while_true_around_network_call_flagged(self, lint):
+        findings = lint(
+            """
+            def probe(client, ip, name):
+                while True:
+                    response = client.query(ip, name)
+                    if response is not None:
+                        return response
+            """,
+            select=["REP030"],
+        )
+        assert rule_ids(findings) == ["REP030"]
+        assert "while True" in findings[0].message
+
+    def test_attempt_bound_exempts_loop(self, lint):
+        findings = lint(
+            """
+            def probe(client, ip, name):
+                attempt = 0
+                while True:
+                    attempt += 1
+                    if attempt > 4:
+                        return None
+                    response = client.query(ip, name)
+                    if response is not None:
+                        return response
+            """,
+            select=["REP030"],
+        )
+        assert findings == []
+
+    def test_budget_identifier_exempts_loop(self, lint):
+        findings = lint(
+            """
+            def probe(client, ip, name, budget):
+                while True:
+                    if budget.exhausted:
+                        return None
+                    response = client.query(ip, name)
+            """,
+            select=["REP030"],
+        )
+        assert findings == []
+
+    def test_non_network_while_true_ignored(self, lint):
+        findings = lint(
+            """
+            def drain(queue):
+                while True:
+                    item = queue.pop()
+                    if item is None:
+                        break
+            """,
+            select=["REP030"],
+        )
+        assert findings == []
+
+    def test_bounded_for_loop_ignored(self, lint):
+        findings = lint(
+            """
+            def probe(client, ip, name):
+                for attempt in range(4):
+                    response = client.query(ip, name)
+                    if response is not None:
+                        return response
+            """,
+            select=["REP030"],
+        )
+        assert findings == []
+
+
+class TestSwallowedFailure:
+    def test_except_exception_pass_flagged(self, lint):
+        findings = lint(
+            """
+            def fetch(client, ip):
+                try:
+                    return client.get(ip, "example.com")
+                except Exception:
+                    pass
+            """,
+            select=["REP030"],
+        )
+        assert rule_ids(findings) == ["REP030"]
+
+    def test_bare_except_continue_flagged(self, lint):
+        findings = lint(
+            """
+            def sweep(client, addresses):
+                for ip in addresses:
+                    try:
+                        client.get(ip, "example.com")
+                    except:
+                        continue
+            """,
+            select=["REP030"],
+        )
+        assert rule_ids(findings) == ["REP030"]
+
+    def test_narrow_exception_pass_allowed(self, lint):
+        findings = lint(
+            """
+            def fetch(client, ip):
+                try:
+                    return client.get(ip, "example.com")
+                except ValueError:
+                    pass
+            """,
+            select=["REP030"],
+        )
+        assert findings == []
+
+    def test_broad_except_with_handling_allowed(self, lint):
+        findings = lint(
+            """
+            def fetch(client, ip, metrics):
+                try:
+                    return client.get(ip, "example.com")
+                except Exception:
+                    metrics.incr("fetch.failed")
+                    return None
+            """,
+            select=["REP030"],
+        )
+        assert findings == []
+
+    def test_exception_tuple_pass_flagged(self, lint):
+        findings = lint(
+            """
+            def fetch(client, ip):
+                try:
+                    return client.get(ip, "example.com")
+                except (ValueError, Exception):
+                    pass
+            """,
+            select=["REP030"],
+        )
+        assert rule_ids(findings) == ["REP030"]

@@ -354,8 +354,8 @@ class TestRep022MissingAll:
 
 
 class TestRegistry:
-    def test_default_pack_has_ten_rules(self):
-        assert len(default_registry()) == 10
+    def test_default_pack_has_eleven_rules(self):
+        assert len(default_registry()) == 11
 
     def test_unknown_select_raises(self, tmp_path):
         with pytest.raises(AnalysisError):

@@ -1,0 +1,188 @@
+"""Unit tests for FaultRule scoping and FaultPlan verdict synthesis."""
+
+import pytest
+
+from repro.clock import SimulationClock
+from repro.dns.message import DnsQuery, Rcode
+from repro.dns.name import DomainName
+from repro.dns.records import RecordType
+from repro.errors import ConfigurationError
+from repro.faults import FaultKind, FaultPlan, FaultRule
+from repro.net.geo import region
+from repro.net.ipaddr import IPv4Address, IPv4Prefix
+from repro.rng import SeededRng
+
+ADDR = IPv4Address("10.1.2.3")
+OTHER = IPv4Address("10.9.9.9")
+QUERY = DnsQuery(DomainName("www.example.com"), RecordType.A)
+
+
+def make_plan(rules, cap=None, clock=None):
+    return FaultPlan(
+        rng=SeededRng(7).fork("plan"),
+        clock=clock or SimulationClock(),
+        rules=rules,
+        max_consecutive_failures=cap,
+    )
+
+
+class TestFaultRuleValidation:
+    def test_probability_out_of_range(self):
+        with pytest.raises(ConfigurationError):
+            FaultRule(FaultKind.LOSS, probability=1.5)
+
+    def test_unknown_plane(self):
+        with pytest.raises(ConfigurationError):
+            FaultRule(FaultKind.LOSS, plane="smtp")
+
+    def test_rate_limit_needs_max_per_day(self):
+        with pytest.raises(ConfigurationError):
+            FaultRule(FaultKind.RATE_LIMIT)
+
+    def test_latency_needs_positive_ms(self):
+        with pytest.raises(ConfigurationError):
+            FaultRule(FaultKind.LATENCY)
+
+    @pytest.mark.parametrize("kind", [FaultKind.SERVFAIL, FaultKind.LAME])
+    def test_dns_only_kinds_reject_http_plane(self, kind):
+        with pytest.raises(ConfigurationError):
+            FaultRule(kind, plane="http")
+
+
+class TestFaultRuleMatching:
+    def test_plane_scoping(self):
+        rule = FaultRule(FaultKind.LOSS, plane="http")
+        assert not rule.matches("dns", ADDR, QUERY.qname, None, 0)
+        assert rule.matches("http", ADDR, QUERY.qname, None, 0)
+        both = FaultRule(FaultKind.LOSS, plane="both")
+        assert both.matches("dns", ADDR, QUERY.qname, None, 0)
+        assert both.matches("http", ADDR, QUERY.qname, None, 0)
+
+    def test_address_scoping(self):
+        rule = FaultRule(FaultKind.LOSS, addresses=frozenset({ADDR}))
+        assert rule.matches("dns", ADDR, None, None, 0)
+        assert not rule.matches("dns", OTHER, None, None, 0)
+
+    def test_prefix_scoping(self):
+        rule = FaultRule(FaultKind.LOSS, prefix=IPv4Prefix("10.1.0.0/16"))
+        assert rule.matches("dns", ADDR, None, None, 0)
+        assert not rule.matches("dns", OTHER, None, None, 0)
+
+    def test_zone_scoping(self):
+        rule = FaultRule(FaultKind.LOSS, zone=DomainName("example.com"))
+        assert rule.matches("dns", ADDR, DomainName("www.example.com"), None, 0)
+        assert not rule.matches("dns", ADDR, DomainName("www.other.com"), None, 0)
+        # Zone-scoped rules never match a delivery without a name.
+        assert not rule.matches("dns", ADDR, None, None, 0)
+
+    def test_region_scoping(self):
+        rule = FaultRule(FaultKind.LOSS, region="sydney")
+        assert rule.matches("dns", ADDR, None, region("sydney"), 0)
+        assert not rule.matches("dns", ADDR, None, region("london"), 0)
+        assert not rule.matches("dns", ADDR, None, None, 0)
+
+    def test_day_window_half_open(self):
+        rule = FaultRule(FaultKind.OUTAGE, from_day=10, until_day=12)
+        assert not rule.matches("dns", ADDR, None, None, 9)
+        assert rule.matches("dns", ADDR, None, None, 10)
+        assert rule.matches("dns", ADDR, None, None, 11)
+        assert not rule.matches("dns", ADDR, None, None, 12)
+
+
+class TestFaultPlanVerdicts:
+    def test_no_rules_delivers(self):
+        plan = make_plan([])
+        assert plan.intercept_dns(ADDR, QUERY, None).delivered
+
+    def test_loss_drops_with_no_response(self):
+        plan = make_plan([FaultRule(FaultKind.LOSS)])
+        verdict = plan.intercept_dns(ADDR, QUERY, None)
+        assert verdict.dropped and verdict.outcome == "loss"
+        assert verdict.response is None
+        assert plan.metrics.value("faults.dns.loss") == 1
+
+    def test_servfail_synthesizes_response(self):
+        plan = make_plan([FaultRule(FaultKind.SERVFAIL)])
+        verdict = plan.intercept_dns(ADDR, QUERY, None)
+        assert not verdict.delivered and not verdict.dropped
+        assert verdict.response.rcode is Rcode.SERVFAIL
+
+    def test_lame_synthesizes_refused(self):
+        plan = make_plan([FaultRule(FaultKind.LAME)])
+        verdict = plan.intercept_dns(ADDR, QUERY, None)
+        assert verdict.response.rcode is Rcode.REFUSED
+
+    def test_latency_is_cumulative_and_delivers(self):
+        plan = make_plan(
+            [
+                FaultRule(FaultKind.LATENCY, latency_ms=30),
+                FaultRule(FaultKind.LATENCY, latency_ms=20),
+            ]
+        )
+        verdict = plan.intercept_dns(ADDR, QUERY, None)
+        assert verdict.delivered and verdict.latency_ms == 50
+        assert plan.metrics.value("faults.dns.latency_ms") == 50
+
+    def test_outage_window_follows_clock(self):
+        clock = SimulationClock()
+        plan = make_plan(
+            [FaultRule(FaultKind.OUTAGE, from_day=1, until_day=2)], clock=clock
+        )
+        assert plan.intercept_dns(ADDR, QUERY, None).delivered
+        clock.advance_days(1)
+        assert plan.intercept_dns(ADDR, QUERY, None).outcome == "outage"
+        clock.advance_days(1)
+        assert plan.intercept_dns(ADDR, QUERY, None).delivered
+
+    def test_rate_limit_resets_per_day(self):
+        clock = SimulationClock()
+        plan = make_plan(
+            [FaultRule(FaultKind.RATE_LIMIT, max_per_day=2)], clock=clock
+        )
+        assert plan.intercept_dns(ADDR, QUERY, None).delivered
+        assert plan.intercept_dns(ADDR, QUERY, None).delivered
+        assert plan.intercept_dns(ADDR, QUERY, None).outcome == "rate-limited"
+        # A different destination has its own counter.
+        assert plan.intercept_dns(OTHER, QUERY, None).delivered
+        clock.advance_days(1)
+        assert plan.intercept_dns(ADDR, QUERY, None).delivered
+
+    def test_consecutive_cap_guarantees_delivery(self):
+        plan = make_plan([FaultRule(FaultKind.LOSS, probability=1.0)], cap=2)
+        outcomes = [
+            plan.intercept_dns(ADDR, QUERY, None).outcome for _ in range(6)
+        ]
+        # Two failures, then the cap forces one delivery through, repeat.
+        assert outcomes == ["loss", "loss", "deliver", "loss", "loss", "deliver"]
+        assert plan.metrics.value("faults.dns.suppressed") == 2
+
+    def test_outage_bypasses_consecutive_cap(self):
+        plan = make_plan([FaultRule(FaultKind.OUTAGE)], cap=1)
+        outcomes = [
+            plan.intercept_dns(ADDR, QUERY, None).outcome for _ in range(4)
+        ]
+        assert outcomes == ["outage"] * 4
+
+    def test_http_plane_has_no_synthetic_dns_faults(self):
+        plan = make_plan([FaultRule(FaultKind.SERVFAIL, plane="dns")])
+        verdict = plan.intercept_http(ADDR, DomainName("www.example.com"), None)
+        assert verdict.delivered
+
+    def test_http_loss_counted_on_http_counter(self):
+        plan = make_plan([FaultRule(FaultKind.LOSS, plane="http")])
+        verdict = plan.intercept_http(ADDR, DomainName("www.example.com"), None)
+        assert verdict.outcome == "loss"
+        assert plan.metrics.value("faults.http.loss") == 1
+
+    def test_cap_must_be_positive(self):
+        with pytest.raises(ConfigurationError):
+            make_plan([], cap=0)
+
+    def test_deterministic_replay(self):
+        rules = [FaultRule(FaultKind.LOSS, probability=0.5)]
+        plan_a = make_plan(rules)
+        plan_b = make_plan(rules)
+        outcomes_a = [plan_a.intercept_dns(ADDR, QUERY, None).outcome for _ in range(32)]
+        outcomes_b = [plan_b.intercept_dns(ADDR, QUERY, None).outcome for _ in range(32)]
+        assert outcomes_a == outcomes_b
+        assert "loss" in outcomes_a and "deliver" in outcomes_a

@@ -90,3 +90,59 @@ class TestCommands:
         out = capsys.readouterr().out
         assert code == 0
         assert "Fig. 2" in out and "Table VI" in out
+
+
+class TestChaosCommand:
+    def test_chaos_parser_defaults(self):
+        args = build_parser().parse_args(["chaos", "--profile", "lossy-default"])
+        assert args.profile == "lossy-default"
+        assert args.population == 400
+        assert args.seed == 2018
+        assert args.warmup == 21
+        assert args.out is None
+
+    def test_chaos_profile_choices_validated(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["chaos", "--profile", "nope"])
+
+    def test_chaos_equivalence_profile_passes(self, capsys, tmp_path):
+        out_path = tmp_path / "CHAOS_clitest.json"
+        code = main([
+            "chaos", "--profile", "lossy-default", "--population", "80",
+            "--seed", "3", "--warmup", "5", "--out", str(out_path),
+        ])
+        printed = capsys.readouterr().out
+        assert code == 0
+        assert "artifacts identical to the fault-free run" in printed
+        payload = json.loads(out_path.read_text())
+        assert payload["profile"] == "lossy-default"
+        assert payload["identical"] is True
+        assert payload["passed"] is True
+        assert payload["divergences"] == []
+
+    def test_chaos_exits_nonzero_on_divergence(self, capsys, tmp_path, monkeypatch):
+        import repro.faults.chaos as chaos_module
+
+        failing = {
+            "profile": "lossy-default",
+            "description": "stub",
+            "expect_equivalence": True,
+            "population": 10,
+            "seed": 1,
+            "warmup_days": 1,
+            "identical": False,
+            "divergences": ["collection.www.example.com.rcode"],
+            "faults_injected": 5,
+            "retries": {"resolver": 1, "client": 0, "http": 0},
+            "unmeasured_sites": 0,
+            "quarantined_nameservers": [],
+            "counters": {},
+            "passed": False,
+        }
+        monkeypatch.setattr(chaos_module, "run_chaos", lambda *a, **k: failing)
+        monkeypatch.chdir(tmp_path)
+        code = main(["chaos", "--profile", "lossy-default"])
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "chaos check FAILED" in captured.err
+        assert (tmp_path / "CHAOS_lossy-default.json").exists()
