@@ -1,0 +1,95 @@
+"""Lint wall-time: cold (parse everything) vs warm (cache only).
+
+Measures ``repro lint`` over ``src/repro`` twice against a fresh cache
+file — the first run parses and summarizes every module, the second
+replays findings and summaries from the content-hash cache and only
+re-runs the whole-program REP04x pass.  Writes ``BENCH_pr4.json``.
+
+Run from the repo root:
+
+    PYTHONPATH=src python benchmarks/lint_wall.py [--repeat N]
+
+Not a pytest bench on purpose: wall-time assertions are flaky in CI,
+and the cache-correctness properties (zero re-parses warm, identical
+findings) are already tier-1 tests in ``tests/analysis/test_cache.py``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+import time
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+
+from repro.analysis import Analyzer  # noqa: E402
+
+
+def _timed_run(cache_path):
+    analyzer = Analyzer(root=REPO_ROOT, cache_path=cache_path)
+    paths = [os.path.join(REPO_ROOT, "src", "repro")]
+    start = time.perf_counter()
+    result = analyzer.analyze(paths)
+    elapsed = time.perf_counter() - start
+    stats = result.stats
+    return {
+        "wall_seconds": elapsed,
+        "files": stats.files,
+        "parsed": stats.parsed,
+        "cache_hits": stats.cache_hits,
+        "findings": len(result.findings),
+        "inline_suppressed": len(result.inline_suppressed),
+    }
+
+
+def run(repeat: int = 3) -> dict:
+    with tempfile.TemporaryDirectory() as tmp:
+        cache_path = os.path.join(tmp, "lint-cache.json")
+        cold = _timed_run(cache_path)
+        warms = [_timed_run(cache_path) for _ in range(repeat)]
+    warm = min(warms, key=lambda r: r["wall_seconds"])
+    if warm["parsed"] != 0:
+        raise SystemExit(
+            "warm run re-parsed %d file(s); cache is broken" % warm["parsed"]
+        )
+    if warm["findings"] != cold["findings"]:
+        raise SystemExit("warm findings diverge from cold; cache is broken")
+    return {
+        "bench": "lint_wall",
+        "target": "src/repro",
+        "cold": cold,
+        "warm": warm,
+        "warm_repeats": repeat,
+        "speedup": cold["wall_seconds"] / warm["wall_seconds"],
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--repeat", type=int, default=3)
+    parser.add_argument("--output", default=os.path.join(REPO_ROOT, "BENCH_pr4.json"))
+    args = parser.parse_args(argv)
+    payload = run(repeat=args.repeat)
+    with open(args.output, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(
+        "lint %s: cold %.3fs (%d parsed) -> warm %.3fs (%d cache hits), %.1fx"
+        % (
+            payload["target"],
+            payload["cold"]["wall_seconds"],
+            payload["cold"]["parsed"],
+            payload["warm"]["wall_seconds"],
+            payload["warm"]["cache_hits"],
+            payload["speedup"],
+        )
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

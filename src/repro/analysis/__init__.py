@@ -9,13 +9,21 @@ AST-based lint engine instead of review-time convention:
 
 * :mod:`repro.analysis.findings` — the :class:`Finding` / :class:`Severity`
   model with process-stable fingerprints;
-* :mod:`repro.analysis.rules` — the :class:`Rule` base class and registry;
+* :mod:`repro.analysis.rules` — the :class:`Rule` / :class:`ProjectRule`
+  base classes and registry;
 * :mod:`repro.analysis.determinism`, :mod:`repro.analysis.clockrules`,
   :mod:`repro.analysis.hygiene`, :mod:`repro.analysis.robustness` —
-  the built-in rule packs (REP0xx);
+  the built-in per-module rule packs (REP0xx);
+* :mod:`repro.analysis.graph` / :mod:`repro.analysis.taint` /
+  :mod:`repro.analysis.graphrules` — the project graph, the determinism
+  taint fixpoint, and the whole-program REP04x rules;
+* :mod:`repro.analysis.suppressions` — inline ``# repro: allow[...]``
+  comments and the REP050 stale-suppression rule;
 * :mod:`repro.analysis.baseline` — the grandfathered-violation allowlist;
+* :mod:`repro.analysis.cache` — the content-hash incremental cache;
 * :mod:`repro.analysis.engine` — the :class:`Analyzer` driver;
-* :mod:`repro.analysis.report` — text and JSON reporters.
+* :mod:`repro.analysis.report` / :mod:`repro.analysis.sarif` — text,
+  JSON, and SARIF 2.1.0 reporters.
 
 The engine self-hosts: a tier-1 test lints ``src/repro`` itself and fails
 on any non-baselined finding, so every PR is lint-clean by construction.
@@ -29,24 +37,46 @@ Example
 from __future__ import annotations
 
 from .baseline import Baseline, BaselineEntry
-from .engine import Analyzer
+from .engine import Analyzer, LintResult, LintStats
 from .findings import Finding, Severity
+from .graph import ModuleSummary, ProjectGraph, summarize_module
 from .report import render_json, render_text
-from .rules import ModuleContext, Rule, RuleRegistry, default_registry
+from .rules import (
+    ModuleContext,
+    ProjectRule,
+    Rule,
+    RuleRegistry,
+    default_registry,
+)
+from .sarif import render_sarif
+from .suppressions import Suppression, scan_suppressions
+from .taint import TaintResult, propagate_taint
 
 # Importing the rule packs registers their rules with the default registry.
 from . import clockrules, determinism, hygiene, robustness  # noqa: F401  (side effect)
+from . import graphrules, suppressions  # noqa: F401  (side effect)
 
 __all__ = [
     "Analyzer",
     "Baseline",
     "BaselineEntry",
     "Finding",
+    "LintResult",
+    "LintStats",
     "ModuleContext",
+    "ModuleSummary",
+    "ProjectGraph",
+    "ProjectRule",
     "Rule",
     "RuleRegistry",
     "Severity",
+    "Suppression",
+    "TaintResult",
     "default_registry",
+    "propagate_taint",
     "render_json",
+    "render_sarif",
     "render_text",
+    "scan_suppressions",
+    "summarize_module",
 ]

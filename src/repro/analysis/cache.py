@@ -1,0 +1,125 @@
+"""On-disk incremental cache for the lint engine.
+
+The expensive part of a lint run is parsing and walking every module;
+the project graph itself is rebuilt from per-module summaries in
+microseconds.  The cache therefore stores, per file, the raw per-module
+findings plus the :class:`~repro.analysis.graph.ModuleSummary`, keyed by
+a content hash — an unchanged tree re-lints with **zero** re-parses
+while the project rules still run fresh over the cached summaries (they
+are cross-file, so one edited module can change another module's
+findings).
+
+Entries are invalidated by content hash and by a *ruleset signature*
+(cache schema version + the active per-module rule IDs), so upgrading
+the linter or changing ``--select``/``--ignore`` never serves stale
+findings.  A corrupt or unreadable cache file degrades to a cold run —
+the cache is an accelerator, never a correctness dependency.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from typing import Any, Dict, List, Optional, Tuple
+
+from .findings import Finding
+from .graph import ModuleSummary
+
+__all__ = ["LintCache", "content_hash", "ruleset_signature"]
+
+#: Bump when the cached shape (findings/summary serialization) changes.
+CACHE_SCHEMA_VERSION = 1
+
+
+def content_hash(data: bytes) -> str:
+    """Stable short hash of one file's raw bytes."""
+    return hashlib.blake2b(data, digest_size=16).hexdigest()
+
+
+def ruleset_signature(rule_ids: List[str]) -> str:
+    """Signature of the active per-module ruleset (plus cache schema)."""
+    payload = json.dumps(
+        {"schema": CACHE_SCHEMA_VERSION, "rules": sorted(rule_ids)},
+        sort_keys=True,
+    )
+    return hashlib.blake2b(payload.encode("utf-8"), digest_size=8).hexdigest()
+
+
+class LintCache:
+    """A JSON file mapping display paths to cached per-module results."""
+
+    def __init__(self, path: str, signature: str,
+                 entries: Optional[Dict[str, Any]] = None) -> None:
+        self.path = path
+        self.signature = signature
+        self._entries: Dict[str, Any] = entries or {}
+        self._dirty = False
+
+    @classmethod
+    def load(cls, path: str, signature: str) -> "LintCache":
+        """Read the cache; mismatched signature or corruption → empty."""
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except (OSError, ValueError):
+            return cls(path, signature)
+        if not isinstance(payload, dict):
+            return cls(path, signature)
+        if payload.get("signature") != signature:
+            return cls(path, signature)
+        entries = payload.get("entries")
+        if not isinstance(entries, dict):
+            return cls(path, signature)
+        return cls(path, signature, entries)
+
+    def get(
+        self, display_path: str, digest: str
+    ) -> Optional[Tuple[List[Finding], ModuleSummary]]:
+        """Cached (raw findings, summary) for an unchanged file, or None."""
+        entry = self._entries.get(display_path)
+        if not isinstance(entry, dict) or entry.get("hash") != digest:
+            return None
+        try:
+            findings = [
+                Finding.from_dict(item) for item in entry["findings"]
+            ]
+            summary = ModuleSummary.from_dict(entry["summary"])
+        except (KeyError, TypeError, ValueError):
+            return None
+        return findings, summary
+
+    def put(self, display_path: str, digest: str,
+            findings: List[Finding], summary: ModuleSummary) -> None:
+        """Record one file's results (raw, pre-occurrence-numbering)."""
+        self._entries[display_path] = {
+            "hash": digest,
+            "findings": [finding.to_dict() for finding in findings],
+            "summary": summary.to_dict(),
+        }
+        self._dirty = True
+
+    def prune(self, live_paths: List[str]) -> None:
+        """Drop entries for files that no longer exist in the run."""
+        live = set(live_paths)
+        dead = [path for path in self._entries if path not in live]
+        for path in dead:
+            del self._entries[path]
+            self._dirty = True
+
+    def save(self) -> None:
+        """Persist if anything changed; write failures are non-fatal."""
+        if not self._dirty:
+            return
+        payload = {
+            "signature": self.signature,
+            "entries": self._entries,
+        }
+        try:
+            tmp = f"{self.path}.tmp.{os.getpid()}"
+            with open(tmp, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle, sort_keys=True)
+            os.replace(tmp, self.path)
+        except OSError:
+            pass
+        self._dirty = False

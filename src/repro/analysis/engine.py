@@ -5,20 +5,81 @@ deterministic, sorted list of :class:`~repro.analysis.findings.Finding`.
 Discovery order, finding order, and fingerprints are all stable across
 processes — the linter holds itself to the same reproducibility bar it
 enforces.
+
+A run has two layers.  Per-module rules see one
+:class:`~repro.analysis.rules.ModuleContext` at a time and their results
+are cached on disk keyed by content hash (see
+:mod:`repro.analysis.cache`).  Project rules
+(:class:`~repro.analysis.rules.ProjectRule`) see the assembled
+:class:`~repro.analysis.graph.ProjectGraph` and always run fresh —
+their inputs are the cached per-module summaries, so a warm run still
+performs zero re-parses.  Inline ``# repro: allow[...]`` suppressions
+are applied last, after occurrence numbering, so suppressing a finding
+never shifts another finding's fingerprint.
 """
 
 from __future__ import annotations
 
 import ast
 import os
-from dataclasses import replace
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+import re
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from ..errors import AnalysisError
+from .cache import LintCache, content_hash, ruleset_signature
 from .findings import Finding
-from .rules import ModuleContext, Rule, RuleRegistry, default_registry
+from .graph import ModuleSummary, ProjectGraph, module_name_for, summarize_module
+from .rules import ModuleContext, ProjectRule, Rule, RuleRegistry, default_registry
+from .suppressions import StaleSuppressionRule, Suppression
 
-__all__ = ["Analyzer"]
+__all__ = ["Analyzer", "LintResult", "LintStats"]
+
+_IDENTIFIER_RE = re.compile(r"[A-Za-z_][A-Za-z0-9_]*")
+
+#: Directories next to the analysis root scanned for external symbol
+#: references (REP043): a name used only by a test is still alive.
+_REFERENCE_ROOT_NAMES = ("tests", "examples", "benchmarks")
+
+
+@dataclass
+class LintStats:
+    """Counters describing how a run did its work."""
+
+    files: int = 0
+    parsed: int = 0
+    cache_hits: int = 0
+    cache_enabled: bool = False
+
+    @property
+    def cache_misses(self) -> int:
+        return self.files - self.cache_hits
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "files": self.files,
+            "parsed": self.parsed,
+            "cache_enabled": self.cache_enabled,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+        }
+
+
+@dataclass
+class LintResult:
+    """Everything one :meth:`Analyzer.analyze` run produced.
+
+    ``findings`` are the live, occurrence-numbered findings (including
+    any REP050 stale-suppression findings the engine emitted);
+    ``inline_suppressed`` are findings silenced by in-source ``allow``
+    comments.  The baseline is applied by the caller on ``findings`` —
+    inline suppression happens first, baseline second.
+    """
+
+    findings: List[Finding] = field(default_factory=list)
+    inline_suppressed: List[Finding] = field(default_factory=list)
+    stats: LintStats = field(default_factory=LintStats)
+    summaries: List[ModuleSummary] = field(default_factory=list)
 
 
 class Analyzer:
@@ -37,6 +98,16 @@ class Analyzer:
         checked out.
     registry:
         Registry to draw rules from; defaults to the process-wide one.
+    cache_path:
+        Path for the on-disk incremental cache; ``None`` (the default)
+        disables caching.
+    reference_roots:
+        Extra directories scanned (textually) for identifier uses that
+        count as references for the dead-export rule.  Defaults to
+        ``tests``/``examples``/``benchmarks`` under ``root`` when they
+        exist.
+    ignore_unused_suppressions:
+        Do not report inline suppressions that matched nothing.
     """
 
     def __init__(
@@ -46,12 +117,26 @@ class Analyzer:
         ignore: Optional[Iterable[str]] = None,
         root: Optional[str] = None,
         registry: Optional[RuleRegistry] = None,
+        cache_path: Optional[str] = None,
+        reference_roots: Optional[Sequence[str]] = None,
+        ignore_unused_suppressions: bool = False,
     ) -> None:
         registry = registry or default_registry()
         if rules is None:
             rules = registry.instantiate(select=select, ignore=ignore)
         self.rules: List[Rule] = list(rules)
+        self.module_rules: List[Rule] = [
+            rule for rule in self.rules if not isinstance(rule, ProjectRule)
+        ]
+        self.project_rules: List[ProjectRule] = [
+            rule for rule in self.rules if isinstance(rule, ProjectRule)
+        ]
         self.root = os.path.abspath(root or os.getcwd())
+        self.cache_path = cache_path
+        self.reference_roots = (
+            list(reference_roots) if reference_roots is not None else None
+        )
+        self.ignore_unused_suppressions = ignore_unused_suppressions
 
     # -- discovery ------------------------------------------------------
 
@@ -89,10 +174,20 @@ class Analyzer:
 
     def parse(self, abspath: str) -> ModuleContext:
         """Read and parse one file into a :class:`ModuleContext`."""
+        return self._parse_source(abspath, self._read(abspath))
+
+    @staticmethod
+    def _read(abspath: str) -> bytes:
         try:
-            with open(abspath, "r", encoding="utf-8") as handle:
-                source = handle.read()
+            with open(abspath, "rb") as handle:
+                return handle.read()
         except OSError as exc:
+            raise AnalysisError(f"cannot read {abspath}: {exc}") from exc
+
+    def _parse_source(self, abspath: str, data: bytes) -> ModuleContext:
+        try:
+            source = data.decode("utf-8")
+        except UnicodeDecodeError as exc:
             raise AnalysisError(f"cannot read {abspath}: {exc}") from exc
         try:
             tree = ast.parse(source, filename=abspath)
@@ -108,31 +203,188 @@ class Analyzer:
         )
 
     def check_module(self, module: ModuleContext) -> List[Finding]:
-        """Apply every rule to one parsed module."""
+        """Apply every per-module rule to one parsed module."""
         findings: List[Finding] = []
-        for rule in self.rules:
+        for rule in self.module_rules:
             if rule.applies_to(module):
                 findings.extend(rule.check(module))
         return findings
 
-    def run(self, paths: Iterable[str]) -> List[Finding]:
-        """Lint ``paths`` and return findings in deterministic order.
+    # -- external references (REP043) -----------------------------------
 
-        Findings are sorted by location and assigned occurrence indices
-        so two identical violating lines in one file get distinct
-        fingerprints.
+    def _external_references(self) -> Set[str]:
+        """Identifiers used in the reference roots (textual scan).
+
+        A plain token scan, not a parse: reference roots are tests and
+        scripts whose *mention* of a symbol is what keeps an export
+        alive, and a regex over a few hundred KB costs nothing.
         """
-        findings: List[Finding] = []
+        roots = self.reference_roots
+        if roots is None:
+            roots = [
+                os.path.join(self.root, name)
+                for name in _REFERENCE_ROOT_NAMES
+                if os.path.isdir(os.path.join(self.root, name))
+            ]
+        references: Set[str] = set()
+        for root in roots:
+            if os.path.isfile(root):
+                references.update(self._scan_identifiers(root))
+                continue
+            for dirpath, dirnames, filenames in os.walk(root):
+                dirnames.sort()
+                dirnames[:] = [
+                    d for d in dirnames
+                    if d != "__pycache__" and not d.startswith(".")
+                ]
+                for filename in sorted(filenames):
+                    if filename.endswith(".py"):
+                        references.update(
+                            self._scan_identifiers(
+                                os.path.join(dirpath, filename)
+                            )
+                        )
+        return references
+
+    @staticmethod
+    def _scan_identifiers(path: str) -> Set[str]:
+        try:
+            with open(path, "r", encoding="utf-8", errors="replace") as handle:
+                text = handle.read()
+        except OSError:
+            return set()
+        return set(_IDENTIFIER_RE.findall(text))
+
+    # -- the run ---------------------------------------------------------
+
+    def analyze(self, paths: Iterable[str]) -> LintResult:
+        """Lint ``paths``: module rules (cached), project rules, inline
+        suppressions — returning a :class:`LintResult`."""
+        stats = LintStats(cache_enabled=self.cache_path is not None)
+        cache: Optional[LintCache] = None
+        if self.cache_path is not None:
+            signature = ruleset_signature(
+                [rule.rule_id for rule in self.module_rules]
+            )
+            cache = LintCache.load(self.cache_path, signature)
+
+        raw_findings: List[Finding] = []
+        summaries: List[ModuleSummary] = []
+        display_paths: List[str] = []
         for abspath in self.discover(paths):
-            findings.extend(self.check_module(self.parse(abspath)))
-        findings.sort(key=lambda f: f.sort_key)
+            display = self._display_path(abspath)
+            display_paths.append(display)
+            data = self._read(abspath)
+            digest = content_hash(data)
+            cached = cache.get(display, digest) if cache is not None else None
+            if cached is not None:
+                stats.cache_hits += 1
+                module_findings, summary = cached
+            else:
+                stats.parsed += 1
+                context = self._parse_source(abspath, data)
+                module_findings = self.check_module(context)
+                summary = summarize_module(context, module_name_for(display))
+                if cache is not None:
+                    cache.put(display, digest, module_findings, summary)
+            stats.files += 1
+            raw_findings.extend(module_findings)
+            summaries.append(summary)
+        if cache is not None:
+            cache.prune(display_paths)
+            cache.save()
+
+        if self.project_rules:
+            graph = ProjectGraph(
+                summaries, external_references=self._external_references()
+            )
+            for rule in self.project_rules:
+                raw_findings.extend(rule.check_project(graph))
+
+        return self._apply_suppressions(raw_findings, summaries, stats)
+
+    def run(self, paths: Iterable[str]) -> List[Finding]:
+        """Lint ``paths`` and return the live findings, sorted.
+
+        The historical entry point: equivalent to
+        ``analyze(paths).findings`` (inline-suppressed findings are
+        dropped; stale-suppression findings are included).
+        """
+        return self.analyze(paths).findings
+
+    # -- suppressions & numbering ----------------------------------------
+
+    def _apply_suppressions(
+        self,
+        raw_findings: List[Finding],
+        summaries: List[ModuleSummary],
+        stats: LintStats,
+    ) -> LintResult:
+        suppressions: Dict[str, List[Suppression]] = {
+            summary.path: summary.suppressions
+            for summary in summaries
+            if summary.suppressions
+        }
+        rep050_active = any(
+            rule.rule_id == StaleSuppressionRule.rule_id for rule in self.rules
+        )
+
+        used: Set[Tuple[str, int]] = set()
+        flagged: List[Tuple[Finding, bool]] = []
+        for finding in raw_findings:
+            matched = False
+            for suppression in suppressions.get(finding.path, ()):
+                if (
+                    suppression.line == finding.line
+                    and finding.rule_id in suppression.rule_ids
+                ):
+                    matched = True
+                    used.add((finding.path, suppression.line))
+            flagged.append((finding, matched))
+
+        if rep050_active:
+            for summary in summaries:
+                for suppression in summary.suppressions:
+                    key = (summary.path, suppression.line)
+                    if key not in used:
+                        if self.ignore_unused_suppressions:
+                            continue
+                        ids = ",".join(suppression.rule_ids)
+                        flagged.append((
+                            StaleSuppressionRule.stale_finding(
+                                summary.path, suppression,
+                                f"suppression allow[{ids}] matches no"
+                                " finding on this line; remove it",
+                            ),
+                            False,
+                        ))
+                    elif not suppression.reason:
+                        flagged.append((
+                            StaleSuppressionRule.stale_finding(
+                                summary.path, suppression,
+                                "suppression has no '-- reason'; every"
+                                " exception carries its justification",
+                            ),
+                            False,
+                        ))
+
+        # Occurrence-number the *union* before partitioning: adding or
+        # removing a suppression must never shift another finding's
+        # fingerprint.
+        flagged.sort(key=lambda pair: pair[0].sort_key)
         counts: Dict[Tuple[str, str, str], int] = {}
-        numbered: List[Finding] = []
-        for finding in findings:
+        findings: List[Finding] = []
+        inline_suppressed: List[Finding] = []
+        for finding, matched in flagged:
             key = (finding.rule_id, finding.path, finding.source.strip())
             occurrence = counts.get(key, 0)
             counts[key] = occurrence + 1
             if occurrence:
                 finding = replace(finding, occurrence=occurrence)
-            numbered.append(finding)
-        return numbered
+            (inline_suppressed if matched else findings).append(finding)
+        return LintResult(
+            findings=findings,
+            inline_suppressed=inline_suppressed,
+            stats=stats,
+            summaries=summaries,
+        )

@@ -1,0 +1,1172 @@
+"""The project graph: per-module summaries and a conservative call graph.
+
+The per-file REP0xx rules cannot see across module boundaries: a
+function that never touches ``random`` itself can still corrupt a run by
+calling one that does.  This module builds the whole-program layer the
+REP04x rules need:
+
+* :func:`summarize_module` distils one parsed module into a
+  :class:`ModuleSummary` — import bindings, symbol table, per-function
+  call sites, direct-nondeterminism evidence, fork labels, ``__all__``
+  exports, and inline suppressions.  Summaries are plain-data and
+  JSON-round-trippable, which is what makes the on-disk incremental
+  cache possible: a warm ``repro lint`` run rebuilds the project graph
+  from cached summaries without re-parsing a single file.
+* :class:`ProjectGraph` stitches summaries into a module/import graph,
+  a project-wide symbol table, and a conservative intra-project call
+  graph (direct calls, imported symbols, ``self`` dispatch through base
+  classes, annotated-parameter dispatch, locally-constructed receivers,
+  and a unique-method-name fallback).
+
+Call edges *through an injected* :class:`~repro.rng.SeededRng` or
+:class:`~repro.clock.SimulationClock` parameter are marked sanitized —
+randomness and time obtained through injection are reproducible by
+construction, so taint must not flow through them.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
+
+from .rules import ModuleContext
+from .suppressions import Suppression, scan_suppressions
+
+__all__ = [
+    "CallRef",
+    "ClassSummary",
+    "ExportInfo",
+    "ForkLabel",
+    "FunctionSummary",
+    "ModuleSummary",
+    "ParamInfo",
+    "ProjectGraph",
+    "ShadowSite",
+    "TaintReason",
+    "module_name_for",
+    "summarize_module",
+]
+
+#: Injected dependency types that sanitize a call edge.
+SANITIZER_TYPES = frozenset({"SeededRng", "SimulationClock"})
+#: Parameter names treated as injected streams even without annotations.
+_RNG_PARAM_NAMES = frozenset({"rng"})
+_CLOCK_PARAM_NAMES = frozenset({"clock"})
+#: Modules that *define* the sanctioned wrappers; taint neither seeds
+#: from nor propagates out of them (mirrors the per-file rules'
+#: ``exempt_basenames`` for ``clock.py``).
+SANCTIONED_BASENAMES = frozenset({"rng.py", "clock.py"})
+
+#: Ubiquitous builtin/stdlib method names excluded from the
+#: unique-method-name fallback — ``payload.items()`` must never resolve
+#: to a project method that happens to be called ``items``.
+_FALLBACK_DENYLIST = frozenset({
+    "add", "append", "clear", "close", "copy", "count", "decode",
+    "encode", "endswith", "extend", "format", "get", "index", "insert",
+    "items", "join", "keys", "lower", "open", "partition", "pop",
+    "read", "remove", "replace", "setdefault", "sort", "split",
+    "startswith", "strip", "update", "upper", "values", "write",
+})
+
+#: ``time`` attributes that read the host clock (kept in sync with the
+#: REP002 rule by the determinism tests).
+_WALL_TIME_ATTRS = frozenset({
+    "time", "time_ns", "monotonic", "monotonic_ns", "perf_counter",
+    "perf_counter_ns", "localtime", "gmtime",
+})
+_WALL_DATETIME_ATTRS = frozenset({"now", "utcnow", "today"})
+_OS_ENTROPY_ATTRS = frozenset({"urandom", "getrandom"})
+_UUID_ENTROPY_ATTRS = frozenset({"uuid1", "uuid4"})
+
+
+def module_name_for(display_path: str) -> str:
+    """Dotted module name for a repo-relative posix path.
+
+    ``src/repro/obs/bench.py`` → ``repro.obs.bench``; a package
+    ``__init__.py`` maps to the package itself.  A leading ``src``
+    segment is dropped (the src-layout convention); paths outside the
+    analysis root keep whatever segments they have.
+    """
+    parts = [part for part in display_path.split("/") if part not in ("", ".")]
+    if parts and parts[0] == "src":
+        parts = parts[1:]
+    if not parts:
+        return ""
+    stem = parts[-1]
+    if stem.endswith(".py"):
+        stem = stem[: -len(".py")]
+    parts[-1] = stem
+    if stem == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts)
+
+
+# ---------------------------------------------------------------------------
+# Summary data model (JSON-round-trippable for the incremental cache)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ParamInfo:
+    """One parameter: its name and the identifiers in its annotation."""
+
+    name: str
+    annotation_names: Tuple[str, ...] = ()
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"name": self.name, "annotation_names": list(self.annotation_names)}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ParamInfo":
+        return cls(data["name"], tuple(data["annotation_names"]))
+
+    @property
+    def is_rng(self) -> bool:
+        return "SeededRng" in self.annotation_names or self.name in _RNG_PARAM_NAMES
+
+    @property
+    def is_clock(self) -> bool:
+        return (
+            "SimulationClock" in self.annotation_names
+            or self.name in _CLOCK_PARAM_NAMES
+        )
+
+    @property
+    def is_injected(self) -> bool:
+        return self.is_rng or self.is_clock
+
+
+@dataclass(frozen=True)
+class CallRef:
+    """One call site, classified by how its receiver can be resolved.
+
+    ``kind`` is one of ``name`` (plain ``f()``), ``self`` (``self.m()``),
+    ``param`` (``p.m()`` on a parameter), ``typed`` (``v.m()`` on a local
+    constructed as ``v = Cls(...)``), ``obj`` (``q.m()`` on another
+    name — import alias or class), ``selfattr`` (``self.x.m()``),
+    ``other`` (deeper chains, unique-method fallback only), and
+    ``contained`` (implicit edge to a nested ``def``).
+    """
+
+    kind: str
+    name: str
+    qualifier: str = ""
+    line: int = 0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "name": self.name,
+            "qualifier": self.qualifier,
+            "line": self.line,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "CallRef":
+        return cls(data["kind"], data["name"], data["qualifier"], data["line"])
+
+
+@dataclass(frozen=True)
+class TaintReason:
+    """Direct nondeterminism evidence inside one function body."""
+
+    kind: str  # "ambient-random" | "wall-clock" | "os-entropy" | "marker"
+    detail: str
+    line: int
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"kind": self.kind, "detail": self.detail, "line": self.line}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "TaintReason":
+        return cls(data["kind"], data["detail"], data["line"])
+
+
+@dataclass(frozen=True)
+class ForkLabel:
+    """One ``<rng>.fork("label")`` call with a constant label."""
+
+    label: str
+    line: int
+    column: int
+    source: str
+    qualname: str
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "label": self.label,
+            "line": self.line,
+            "column": self.column,
+            "source": self.source,
+            "qualname": self.qualname,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ForkLabel":
+        return cls(
+            data["label"], data["line"], data["column"],
+            data["source"], data["qualname"],
+        )
+
+
+@dataclass(frozen=True)
+class ShadowSite:
+    """An injected rng/clock parameter substituted by a local fallback."""
+
+    param: str
+    line: int
+    column: int
+    source: str
+    qualname: str
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "param": self.param,
+            "line": self.line,
+            "column": self.column,
+            "source": self.source,
+            "qualname": self.qualname,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ShadowSite":
+        return cls(
+            data["param"], data["line"], data["column"],
+            data["source"], data["qualname"],
+        )
+
+
+@dataclass(frozen=True)
+class ExportInfo:
+    """One name exported through ``__all__``."""
+
+    name: str
+    line: int
+    column: int
+    source: str
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "line": self.line,
+            "column": self.column,
+            "source": self.source,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ExportInfo":
+        return cls(data["name"], data["line"], data["column"], data["source"])
+
+
+@dataclass
+class FunctionSummary:
+    """Everything the graph rules need to know about one function."""
+
+    qualname: str
+    name: str
+    line: int
+    column: int
+    source: str
+    params: List[ParamInfo] = field(default_factory=list)
+    decorators: Tuple[str, ...] = ()
+    calls: List[CallRef] = field(default_factory=list)
+    taint_reasons: List[TaintReason] = field(default_factory=list)
+    rng_args: List[Tuple[str, int]] = field(default_factory=list)
+    parent: Optional[str] = None
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "qualname": self.qualname,
+            "name": self.name,
+            "line": self.line,
+            "column": self.column,
+            "source": self.source,
+            "params": [p.to_dict() for p in self.params],
+            "decorators": list(self.decorators),
+            "calls": [c.to_dict() for c in self.calls],
+            "taint_reasons": [t.to_dict() for t in self.taint_reasons],
+            "rng_args": [list(pair) for pair in self.rng_args],
+            "parent": self.parent,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "FunctionSummary":
+        return cls(
+            qualname=data["qualname"],
+            name=data["name"],
+            line=data["line"],
+            column=data["column"],
+            source=data["source"],
+            params=[ParamInfo.from_dict(p) for p in data["params"]],
+            decorators=tuple(data["decorators"]),
+            calls=[CallRef.from_dict(c) for c in data["calls"]],
+            taint_reasons=[TaintReason.from_dict(t) for t in data["taint_reasons"]],
+            rng_args=[(pair[0], pair[1]) for pair in data["rng_args"]],
+            parent=data["parent"],
+        )
+
+    def param(self, name: str) -> Optional[ParamInfo]:
+        for info in self.params:
+            if info.name == name:
+                return info
+        return None
+
+    @property
+    def is_marked_nondeterministic(self) -> bool:
+        return "nondeterministic" in self.decorators
+
+
+@dataclass
+class ClassSummary:
+    """One class: bases, method names, and inferred ``self.x`` types."""
+
+    name: str
+    line: int
+    bases: Tuple[str, ...] = ()
+    methods: Dict[str, str] = field(default_factory=dict)  # name -> qualname
+    attr_types: Dict[str, Tuple[str, ...]] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "line": self.line,
+            "bases": list(self.bases),
+            "methods": dict(self.methods),
+            "attr_types": {k: list(v) for k, v in self.attr_types.items()},
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ClassSummary":
+        return cls(
+            name=data["name"],
+            line=data["line"],
+            bases=tuple(data["bases"]),
+            methods=dict(data["methods"]),
+            attr_types={
+                k: tuple(v) for k, v in data["attr_types"].items()
+            },
+        )
+
+
+@dataclass
+class ModuleSummary:
+    """One module's contribution to the project graph."""
+
+    module: str
+    path: str
+    basename: str
+    #: local name -> ("module", dotted) | ("symbol", dotted, original)
+    bindings: Dict[str, Tuple[str, ...]] = field(default_factory=dict)
+    functions: Dict[str, FunctionSummary] = field(default_factory=dict)
+    classes: Dict[str, ClassSummary] = field(default_factory=dict)
+    exports: Optional[List[ExportInfo]] = None
+    referenced: Set[str] = field(default_factory=set)
+    suppressions: List[Suppression] = field(default_factory=list)
+    fork_labels: List[ForkLabel] = field(default_factory=list)
+    shadows: List[ShadowSite] = field(default_factory=list)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "module": self.module,
+            "path": self.path,
+            "basename": self.basename,
+            "bindings": {k: list(v) for k, v in self.bindings.items()},
+            "functions": {
+                k: v.to_dict() for k, v in self.functions.items()
+            },
+            "classes": {k: v.to_dict() for k, v in self.classes.items()},
+            "exports": (
+                None
+                if self.exports is None
+                else [e.to_dict() for e in self.exports]
+            ),
+            "referenced": sorted(self.referenced),
+            "suppressions": [s.to_dict() for s in self.suppressions],
+            "fork_labels": [f.to_dict() for f in self.fork_labels],
+            "shadows": [s.to_dict() for s in self.shadows],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ModuleSummary":
+        return cls(
+            module=data["module"],
+            path=data["path"],
+            basename=data["basename"],
+            bindings={k: tuple(v) for k, v in data["bindings"].items()},
+            functions={
+                k: FunctionSummary.from_dict(v)
+                for k, v in data["functions"].items()
+            },
+            classes={
+                k: ClassSummary.from_dict(v)
+                for k, v in data["classes"].items()
+            },
+            exports=(
+                None
+                if data["exports"] is None
+                else [ExportInfo.from_dict(e) for e in data["exports"]]
+            ),
+            referenced=set(data["referenced"]),
+            suppressions=[
+                Suppression.from_dict(s) for s in data["suppressions"]
+            ],
+            fork_labels=[ForkLabel.from_dict(f) for f in data["fork_labels"]],
+            shadows=[ShadowSite.from_dict(s) for s in data["shadows"]],
+        )
+
+    @property
+    def sanctioned(self) -> bool:
+        """Whether this module defines the sanctioned wrappers."""
+        return self.basename in SANCTIONED_BASENAMES
+
+
+# ---------------------------------------------------------------------------
+# Extraction
+# ---------------------------------------------------------------------------
+
+
+def _annotation_names(node: Optional[ast.AST]) -> Tuple[str, ...]:
+    """Identifier leaves appearing in an annotation expression."""
+    if node is None:
+        return ()
+    names: List[str] = []
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        token = ""
+        for char in node.value:
+            if char.isidentifier() or (token and char.isalnum()):
+                token += char
+            else:
+                if token:
+                    names.append(token)
+                token = ""
+        if token:
+            names.append(token)
+        return tuple(names)
+    for child in ast.walk(node):
+        if isinstance(child, ast.Name):
+            names.append(child.id)
+        elif isinstance(child, ast.Attribute):
+            names.append(child.attr)
+        elif isinstance(child, ast.Constant) and isinstance(child.value, str):
+            names.extend(_annotation_names(child))
+    return tuple(names)
+
+
+def _attr_root(node: ast.Attribute) -> str:
+    value = node.value
+    while isinstance(value, ast.Attribute):
+        value = value.value
+    return value.id if isinstance(value, ast.Name) else ""
+
+
+def _decorator_names(node) -> Tuple[str, ...]:
+    names: List[str] = []
+    for decorator in node.decorator_list:
+        target = decorator.func if isinstance(decorator, ast.Call) else decorator
+        if isinstance(target, ast.Name):
+            names.append(target.id)
+        elif isinstance(target, ast.Attribute):
+            names.append(target.attr)
+    return tuple(names)
+
+
+def _resolve_relative(module_name: str, is_package: bool,
+                      level: int, target: Optional[str]) -> str:
+    """Absolute module named by a (possibly relative) ``from`` import."""
+    if level == 0:
+        return target or ""
+    package = module_name.split(".") if module_name else []
+    if not is_package and package:
+        package = package[:-1]
+    ascend = level - 1
+    if ascend:
+        package = package[: max(0, len(package) - ascend)]
+    if target:
+        package = package + target.split(".")
+    return ".".join(package)
+
+
+class _FunctionCollector:
+    """Walks one function body (not nested defs) collecting call facts."""
+
+    def __init__(self, summarizer: "_ModuleSummarizer",
+                 fn: FunctionSummary, class_ctx: Optional[ClassSummary]):
+        self.summarizer = summarizer
+        self.fn = fn
+        self.class_ctx = class_ctx
+        self.local_types: Dict[str, str] = {}
+
+    # -- classification -------------------------------------------------
+
+    def collect(self, body: Sequence[ast.stmt]) -> None:
+        for statement in body:
+            self._visit(statement)
+
+    def _visit(self, node: ast.AST) -> None:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            # Nested def: summarized separately; leave a containment edge.
+            self.fn.calls.append(
+                CallRef("contained", f"{self.fn.qualname}.{node.name}",
+                        line=node.lineno)
+            )
+            self.summarizer.summarize_function(
+                node, f"{self.fn.qualname}.{node.name}",
+                self.class_ctx, parent=self.fn.qualname,
+            )
+            return
+        if isinstance(node, ast.ClassDef):
+            return  # local classes are out of scope for the call graph
+        if isinstance(node, ast.Assign):
+            self._record_assignment(node)
+        elif isinstance(node, ast.If):
+            self._record_if_shadow(node)
+        if isinstance(node, ast.Call):
+            self._record_call(node)
+        if isinstance(node, ast.Attribute):
+            self._record_taint_attr(node)
+        for child in ast.iter_child_nodes(node):
+            self._visit(child)
+
+    # -- assignments & type inference -----------------------------------
+
+    def _infer_type(self, value: ast.AST) -> Optional[str]:
+        if isinstance(value, ast.Call):
+            func = value.func
+            if isinstance(func, ast.Attribute) and func.attr == "fork":
+                return "SeededRng"
+            if isinstance(func, ast.Name):
+                return func.id
+            if isinstance(func, ast.Attribute):
+                return func.attr
+        elif isinstance(value, ast.Name):
+            param = self.fn.param(value.id)
+            if param is not None and param.annotation_names:
+                return param.annotation_names[-1]
+            return self.local_types.get(value.id)
+        elif isinstance(value, ast.IfExp):
+            return self._infer_type(value.body) or self._infer_type(value.orelse)
+        return None
+
+    def _record_assignment(self, node: ast.Assign) -> None:
+        inferred = self._infer_type(node.value)
+        for target in node.targets:
+            if isinstance(target, ast.Name):
+                if inferred:
+                    self.local_types[target.id] = inferred
+            elif (
+                isinstance(target, ast.Attribute)
+                and isinstance(target.value, ast.Name)
+                and target.value.id == "self"
+                and self.class_ctx is not None
+            ):
+                if inferred:
+                    self.class_ctx.attr_types.setdefault(
+                        target.attr, (inferred,)
+                    )
+        self._record_expr_shadow(node.value)
+
+    # -- REP042 shadow patterns -----------------------------------------
+
+    def _injected_param(self, node: ast.AST) -> Optional[ParamInfo]:
+        if isinstance(node, ast.Name):
+            param = self.fn.param(node.id)
+            if param is not None and param.is_injected:
+                return param
+        return None
+
+    def _shadow(self, param: ParamInfo, node: ast.AST) -> None:
+        self.fn_module_shadow(
+            ShadowSite(
+                param=param.name,
+                line=getattr(node, "lineno", self.fn.line),
+                column=getattr(node, "col_offset", 0),
+                source=self.summarizer.source_line(
+                    getattr(node, "lineno", self.fn.line)
+                ),
+                qualname=self.fn.qualname,
+            )
+        )
+
+    def fn_module_shadow(self, site: ShadowSite) -> None:
+        self.summarizer.summary.shadows.append(site)
+
+    def _record_expr_shadow(self, value: ast.AST) -> None:
+        # ``p if p is not None else <fallback>`` / ``p or <fallback>``
+        if isinstance(value, ast.IfExp):
+            body_param = self._injected_param(value.body)
+            orelse_param = self._injected_param(value.orelse)
+            if body_param is not None and orelse_param is None:
+                if self._mentions(value.test, body_param.name):
+                    self._shadow(body_param, value.orelse)
+            elif orelse_param is not None and body_param is None:
+                if self._mentions(value.test, orelse_param.name):
+                    self._shadow(orelse_param, value.body)
+        elif isinstance(value, ast.BoolOp) and isinstance(value.op, ast.Or):
+            first = self._injected_param(value.values[0])
+            if first is not None and len(value.values) > 1:
+                self._shadow(first, value.values[1])
+
+    def _record_if_shadow(self, node: ast.If) -> None:
+        # ``if p is None: p = <fallback>``
+        test = node.test
+        if not (
+            isinstance(test, ast.Compare)
+            and len(test.ops) == 1
+            and isinstance(test.ops[0], ast.Is)
+            and isinstance(test.comparators[0], ast.Constant)
+            and test.comparators[0].value is None
+        ):
+            return
+        param = self._injected_param(test.left)
+        if param is None:
+            return
+        for statement in node.body:
+            if (
+                isinstance(statement, ast.Assign)
+                and any(
+                    isinstance(t, ast.Name) and t.id == param.name
+                    for t in statement.targets
+                )
+            ):
+                self._shadow(param, statement.value)
+
+    @staticmethod
+    def _mentions(node: ast.AST, name: str) -> bool:
+        return any(
+            isinstance(child, ast.Name) and child.id == name
+            for child in ast.walk(node)
+        )
+
+    # -- call sites ------------------------------------------------------
+
+    def _record_call(self, node: ast.Call) -> None:
+        func = node.func
+        line = node.lineno
+        if isinstance(func, ast.Name):
+            self._record_name_call(func, line)
+        elif isinstance(func, ast.Attribute):
+            self._record_attr_call(func, node, line)
+        self._record_rng_args(node)
+
+    def _record_name_call(self, func: ast.Name, line: int) -> None:
+        binding = self.summarizer.summary.bindings.get(func.id)
+        if binding is not None and binding[0] == "symbol":
+            _, target_module, original = binding
+            if self._stdlib_source(target_module, original, line):
+                return
+        self.fn.calls.append(CallRef("name", func.id, line=line))
+
+    def _stdlib_source(self, target_module: str, original: str,
+                       line: int) -> bool:
+        """Direct taint when a from-imported stdlib reader is called."""
+        if target_module == "time" and original in _WALL_TIME_ATTRS:
+            self._taint("wall-clock", f"time.{original}", line)
+            return True
+        if target_module == "random":
+            self._taint("ambient-random", f"random.{original}", line)
+            return True
+        if target_module == "os" and original in _OS_ENTROPY_ATTRS:
+            self._taint("os-entropy", f"os.{original}", line)
+            return True
+        if target_module == "uuid" and original in _UUID_ENTROPY_ATTRS:
+            self._taint("os-entropy", f"uuid.{original}", line)
+            return True
+        if target_module == "secrets":
+            self._taint("os-entropy", f"secrets.{original}", line)
+            return True
+        return False
+
+    def _record_attr_call(self, func: ast.Attribute, node: ast.Call,
+                          line: int) -> None:
+        if func.attr == "fork":
+            self._record_fork(node, line)
+        value = func.value
+        if isinstance(value, ast.Name):
+            if value.id == "self":
+                self.fn.calls.append(CallRef("self", func.attr, line=line))
+                return
+            param = self.fn.param(value.id)
+            if param is not None:
+                self.fn.calls.append(
+                    CallRef("param", func.attr, qualifier=value.id, line=line)
+                )
+                return
+            local = self.local_types.get(value.id)
+            if local is not None:
+                self.fn.calls.append(
+                    CallRef("typed", func.attr, qualifier=local, line=line)
+                )
+                return
+            self.fn.calls.append(
+                CallRef("obj", func.attr, qualifier=value.id, line=line)
+            )
+            return
+        if (
+            isinstance(value, ast.Attribute)
+            and isinstance(value.value, ast.Name)
+            and value.value.id == "self"
+        ):
+            self.fn.calls.append(
+                CallRef("selfattr", func.attr, qualifier=value.attr, line=line)
+            )
+            return
+        self.fn.calls.append(CallRef("other", func.attr, line=line))
+
+    def _record_fork(self, node: ast.Call, line: int) -> None:
+        if node.args and isinstance(node.args[0], ast.Constant) and isinstance(
+            node.args[0].value, str
+        ):
+            self.summarizer.summary.fork_labels.append(
+                ForkLabel(
+                    label=node.args[0].value,
+                    line=line,
+                    column=node.col_offset,
+                    source=self.summarizer.source_line(line),
+                    qualname=self.fn.qualname,
+                )
+            )
+
+    def _record_rng_args(self, node: ast.Call) -> None:
+        """Bare (un-forked) rng streams passed onward as arguments."""
+        arguments = list(node.args) + [
+            kw.value for kw in node.keywords if kw.value is not None
+        ]
+        for argument in arguments:
+            identifier = self._rng_identifier(argument)
+            if identifier is not None:
+                self.fn.rng_args.append((identifier, node.lineno))
+
+    def _rng_identifier(self, node: ast.AST) -> Optional[str]:
+        if isinstance(node, ast.Name):
+            param = self.fn.param(node.id)
+            if param is not None and param.is_rng:
+                return node.id
+            if self.local_types.get(node.id) == "SeededRng":
+                return node.id
+        elif (
+            isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == "self"
+            and self.class_ctx is not None
+        ):
+            if "SeededRng" in self.class_ctx.attr_types.get(node.attr, ()):
+                return f"self.{node.attr}"
+        return None
+
+    # -- direct taint ----------------------------------------------------
+
+    def _taint(self, kind: str, detail: str, line: int) -> None:
+        self.fn.taint_reasons.append(TaintReason(kind, detail, line))
+
+    def _record_taint_attr(self, node: ast.Attribute) -> None:
+        root = _attr_root(node)
+        if root == "random":
+            self._taint("ambient-random", f"random.{node.attr}", node.lineno)
+        elif root == "time" and node.attr in _WALL_TIME_ATTRS:
+            self._taint("wall-clock", f"time.{node.attr}", node.lineno)
+        elif root in ("datetime", "date") and node.attr in _WALL_DATETIME_ATTRS:
+            self._taint("wall-clock", f"{root}.{node.attr}", node.lineno)
+        elif root == "os" and node.attr in _OS_ENTROPY_ATTRS:
+            self._taint("os-entropy", f"os.{node.attr}", node.lineno)
+        elif root == "uuid" and node.attr in _UUID_ENTROPY_ATTRS:
+            self._taint("os-entropy", f"uuid.{node.attr}", node.lineno)
+        elif root == "secrets":
+            self._taint("os-entropy", f"secrets.{node.attr}", node.lineno)
+
+
+class _ModuleSummarizer:
+    """Builds a :class:`ModuleSummary` from one parsed module."""
+
+    def __init__(self, context: ModuleContext, module_name: str) -> None:
+        self.context = context
+        self.summary = ModuleSummary(
+            module=module_name,
+            path=context.path,
+            basename=context.basename,
+        )
+
+    def source_line(self, lineno: int) -> str:
+        return self.context.source_line(lineno)
+
+    def run(self) -> ModuleSummary:
+        self._collect_bindings_and_refs()
+        self._collect_exports()
+        self.summary.suppressions = scan_suppressions(self.context.lines)
+        for node in self.context.tree.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self.summarize_function(node, node.name, None)
+            elif isinstance(node, ast.ClassDef):
+                self._summarize_class(node)
+        return self.summary
+
+    # -- pass 1: bindings, references -----------------------------------
+
+    def _collect_bindings_and_refs(self) -> None:
+        is_package = self.context.basename == "__init__.py"
+        for node in ast.walk(self.context.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.asname:
+                        self.summary.bindings[alias.asname] = (
+                            "module", alias.name,
+                        )
+                    else:
+                        head = alias.name.split(".")[0]
+                        self.summary.bindings[head] = ("module", head)
+            elif isinstance(node, ast.ImportFrom):
+                resolved = _resolve_relative(
+                    self.summary.module, is_package, node.level, node.module
+                )
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    local = alias.asname or alias.name
+                    self.summary.bindings[local] = (
+                        "symbol", resolved, alias.name,
+                    )
+            elif isinstance(node, ast.Name) and isinstance(node.ctx, ast.Load):
+                self.summary.referenced.add(node.id)
+            elif isinstance(node, ast.Attribute):
+                self.summary.referenced.add(node.attr)
+
+    # -- pass 2: exports --------------------------------------------------
+
+    def _collect_exports(self) -> None:
+        for node in self.context.tree.body:
+            if not isinstance(node, ast.Assign):
+                continue
+            if not any(
+                isinstance(t, ast.Name) and t.id == "__all__"
+                for t in node.targets
+            ):
+                continue
+            if not isinstance(node.value, (ast.List, ast.Tuple)):
+                continue
+            exports: List[ExportInfo] = []
+            for element in node.value.elts:
+                if isinstance(element, ast.Constant) and isinstance(
+                    element.value, str
+                ):
+                    exports.append(
+                        ExportInfo(
+                            name=element.value,
+                            line=element.lineno,
+                            column=element.col_offset,
+                            source=self.source_line(element.lineno),
+                        )
+                    )
+            self.summary.exports = exports
+
+    # -- pass 3: functions & classes --------------------------------------
+
+    def summarize_function(self, node, qualname: str,
+                           class_ctx: Optional[ClassSummary],
+                           parent: Optional[str] = None) -> FunctionSummary:
+        args = node.args
+        params = [
+            ParamInfo(arg.arg, _annotation_names(arg.annotation))
+            for arg in (
+                list(args.posonlyargs) + list(args.args) + list(args.kwonlyargs)
+            )
+        ]
+        fn = FunctionSummary(
+            qualname=qualname,
+            name=node.name,
+            line=node.lineno,
+            column=node.col_offset,
+            source=self.source_line(node.lineno),
+            params=params,
+            decorators=_decorator_names(node),
+            parent=parent,
+        )
+        self.summary.functions[qualname] = fn
+        if fn.is_marked_nondeterministic:
+            fn.taint_reasons.append(
+                TaintReason("marker", "@nondeterministic", node.lineno)
+            )
+        _FunctionCollector(self, fn, class_ctx).collect(node.body)
+        return fn
+
+    def _summarize_class(self, node: ast.ClassDef) -> None:
+        bases: List[str] = []
+        for base in node.bases:
+            if isinstance(base, ast.Name):
+                bases.append(base.id)
+            elif isinstance(base, ast.Attribute):
+                bases.append(base.attr)
+        summary = ClassSummary(
+            name=node.name, line=node.lineno, bases=tuple(bases)
+        )
+        self.summary.classes[node.name] = summary
+        for child in node.body:
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                qualname = f"{node.name}.{child.name}"
+                summary.methods[child.name] = qualname
+                self.summarize_function(child, qualname, summary)
+
+
+def summarize_module(context: ModuleContext,
+                     module_name: Optional[str] = None) -> ModuleSummary:
+    """Distil one parsed module into its :class:`ModuleSummary`."""
+    name = module_name if module_name is not None else module_name_for(
+        context.path
+    )
+    return _ModuleSummarizer(context, name).run()
+
+
+# ---------------------------------------------------------------------------
+# The project graph
+# ---------------------------------------------------------------------------
+
+#: A function key: (module name, qualified function name).
+FunctionKey = Tuple[str, str]
+
+#: Sentinel returned when a call is sanitized by an injected dependency.
+SANITIZED = "sanitized"
+
+
+class ProjectGraph:
+    """Summaries stitched into symbol tables and a call graph.
+
+    Parameters
+    ----------
+    summaries:
+        One :class:`ModuleSummary` per analyzed file.
+    external_references:
+        Identifiers seen outside the analyzed tree (tests, examples) —
+        consumed by the dead-export rule (REP043).
+    """
+
+    def __init__(self, summaries: Sequence[ModuleSummary],
+                 external_references: Optional[Set[str]] = None) -> None:
+        self.summaries = list(summaries)
+        self.modules: Dict[str, ModuleSummary] = {}
+        for summary in self.summaries:
+            self.modules[summary.module] = summary
+        self.external_references: Set[str] = set(external_references or ())
+        # method name -> [(module, class name)]
+        self._method_index: Dict[str, List[Tuple[str, str]]] = {}
+        # class name -> [(module, class name)]
+        self._class_index: Dict[str, List[Tuple[str, str]]] = {}
+        for summary in self.summaries:
+            for class_name in sorted(summary.classes):
+                klass = summary.classes[class_name]
+                self._class_index.setdefault(class_name, []).append(
+                    (summary.module, class_name)
+                )
+                for method_name in sorted(klass.methods):
+                    self._method_index.setdefault(method_name, []).append(
+                        (summary.module, class_name)
+                    )
+
+    # -- lookups ---------------------------------------------------------
+
+    def functions(self) -> List[Tuple[ModuleSummary, FunctionSummary]]:
+        """Every function in the project, deterministically ordered."""
+        result: List[Tuple[ModuleSummary, FunctionSummary]] = []
+        for summary in sorted(self.summaries, key=lambda s: s.path):
+            for qualname in sorted(summary.functions):
+                result.append((summary, summary.functions[qualname]))
+        return result
+
+    def function(self, key: FunctionKey) -> Optional[FunctionSummary]:
+        summary = self.modules.get(key[0])
+        if summary is None:
+            return None
+        return summary.functions.get(key[1])
+
+    def _resolve_class(self, module: ModuleSummary,
+                       name: str) -> Optional[Tuple[str, str]]:
+        """Resolve a class *name* as seen from ``module``."""
+        if name in module.classes:
+            return (module.module, name)
+        binding = module.bindings.get(name)
+        if binding is not None and binding[0] == "symbol":
+            target = self.modules.get(binding[1])
+            if target is not None and binding[2] in target.classes:
+                return (target.module, binding[2])
+        candidates = self._class_index.get(name, ())
+        if len(candidates) == 1:
+            return candidates[0]
+        return None
+
+    def _method_key(self, class_key: Tuple[str, str],
+                    method: str, depth: int = 0) -> Optional[FunctionKey]:
+        """Find ``method`` on a class or its (project-resolvable) bases."""
+        if depth > 8:
+            return None
+        module = self.modules.get(class_key[0])
+        if module is None:
+            return None
+        klass = module.classes.get(class_key[1])
+        if klass is None:
+            return None
+        if method in klass.methods:
+            return (module.module, klass.methods[method])
+        for base in klass.bases:
+            base_key = self._resolve_class(module, base)
+            if base_key is not None and base_key != class_key:
+                found = self._method_key(base_key, method, depth + 1)
+                if found is not None:
+                    return found
+        return None
+
+    def _ctor_key(self, class_key: Tuple[str, str]) -> Optional[FunctionKey]:
+        return self._method_key(class_key, "__init__")
+
+    # -- call resolution --------------------------------------------------
+
+    def resolve_call(self, module: ModuleSummary, fn: FunctionSummary,
+                     call: CallRef):
+        """Resolve one call site.
+
+        Returns a list of :data:`FunctionKey` targets (possibly empty
+        when the callee is not a project function), or the
+        :data:`SANITIZED` sentinel when the call goes through an
+        injected ``SeededRng``/``SimulationClock`` parameter.
+        """
+        if call.kind == "contained":
+            return [(module.module, call.name)]
+        if call.kind == "name":
+            return self._resolve_name_call(module, call.name)
+        if call.kind == "self":
+            return self._resolve_self_call(module, fn, call.name)
+        if call.kind == "param":
+            return self._resolve_param_call(module, fn, call)
+        if call.kind == "typed":
+            return self._resolve_typed_call(module, call.qualifier, call.name)
+        if call.kind == "selfattr":
+            return self._resolve_selfattr_call(module, fn, call)
+        if call.kind == "obj":
+            return self._resolve_obj_call(module, call)
+        if call.kind == "other":
+            return self._fallback(call.name)
+        return []
+
+    def _resolve_name_call(self, module: ModuleSummary, name: str,
+                           depth: int = 0):
+        if depth > 8:
+            return []
+        if name in module.functions:
+            return [(module.module, name)]
+        if name in module.classes:
+            if name in SANITIZER_TYPES:
+                return SANITIZED
+            ctor = self._ctor_key((module.module, name))
+            return [ctor] if ctor else []
+        binding = module.bindings.get(name)
+        if binding is not None and binding[0] == "symbol":
+            target = self.modules.get(binding[1])
+            if target is not None:
+                original = binding[2]
+                if original in SANITIZER_TYPES and original in target.classes:
+                    return SANITIZED
+                # Follow re-export chains: the target may itself only
+                # *bind* the name (``from .b import helper`` in a
+                # package __init__).
+                return self._resolve_name_call(target, original, depth + 1)
+        if name in SANITIZER_TYPES:
+            return SANITIZED
+        return []
+
+    def _resolve_self_call(self, module: ModuleSummary, fn: FunctionSummary,
+                           method: str):
+        class_name = fn.qualname.split(".")[0]
+        if class_name in module.classes:
+            found = self._method_key((module.module, class_name), method)
+            return [found] if found else []
+        return []
+
+    def _types_to_methods(self, module: ModuleSummary,
+                          type_names: Sequence[str], method: str):
+        if any(name in SANITIZER_TYPES for name in type_names):
+            return SANITIZED
+        targets: List[FunctionKey] = []
+        for type_name in type_names:
+            class_key = self._resolve_class(module, type_name)
+            if class_key is None:
+                continue
+            found = self._method_key(class_key, method)
+            if found is not None:
+                targets.append(found)
+        if targets:
+            return targets
+        return self._fallback(method)
+
+    def _resolve_param_call(self, module: ModuleSummary, fn: FunctionSummary,
+                            call: CallRef):
+        param = fn.param(call.qualifier)
+        if param is None:
+            return self._fallback(call.name)
+        if param.is_injected:
+            return SANITIZED
+        if param.annotation_names:
+            return self._types_to_methods(
+                module, param.annotation_names, call.name
+            )
+        return self._fallback(call.name)
+
+    def _resolve_typed_call(self, module: ModuleSummary, type_name: str,
+                            method: str):
+        return self._types_to_methods(module, (type_name,), method)
+
+    def _resolve_selfattr_call(self, module: ModuleSummary,
+                               fn: FunctionSummary, call: CallRef):
+        class_name = fn.qualname.split(".")[0]
+        klass = module.classes.get(class_name)
+        if klass is not None:
+            attr_types = klass.attr_types.get(call.qualifier)
+            if attr_types:
+                return self._types_to_methods(module, attr_types, call.name)
+        if call.qualifier in ("rng", "_rng", "clock", "_clock"):
+            return SANITIZED
+        return self._fallback(call.name)
+
+    def _resolve_obj_call(self, module: ModuleSummary, call: CallRef):
+        binding = module.bindings.get(call.qualifier)
+        if binding is None:
+            return self._fallback(call.name)
+        if binding[0] == "module":
+            target = self.modules.get(binding[1])
+            if target is None:
+                return []
+            return self._resolve_name_call(target, call.name)
+        # Symbol binding: ``CLS.method()`` or ``from . import submodule``.
+        target = self.modules.get(binding[1])
+        submodule = self.modules.get(f"{binding[1]}.{binding[2]}")
+        if submodule is not None:
+            return self._resolve_name_call(submodule, call.name)
+        if target is not None and binding[2] in target.classes:
+            if binding[2] in SANITIZER_TYPES:
+                return SANITIZED
+            found = self._method_key((target.module, binding[2]), call.name)
+            return [found] if found else []
+        return self._fallback(call.name)
+
+    def _fallback(self, method: str):
+        """Unique-method-name resolution for unresolvable receivers."""
+        if method in _FALLBACK_DENYLIST:
+            return []
+        owners = self._method_index.get(method, ())
+        if len(owners) == 1:
+            return [self._method_key(owners[0], method)]
+        return []
+
+    # -- edges -------------------------------------------------------------
+
+    def call_edges(self) -> Dict[FunctionKey, List[FunctionKey]]:
+        """Caller → callee edges, sanitized edges dropped, sorted."""
+        edges: Dict[FunctionKey, List[FunctionKey]] = {}
+        for summary, fn in self.functions():
+            key: FunctionKey = (summary.module, fn.qualname)
+            targets: Set[FunctionKey] = set()
+            for call in fn.calls:
+                resolved = self.resolve_call(summary, fn, call)
+                if resolved == SANITIZED:
+                    continue
+                for target in resolved:
+                    if target is not None and self.function(target) is not None:
+                        targets.add(target)
+            edges[key] = sorted(targets)
+        return edges

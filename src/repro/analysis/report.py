@@ -1,9 +1,15 @@
-"""Reporters: render findings for humans (text) and CI (JSON)."""
+"""Reporters: render findings for humans (text) and CI (JSON).
+
+The SARIF reporter lives in :mod:`repro.analysis.sarif`; all three share
+the same call shape (findings, baseline-suppressed, baseline, plus the
+optional inline-suppressed list and run stats), so the CLI can dispatch
+on ``--format`` alone.
+"""
 
 from __future__ import annotations
 
 import json
-from typing import List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence
 
 from .baseline import Baseline
 from .findings import Finding, Severity
@@ -15,12 +21,15 @@ def render_text(
     findings: Sequence[Finding],
     suppressed: Sequence[Finding] = (),
     baseline: Optional[Baseline] = None,
+    inline_suppressed: Sequence[Finding] = (),
+    stats: Optional[Dict[str, Any]] = None,
 ) -> str:
     """Human-readable report: one line per finding plus a summary.
 
-    ``suppressed`` findings (matched by the baseline) are counted but not
-    listed; stale baseline entries are listed so the allowlist cannot
-    silently rot.
+    ``suppressed`` findings (matched by the baseline) and
+    ``inline_suppressed`` findings (matched by ``# repro: allow``
+    comments) are counted but not listed; stale baseline entries are
+    listed so the allowlist cannot silently rot.
     """
     lines: List[str] = [finding.render() for finding in findings]
     errors = sum(1 for f in findings if f.severity is Severity.ERROR)
@@ -31,7 +40,15 @@ def render_text(
     )
     if suppressed:
         summary += f"; {len(suppressed)} baselined"
+    if inline_suppressed:
+        summary += f"; {len(inline_suppressed)} inline-suppressed"
     lines.append(summary)
+    if stats is not None and stats.get("cache_enabled"):
+        lines.append(
+            f"cache: {stats.get('cache_hits', 0)} hit(s), "
+            f"{stats.get('parsed', 0)} parse(s) over "
+            f"{stats.get('files', 0)} file(s)"
+        )
     if baseline is not None:
         live = list(findings) + list(suppressed)
         for entry in baseline.stale_entries(live):
@@ -46,6 +63,8 @@ def render_json(
     findings: Sequence[Finding],
     suppressed: Sequence[Finding] = (),
     baseline: Optional[Baseline] = None,
+    inline_suppressed: Sequence[Finding] = (),
+    stats: Optional[Dict[str, Any]] = None,
 ) -> str:
     """Machine-readable report for CI gating."""
     live = list(findings) + list(suppressed)
@@ -60,6 +79,7 @@ def render_json(
             1 for f in findings if f.severity is Severity.WARNING
         ),
         "baselined": len(suppressed),
+        "inline_suppressed": len(inline_suppressed),
         "findings": [finding.to_dict() for finding in findings],
         "stale_baseline_entries": [
             {
@@ -71,4 +91,6 @@ def render_json(
             for entry in stale
         ],
     }
+    if stats is not None:
+        payload["stats"] = dict(stats)
     return json.dumps(payload, indent=2, sort_keys=True)

@@ -19,6 +19,7 @@ from .findings import Finding, Severity
 
 __all__ = [
     "ModuleContext",
+    "ProjectRule",
     "Rule",
     "RuleRegistry",
     "default_registry",
@@ -86,6 +87,28 @@ class Rule:
             severity=self.severity,
             source=module.source_line(line),
         )
+
+
+class ProjectRule(Rule):
+    """A rule that sees the whole project graph, not one module.
+
+    Per-module :meth:`check` is a no-op; the engine calls
+    :meth:`check_project` once per run with the assembled
+    :class:`~repro.analysis.graph.ProjectGraph`.  Project rules register
+    in the same registry as per-module rules, so ``--select`` /
+    ``--ignore``, baselines, and suppressions treat them uniformly.
+    """
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        return iter(())
+
+    def check_project(self, graph) -> Iterator[Finding]:
+        """Yield findings for the whole project.  Subclasses override."""
+        raise NotImplementedError
+
+    def applies_to_summary(self, summary) -> bool:
+        """Per-module exemption hook mirroring :meth:`Rule.applies_to`."""
+        return summary.basename not in self.exempt_basenames
 
 
 class RuleRegistry:

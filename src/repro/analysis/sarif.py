@@ -1,0 +1,167 @@
+"""SARIF 2.1.0 reporter for GitHub code scanning.
+
+One run, one tool (``repro-lint``), every registered rule in the driver
+metadata so ``ruleIndex`` resolves.  Live findings become plain results;
+baselined findings are included with an ``external`` suppression and
+inline-suppressed findings with an ``inSource`` suppression — code
+scanning then shows them as suppressed instead of resolving and
+re-opening alerts whenever a baseline entry moves.  The engine's cache
+counters ride along in ``runs[0].properties`` so CI can assert the
+warm-cache zero-reparse invariant from the artifact alone.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional, Sequence
+
+from .. import __version__
+from .baseline import Baseline
+from .findings import Finding, Severity
+from .rules import RuleRegistry, default_registry
+
+__all__ = ["render_sarif", "sarif_payload"]
+
+_SARIF_VERSION = "2.1.0"
+_SCHEMA_URI = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+#: Key under ``partialFingerprints``; versioned so a future fingerprint
+#: scheme change does not collide with old alerts.
+_FINGERPRINT_KEY = "reproLint/v1"
+
+_LEVELS = {Severity.ERROR: "error", Severity.WARNING: "warning"}
+
+
+def _rule_metadata(registry: RuleRegistry) -> List[Dict[str, Any]]:
+    rules: List[Dict[str, Any]] = []
+    for rule_id in registry.ids():
+        rule_cls = registry.get(rule_id)
+        rules.append({
+            "id": rule_id,
+            "name": rule_cls.__name__,
+            "shortDescription": {"text": rule_cls.title or rule_id},
+            "defaultConfiguration": {
+                "level": _LEVELS[rule_cls.severity],
+            },
+        })
+    return rules
+
+
+def _result(
+    finding: Finding,
+    rule_index: Dict[str, int],
+    suppression: Optional[Dict[str, Any]] = None,
+) -> Dict[str, Any]:
+    result: Dict[str, Any] = {
+        "ruleId": finding.rule_id,
+        "level": _LEVELS[finding.severity],
+        "message": {"text": finding.message},
+        "locations": [{
+            "physicalLocation": {
+                "artifactLocation": {
+                    "uri": finding.path,
+                    "uriBaseId": "SRCROOT",
+                },
+                "region": {
+                    "startLine": max(1, finding.line),
+                    "startColumn": finding.column + 1,
+                },
+            },
+        }],
+        "partialFingerprints": {_FINGERPRINT_KEY: finding.fingerprint},
+    }
+    if finding.rule_id in rule_index:
+        result["ruleIndex"] = rule_index[finding.rule_id]
+    if suppression is not None:
+        result["suppressions"] = [suppression]
+    return result
+
+
+def sarif_payload(
+    findings: Sequence[Finding],
+    suppressed: Sequence[Finding] = (),
+    baseline: Optional[Baseline] = None,
+    inline_suppressed: Sequence[Finding] = (),
+    stats: Optional[Dict[str, Any]] = None,
+    registry: Optional[RuleRegistry] = None,
+) -> Dict[str, Any]:
+    """Build the SARIF log as a plain dict (see :func:`render_sarif`)."""
+    registry = registry or default_registry()
+    rules = _rule_metadata(registry)
+    rule_index = {rule["id"]: index for index, rule in enumerate(rules)}
+
+    results: List[Dict[str, Any]] = []
+    for finding in findings:
+        results.append(_result(finding, rule_index))
+    for finding in suppressed:
+        justification = (
+            baseline.comment_for(finding.fingerprint) if baseline else ""
+        )
+        entry: Dict[str, Any] = {"kind": "external"}
+        if justification:
+            entry["justification"] = justification
+        results.append(_result(finding, rule_index, suppression=entry))
+    for finding in inline_suppressed:
+        results.append(
+            _result(finding, rule_index, suppression={"kind": "inSource"})
+        )
+
+    properties: Dict[str, Any] = {}
+    if stats is not None:
+        properties["cacheStats"] = dict(stats)
+    if baseline is not None:
+        live = list(findings) + list(suppressed)
+        properties["staleBaselineEntries"] = [
+            {
+                "rule": entry.rule_id,
+                "path": entry.path,
+                "fingerprint": entry.fingerprint,
+                "comment": entry.comment,
+            }
+            for entry in baseline.stale_entries(live)
+        ]
+
+    run: Dict[str, Any] = {
+        "tool": {
+            "driver": {
+                "name": "repro-lint",
+                "version": __version__,
+                "informationUri": "https://example.invalid/repro-lint",
+                "rules": rules,
+            },
+        },
+        "columnKind": "utf16CodeUnits",
+        "results": results,
+    }
+    if properties:
+        run["properties"] = properties
+    return {
+        "$schema": _SCHEMA_URI,
+        "version": _SARIF_VERSION,
+        "runs": [run],
+    }
+
+
+def render_sarif(
+    findings: Sequence[Finding],
+    suppressed: Sequence[Finding] = (),
+    baseline: Optional[Baseline] = None,
+    inline_suppressed: Sequence[Finding] = (),
+    stats: Optional[Dict[str, Any]] = None,
+    registry: Optional[RuleRegistry] = None,
+) -> str:
+    """Render a SARIF 2.1.0 log for GitHub code scanning upload."""
+    return json.dumps(
+        sarif_payload(
+            findings,
+            suppressed,
+            baseline,
+            inline_suppressed=inline_suppressed,
+            stats=stats,
+            registry=registry,
+        ),
+        indent=2,
+        sort_keys=True,
+    )

@@ -1,0 +1,113 @@
+"""Fixpoint determinism taint propagation over the project call graph.
+
+Taint *sources* are functions with direct nondeterminism evidence —
+ambient ``random``/``time``/OS-entropy use (the REP001/REP002/REP005
+patterns) or an explicit :func:`repro.markers.nondeterministic` marker.
+Taint propagates backwards along call edges: a caller of a tainted
+function is tainted, unless the edge is *sanitized* — the call goes
+through an injected ``SeededRng``/``SimulationClock`` parameter, whose
+output is reproducible by construction.  Sanitized edges are already
+dropped by :meth:`ProjectGraph.call_edges`, so propagation here is a
+plain reachability fixpoint (a breadth-first search from the sources
+over reversed edges), which converges even through mutual recursion
+because each function is visited at most once.
+
+Each tainted function records a witness *chain* down to one source, so
+findings can show the reviewer the exact call path that leaks
+nondeterminism instead of a bare verdict.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from .graph import FunctionKey, ProjectGraph, TaintReason
+
+__all__ = ["TaintResult", "TaintTrace", "propagate_taint"]
+
+
+@dataclass(frozen=True)
+class TaintTrace:
+    """Why one function is tainted.
+
+    ``chain`` runs from the function itself down to the source
+    (inclusive at both ends); a direct source has a one-element chain.
+    ``reasons`` are the *source's* direct evidence.
+    """
+
+    chain: Tuple[FunctionKey, ...]
+    reasons: Tuple[TaintReason, ...]
+
+    @property
+    def source(self) -> FunctionKey:
+        return self.chain[-1]
+
+    @property
+    def is_direct(self) -> bool:
+        return len(self.chain) == 1
+
+
+@dataclass
+class TaintResult:
+    """The converged taint set plus the edges it was computed over."""
+
+    tainted: Dict[FunctionKey, TaintTrace]
+    edges: Dict[FunctionKey, List[FunctionKey]]
+
+    def trace(self, key: FunctionKey) -> Optional[TaintTrace]:
+        return self.tainted.get(key)
+
+
+def _direct_sources(graph: ProjectGraph) -> List[Tuple[FunctionKey, Tuple[TaintReason, ...]]]:
+    sources: List[Tuple[FunctionKey, Tuple[TaintReason, ...]]] = []
+    for summary, fn in graph.functions():
+        if summary.sanctioned:
+            # rng.py / clock.py *define* the sanctioned wrappers; their
+            # internal entropy use is the whole point, not a leak.
+            continue
+        if fn.taint_reasons:
+            sources.append(
+                ((summary.module, fn.qualname), tuple(fn.taint_reasons))
+            )
+    return sources
+
+
+def propagate_taint(graph: ProjectGraph) -> TaintResult:
+    """Run the reachability fixpoint; deterministic across processes.
+
+    Work is processed in sorted order at every step, so when a function
+    is reachable from several sources the recorded witness chain is the
+    same on every run (shortest, ties broken lexicographically).
+    """
+    edges = graph.call_edges()
+    reverse: Dict[FunctionKey, List[FunctionKey]] = {}
+    for caller, callees in edges.items():
+        for callee in callees:
+            reverse.setdefault(callee, []).append(caller)
+    for callers in reverse.values():
+        callers.sort()
+
+    tainted: Dict[FunctionKey, TaintTrace] = {}
+    frontier: List[FunctionKey] = []
+    for key, reasons in sorted(_direct_sources(graph)):
+        tainted[key] = TaintTrace(chain=(key,), reasons=reasons)
+        frontier.append(key)
+
+    frontier.sort()
+    while frontier:
+        next_frontier: List[FunctionKey] = []
+        for callee in frontier:
+            trace = tainted[callee]
+            for caller in reverse.get(callee, ()):
+                if caller in tainted:
+                    continue
+                tainted[caller] = TaintTrace(
+                    chain=(caller,) + trace.chain,
+                    reasons=trace.reasons,
+                )
+                next_frontier.append(caller)
+        next_frontier.sort()
+        frontier = next_frontier
+
+    return TaintResult(tainted=tainted, edges=edges)

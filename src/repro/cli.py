@@ -11,8 +11,9 @@
     python -m repro chaos  --profile NAME [--population N] [--seed S]
                            [--warmup W] [--out PATH]
     python -m repro lint   [paths] [--select IDS] [--ignore IDS]
-                           [--format text|json] [--baseline PATH]
-                           [--update-baseline]
+                           [--format text|json|sarif] [--baseline PATH]
+                           [--update-baseline] [--cache PATH] [--no-cache]
+                           [--ignore-unused-suppressions]
 
 ``study`` runs the full six-week campaign and prints every table and
 figure; ``scan`` runs one §V residual-resolution sweep; ``attack``
@@ -138,7 +139,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="comma-separated rule IDs to skip",
     )
     lint.add_argument(
-        "--format", choices=["text", "json"], default="text",
+        "--format", choices=["text", "json", "sarif"], default="text",
         dest="output_format", help="report format (default: text)",
     )
     lint.add_argument(
@@ -148,6 +149,18 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument(
         "--update-baseline", action="store_true",
         help="rewrite the baseline to cover all current findings",
+    )
+    lint.add_argument(
+        "--cache", default=".repro-lint-cache.json", metavar="PATH",
+        help="incremental cache file (default: .repro-lint-cache.json)",
+    )
+    lint.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the incremental cache for this run",
+    )
+    lint.add_argument(
+        "--ignore-unused-suppressions", action="store_true",
+        help="do not report inline suppressions that matched no finding",
     )
     return parser
 
@@ -160,7 +173,13 @@ def _default_lint_paths() -> List[str]:
 
 
 def _cmd_lint(args) -> int:
-    from .analysis import Analyzer, Baseline, render_json, render_text
+    from .analysis import (
+        Analyzer,
+        Baseline,
+        render_json,
+        render_sarif,
+        render_text,
+    )
     from .errors import AnalysisError
 
     def split_ids(raw: Optional[str]) -> Optional[List[str]]:
@@ -173,29 +192,41 @@ def _cmd_lint(args) -> int:
 
     try:
         analyzer = Analyzer(
-            select=split_ids(args.select), ignore=split_ids(args.ignore)
+            select=split_ids(args.select),
+            ignore=split_ids(args.ignore),
+            cache_path=None if args.no_cache else args.cache,
+            ignore_unused_suppressions=args.ignore_unused_suppressions,
         )
-        findings = analyzer.run(args.paths or _default_lint_paths())
+        result = analyzer.analyze(args.paths or _default_lint_paths())
         baseline = Baseline.load(args.baseline)
         if args.update_baseline:
-            Baseline.from_findings(findings, previous=baseline).save(
+            Baseline.from_findings(result.findings, previous=baseline).save(
                 args.baseline
             )
             print(
-                f"baseline updated: {len(findings)} entry(ies) -> "
+                f"baseline updated: {len(result.findings)} entry(ies) -> "
                 f"{args.baseline}"
             )
             return 0
-        new, suppressed = baseline.split(findings)
+        new, suppressed = baseline.split(result.findings)
     except AnalysisError as exc:
         print(f"repro lint: error: {exc}", file=sys.stderr)
         return 2
-    renderer = render_json if args.output_format == "json" else render_text
-    print(renderer(new, suppressed, baseline))
+    renderer = {
+        "json": render_json,
+        "sarif": render_sarif,
+    }.get(args.output_format, render_text)
+    print(renderer(
+        new,
+        suppressed,
+        baseline,
+        inline_suppressed=result.inline_suppressed,
+        stats=result.stats.to_dict(),
+    ))
     return 1 if new else 0
 
 
-def main(argv: Optional[List[str]] = None) -> int:
+def main(argv: Optional[List[str]] = None) -> int:  # repro: allow[REP040] -- reaches run_bench's sanctioned wall-clock reporting; simulation commands stay seeded
     """Entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
     if args.command == "lint":
@@ -252,7 +283,7 @@ def _cmd_chaos(args) -> int:
     return 0
 
 
-def _cmd_bench(world: SimulatedInternet, args) -> int:
+def _cmd_bench(world: SimulatedInternet, args) -> int:  # repro: allow[REP040] -- run_bench's wall-clock reads are the bench's output, not simulation state
     import json
 
     from .obs.bench import run_bench

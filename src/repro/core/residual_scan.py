@@ -101,7 +101,7 @@ class CloudflareScanner:
         self._rng = (
             rng
             if rng is not None
-            else SeededRng(stable_hash("cloudflare-scanner", provider))
+            else SeededRng(stable_hash("cloudflare-scanner", provider))  # repro: allow[REP042] -- fallback is deterministically seeded from the provider name; kept for direct-construction tests
         )
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.queries_answered = 0

@@ -1,0 +1,32 @@
+"""Source-level markers read by the static analysis.
+
+The whole-program determinism pass (:mod:`repro.analysis.graph`) seeds
+its taint set from syntactic patterns — ambient ``random``/``time``/OS
+entropy use.  Some nondeterminism hides behind abstractions the AST
+cannot see (a C extension, an environment read, a deliberate wall-clock
+report).  The :func:`nondeterministic` decorator declares such a
+function explicitly: the taint pass treats it as a source, so every
+caller that does not route around it shows up as a REP040 finding.
+
+The decorator is a no-op at runtime — it exists purely as a durable,
+greppable annotation that the analyzer and human reviewers share.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, TypeVar
+
+F = TypeVar("F", bound=Callable)
+
+__all__ = ["nondeterministic"]
+
+
+def nondeterministic(func: F) -> F:
+    """Declare ``func`` a nondeterminism source for the taint analysis.
+
+    Apply to functions whose output legitimately depends on something
+    outside the seeded world (wall clock, host entropy, environment).
+    Callers inherit the taint transitively; sanctioned call chains are
+    then suppressed inline or baselined, each with a written reason.
+    """
+    return func

@@ -101,3 +101,38 @@ class TestFileFormat:
             "REP001 src/mod.py 00deadbeef00cafe  # intentional\n"
         )
         assert baseline.comment_for("00deadbeef00cafe") == "intentional"
+
+
+class TestDuplicateLines:
+    """Satellite regression: two identical violating lines must never
+    collapse into one baseline key (the occurrence index keeps their
+    fingerprints distinct)."""
+
+    SOURCE = "import random\nimport random\n"
+
+    def test_duplicate_violations_get_distinct_entries(self, tmp_path):
+        findings = findings_for(tmp_path, self.SOURCE)
+        assert [f.line for f in findings] == [1, 2]
+        assert [f.occurrence for f in findings] == [0, 1]
+        baseline = Baseline.from_findings(findings)
+        assert len(baseline) == 2
+
+    def test_baselining_one_duplicate_leaves_the_other_reported(
+        self, tmp_path
+    ):
+        findings = findings_for(tmp_path, self.SOURCE)
+        baseline = Baseline.from_findings(findings[:1])
+        new, suppressed = baseline.split(findings)
+        assert len(suppressed) == 1
+        assert len(new) == 1
+        assert new[0].line == 2
+
+    def test_duplicate_entries_round_trip_through_the_file(self, tmp_path):
+        findings = findings_for(tmp_path, self.SOURCE)
+        baseline = Baseline.from_findings(findings)
+        path = tmp_path / "baseline.txt"
+        baseline.save(str(path))
+        reloaded = Baseline.load(str(path))
+        assert len(reloaded) == 2
+        new, suppressed = reloaded.split(findings)
+        assert new == [] and len(suppressed) == 2

@@ -1,0 +1,152 @@
+"""The incremental cache: warm-run zero re-parses, precise invalidation."""
+
+import json
+
+from repro.analysis import Analyzer, LintResult, LintStats
+from repro.analysis.cache import LintCache, content_hash, ruleset_signature
+
+from .test_graph import write_package
+
+FILES = {
+    "pkg/__init__.py": "",
+    "pkg/clean.py": """
+        def double(x):
+            return x * 2
+    """,
+    "pkg/dirty.py": """
+        import random
+    """,
+}
+
+
+def make_analyzer(tmp_path, **kwargs):
+    kwargs.setdefault("cache_path", str(tmp_path / "cache.json"))
+    return Analyzer(root=str(tmp_path), **kwargs)
+
+
+class TestWarmRuns:
+    def test_cold_run_parses_everything(self, tmp_path):
+        write_package(tmp_path, FILES)
+        result = make_analyzer(tmp_path).analyze([str(tmp_path / "pkg")])
+        assert isinstance(result, LintResult)
+        stats = result.stats
+        assert isinstance(stats, LintStats)
+        assert stats.cache_enabled
+        assert stats.files == 3
+        assert stats.parsed == 3
+        assert stats.cache_hits == 0
+
+    def test_warm_run_performs_zero_reparses(self, tmp_path):
+        write_package(tmp_path, FILES)
+        cold = make_analyzer(tmp_path).analyze([str(tmp_path / "pkg")])
+        warm = make_analyzer(tmp_path).analyze([str(tmp_path / "pkg")])
+        assert warm.stats.parsed == 0
+        assert warm.stats.cache_hits == 3
+        assert warm.stats.cache_misses == 0
+        # Identical findings, fingerprints included.
+        assert [f.to_dict() for f in warm.findings] == [
+            f.to_dict() for f in cold.findings
+        ]
+
+    def test_edit_invalidates_only_the_edited_file(self, tmp_path):
+        write_package(tmp_path, FILES)
+        make_analyzer(tmp_path).analyze([str(tmp_path / "pkg")])
+        (tmp_path / "pkg" / "clean.py").write_text(
+            "def triple(x):\n    return x * 3\n", encoding="utf-8"
+        )
+        result = make_analyzer(tmp_path).analyze([str(tmp_path / "pkg")])
+        assert result.stats.parsed == 1
+        assert result.stats.cache_hits == 2
+
+    def test_project_rules_still_fire_from_cached_summaries(self, tmp_path):
+        write_package(tmp_path, {
+            "pkg/__init__.py": "",
+            "pkg/helper.py": """
+                import time
+
+
+                def read_clock():
+                    return time.time()
+            """,
+            "pkg/entry.py": """
+                from pkg.helper import read_clock
+
+
+                def simulate():
+                    return read_clock()
+            """,
+        })
+        cold = make_analyzer(tmp_path, select=["REP040"]).analyze(
+            [str(tmp_path / "pkg")]
+        )
+        warm = make_analyzer(tmp_path, select=["REP040"]).analyze(
+            [str(tmp_path / "pkg")]
+        )
+        assert warm.stats.parsed == 0
+        assert [f.rule_id for f in cold.findings] == ["REP040"]
+        assert [f.to_dict() for f in warm.findings] == [
+            f.to_dict() for f in cold.findings
+        ]
+
+    def test_ruleset_change_invalidates(self, tmp_path):
+        write_package(tmp_path, FILES)
+        make_analyzer(tmp_path, select=["REP001"]).analyze(
+            [str(tmp_path / "pkg")]
+        )
+        result = make_analyzer(tmp_path, select=["REP002"]).analyze(
+            [str(tmp_path / "pkg")]
+        )
+        assert result.stats.parsed == 3
+
+    def test_cache_disabled_by_default(self, tmp_path):
+        write_package(tmp_path, FILES)
+        analyzer = Analyzer(root=str(tmp_path))
+        result = analyzer.analyze([str(tmp_path / "pkg")])
+        assert not result.stats.cache_enabled
+        assert result.stats.parsed == 3
+
+
+class TestCacheFile:
+    def test_corrupt_cache_degrades_to_cold_run(self, tmp_path):
+        write_package(tmp_path, FILES)
+        cache_path = tmp_path / "cache.json"
+        make_analyzer(tmp_path).analyze([str(tmp_path / "pkg")])
+        cache_path.write_text("{not json", encoding="utf-8")
+        result = make_analyzer(tmp_path).analyze([str(tmp_path / "pkg")])
+        assert result.stats.parsed == 3
+        # ... and the run repaired the cache for the next one.
+        repaired = make_analyzer(tmp_path).analyze([str(tmp_path / "pkg")])
+        assert repaired.stats.parsed == 0
+
+    def test_deleted_files_are_pruned(self, tmp_path):
+        write_package(tmp_path, FILES)
+        cache_path = tmp_path / "cache.json"
+        make_analyzer(tmp_path).analyze([str(tmp_path / "pkg")])
+        (tmp_path / "pkg" / "dirty.py").unlink()
+        make_analyzer(tmp_path).analyze([str(tmp_path / "pkg")])
+        payload = json.loads(cache_path.read_text(encoding="utf-8"))
+        assert "pkg/dirty.py" not in payload["entries"]
+
+    def test_signature_mismatch_is_empty(self, tmp_path):
+        path = str(tmp_path / "cache.json")
+        cache = LintCache(path, ruleset_signature(["REP001"]))
+        digest = content_hash(b"x = 1\n")
+        cache.put("mod.py", digest, [], _dummy_summary())
+        cache.save()
+        other = LintCache.load(path, ruleset_signature(["REP002"]))
+        assert other.get("mod.py", digest) is None
+        same = LintCache.load(path, ruleset_signature(["REP001"]))
+        assert same.get("mod.py", digest) is not None
+
+    def test_content_hash_mismatch_misses(self, tmp_path):
+        path = str(tmp_path / "cache.json")
+        signature = ruleset_signature(["REP001"])
+        cache = LintCache(path, signature)
+        cache.put("mod.py", content_hash(b"x = 1\n"), [], _dummy_summary())
+        assert cache.get("mod.py", content_hash(b"x = 2\n")) is None
+
+
+def _dummy_summary():
+    from repro.analysis import ModuleSummary
+
+    return ModuleSummary(module="mod", path="mod.py", basename="mod.py")

@@ -14,7 +14,9 @@ def project(tmp_path, monkeypatch):
     package = tmp_path / "pkg"
     package.mkdir()
     (package / "clean.py").write_text(
-        '__all__ = ["api"]\n\n\ndef api():\n    return 1\n', encoding="utf-8"
+        '__all__ = ["api"]\n\n\ndef api():\n    return 1\n\n\n'
+        "def entry():\n    return api()\n",
+        encoding="utf-8",
     )
     return tmp_path
 

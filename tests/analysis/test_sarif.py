@@ -1,0 +1,180 @@
+"""SARIF 2.1.0 reporter: structure, suppressions, and schema validity."""
+
+import json
+import textwrap
+
+import pytest
+
+from repro.analysis import Analyzer, Baseline, render_sarif
+from repro.analysis.sarif import sarif_payload
+
+
+@pytest.fixture
+def run(tmp_path):
+    """Lint a two-finding snippet and return (payload, result, baseline)."""
+    path = tmp_path / "snippet.py"
+    path.write_text(
+        textwrap.dedent(
+            """
+            import random
+            import time
+
+            x = time.time()  # repro: allow[REP002] -- fixture exception
+            """
+        ),
+        encoding="utf-8",
+    )
+    analyzer = Analyzer(
+        root=str(tmp_path), select=["REP001", "REP002", "REP050"]
+    )
+    result = analyzer.analyze([str(path)])
+    baseline = Baseline.from_findings(result.findings[:1])
+    new, suppressed = baseline.split(result.findings)
+    payload = sarif_payload(
+        new,
+        suppressed,
+        baseline,
+        inline_suppressed=result.inline_suppressed,
+        stats=result.stats.to_dict(),
+    )
+    return payload, result, baseline
+
+
+class TestStructure:
+    def test_log_shape(self, run):
+        payload, _, _ = run
+        assert payload["version"] == "2.1.0"
+        assert payload["$schema"].endswith("sarif-schema-2.1.0.json")
+        assert len(payload["runs"]) == 1
+        driver = payload["runs"][0]["tool"]["driver"]
+        assert driver["name"] == "repro-lint"
+        rule_ids = [rule["id"] for rule in driver["rules"]]
+        assert "REP001" in rule_ids and "REP040" in rule_ids
+
+    def test_results_carry_location_and_fingerprint(self, run):
+        payload, result, _ = run
+        results = payload["runs"][0]["results"]
+        live = [r for r in results if "suppressions" not in r]
+        assert len(live) == 0  # the REP001 finding was baselined
+        baselined = [
+            r for r in results
+            if r.get("suppressions", [{}])[0].get("kind") == "external"
+        ]
+        assert len(baselined) == 1
+        location = baselined[0]["locations"][0]["physicalLocation"]
+        assert location["artifactLocation"]["uri"] == "snippet.py"
+        assert location["region"]["startLine"] >= 1
+        assert location["region"]["startColumn"] >= 1
+        fingerprints = baselined[0]["partialFingerprints"]
+        assert fingerprints["reproLint/v1"] in {
+            f.fingerprint for f in result.findings
+        }
+
+    def test_inline_suppressions_are_in_source(self, run):
+        payload, result, _ = run
+        results = payload["runs"][0]["results"]
+        in_source = [
+            r for r in results
+            if r.get("suppressions", [{}])[0].get("kind") == "inSource"
+        ]
+        assert len(in_source) == len(result.inline_suppressed) == 1
+
+    def test_rule_index_points_at_driver_rules(self, run):
+        payload, _, _ = run
+        run_obj = payload["runs"][0]
+        rules = run_obj["tool"]["driver"]["rules"]
+        for result in run_obj["results"]:
+            assert rules[result["ruleIndex"]]["id"] == result["ruleId"]
+
+    def test_cache_stats_ride_in_run_properties(self, run):
+        payload, result, _ = run
+        stats = payload["runs"][0]["properties"]["cacheStats"]
+        assert stats == result.stats.to_dict()
+        assert stats["parsed"] == 1
+        assert stats["cache_enabled"] is False
+
+    def test_levels_map_severities(self, run):
+        payload, _, _ = run
+        levels = {r["level"] for r in payload["runs"][0]["results"]}
+        assert levels <= {"error", "warning"}
+
+    def test_render_is_valid_json(self, run):
+        _, result, baseline = run
+        new, suppressed = baseline.split(result.findings)
+        text = render_sarif(
+            new, suppressed, baseline,
+            inline_suppressed=result.inline_suppressed,
+            stats=result.stats.to_dict(),
+        )
+        assert json.loads(text)["version"] == "2.1.0"
+
+
+class TestSchemaValidation:
+    def test_validates_against_sarif_2_1_0_schema(self, run):
+        jsonschema = pytest.importorskip("jsonschema")
+        payload, _, _ = run
+        # The spec's structural core, expressed as JSON Schema: the
+        # subset that upload-sarif actually rejects on.  (The full OASIS
+        # schema is not vendored; no network in CI.)
+        schema = {
+            "type": "object",
+            "required": ["version", "runs"],
+            "properties": {
+                "version": {"const": "2.1.0"},
+                "runs": {
+                    "type": "array",
+                    "minItems": 1,
+                    "items": {
+                        "type": "object",
+                        "required": ["tool", "results"],
+                        "properties": {
+                            "tool": {
+                                "type": "object",
+                                "required": ["driver"],
+                                "properties": {
+                                    "driver": {
+                                        "type": "object",
+                                        "required": ["name"],
+                                    },
+                                },
+                            },
+                            "results": {
+                                "type": "array",
+                                "items": {
+                                    "type": "object",
+                                    "required": ["message"],
+                                    "properties": {
+                                        "message": {
+                                            "type": "object",
+                                            "required": ["text"],
+                                        },
+                                        "level": {
+                                            "enum": [
+                                                "none", "note",
+                                                "warning", "error",
+                                            ],
+                                        },
+                                        "suppressions": {
+                                            "type": "array",
+                                            "items": {
+                                                "type": "object",
+                                                "required": ["kind"],
+                                                "properties": {
+                                                    "kind": {
+                                                        "enum": [
+                                                            "inSource",
+                                                            "external",
+                                                        ],
+                                                    },
+                                                },
+                                            },
+                                        },
+                                    },
+                                },
+                            },
+                        },
+                    },
+                },
+            },
+        }
+        jsonschema.validate(payload, schema)

@@ -1,0 +1,136 @@
+"""Inline ``# repro: allow[...]`` suppressions and the REP050 rule."""
+
+import textwrap
+
+from repro.analysis import Analyzer, Suppression, scan_suppressions
+
+
+def analyze_snippet(tmp_path, source, filename="snippet.py", **kwargs):
+    path = tmp_path / filename
+    path.write_text(textwrap.dedent(source), encoding="utf-8")
+    analyzer = Analyzer(root=str(tmp_path), **kwargs)
+    return analyzer.analyze([str(path)])
+
+
+class TestScanner:
+    def test_parses_ids_and_reason(self):
+        [s] = scan_suppressions([
+            "x = 1  # repro: allow[REP001,REP002] -- fixture justification",
+        ])
+        assert isinstance(s, Suppression)
+        assert s.line == 1
+        assert s.rule_ids == ("REP001", "REP002")
+        assert s.reason == "fixture justification"
+
+    def test_reason_is_optional_at_parse_time(self):
+        [s] = scan_suppressions(["x = 1  # repro: allow[REP001]"])
+        assert s.rule_ids == ("REP001",)
+        assert s.reason == ""
+
+    def test_quoted_syntax_in_strings_is_not_a_suppression(self):
+        assert scan_suppressions([
+            'doc = "use # repro: allow[REP001] -- like this"',
+        ]) == []
+
+    def test_docstring_examples_do_not_count(self):
+        lines = [
+            "def f():",
+            '    """Example:',
+            "",
+            "        x  # repro: allow[REP001] -- quoted",
+            '    """',
+        ]
+        assert scan_suppressions(lines) == []
+
+    def test_directive_must_start_the_comment(self):
+        assert scan_suppressions([
+            "x = 1  #: docs mention ``# repro: allow[REP001] -- r`` inline",
+        ]) == []
+
+
+class TestApplication:
+    def test_matching_finding_is_suppressed(self, tmp_path):
+        result = analyze_snippet(
+            tmp_path,
+            "import random  # repro: allow[REP001] -- fixture exception\n",
+            select=["REP001", "REP050"],
+        )
+        assert result.findings == []
+        assert [f.rule_id for f in result.inline_suppressed] == ["REP001"]
+
+    def test_wrong_rule_id_does_not_suppress(self, tmp_path):
+        result = analyze_snippet(
+            tmp_path,
+            "import random  # repro: allow[REP002] -- wrong rule\n",
+            select=["REP001", "REP050"],
+        )
+        rule_ids = [f.rule_id for f in result.findings]
+        assert "REP001" in rule_ids  # the finding survives
+        assert "REP050" in rule_ids  # and the suppression is stale
+
+    def test_stale_suppression_is_reported(self, tmp_path):
+        result = analyze_snippet(
+            tmp_path,
+            "x = 1  # repro: allow[REP001] -- nothing here\n",
+            select=["REP001", "REP050"],
+        )
+        assert [f.rule_id for f in result.findings] == ["REP050"]
+        assert "matches no finding" in result.findings[0].message
+
+    def test_missing_reason_is_reported(self, tmp_path):
+        result = analyze_snippet(
+            tmp_path,
+            "import random  # repro: allow[REP001]\n",
+            select=["REP001", "REP050"],
+        )
+        assert [f.rule_id for f in result.findings] == ["REP050"]
+        assert "reason" in result.findings[0].message
+        assert [f.rule_id for f in result.inline_suppressed] == ["REP001"]
+
+    def test_ignore_unused_suppressions_escape_hatch(self, tmp_path):
+        result = analyze_snippet(
+            tmp_path,
+            "x = 1  # repro: allow[REP001] -- nothing here\n",
+            select=["REP001", "REP050"],
+            ignore_unused_suppressions=True,
+        )
+        assert result.findings == []
+
+    def test_suppressing_rep050_via_ignore(self, tmp_path):
+        result = analyze_snippet(
+            tmp_path,
+            "x = 1  # repro: allow[REP001] -- nothing here\n",
+            select=["REP001"],
+        )
+        # REP050 not selected: no stale-suppression reporting at all.
+        assert result.findings == []
+
+    def test_multi_id_suppression_matches_each_rule(self, tmp_path):
+        result = analyze_snippet(
+            tmp_path,
+            "import random  # repro: allow[REP001] -- fixture\n"
+            "import time\n"
+            "x = random.random() + time.time()"
+            "  # repro: allow[REP001,REP002] -- fixture\n",
+            select=["REP001", "REP002", "REP050"],
+        )
+        assert result.findings == []
+        multi = [f for f in result.inline_suppressed if f.line == 3]
+        assert sorted(f.rule_id for f in multi) == ["REP001", "REP002"]
+
+
+class TestFingerprintStability:
+    def test_identical_suppressed_lines_get_distinct_occurrences(
+        self, tmp_path
+    ):
+        # The union (live + suppressed) is occurrence-numbered before
+        # partitioning, so two byte-identical suppressed lines keep
+        # distinct fingerprints — exactly like baselined duplicates.
+        line = "import random  # repro: allow[REP001] -- fixture\n"
+        result = analyze_snippet(
+            tmp_path, line + line, select=["REP001", "REP050"]
+        )
+        assert result.findings == []
+        assert [f.occurrence for f in result.inline_suppressed] == [0, 1]
+        fingerprints = {f.fingerprint for f in result.inline_suppressed}
+        assert len(fingerprints) == 2

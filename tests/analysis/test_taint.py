@@ -1,0 +1,204 @@
+"""The determinism taint fixpoint and the REP040 acceptance fixture.
+
+The load-bearing acceptance case: a clean caller that reaches
+``time.time()`` through a helper in *another module* is flagged REP040,
+while the same shape with an injected ``SimulationClock`` parameter is
+not.
+"""
+
+from repro.analysis import Analyzer, TaintResult, propagate_taint
+from repro.analysis.graph import ProjectGraph
+from repro.analysis.taint import TaintTrace
+from repro.markers import nondeterministic
+
+from .test_graph import build_graph, write_package
+
+
+def lint_package(tmp_path, files, select=None):
+    write_package(tmp_path, files)
+    analyzer = Analyzer(root=str(tmp_path), select=select)
+    return analyzer.run([str(tmp_path)])
+
+
+def rep040(findings):
+    return [f for f in findings if f.rule_id == "REP040"]
+
+
+class TestAcceptanceFixture:
+    FILES = {
+        "pkg/__init__.py": "",
+        "pkg/helper.py": """
+            import time
+
+
+            def read_clock():
+                return time.time()
+        """,
+        "pkg/entry.py": """
+            from pkg.helper import read_clock
+
+
+            def simulate(population):
+                return read_clock() + population
+        """,
+    }
+
+    def test_transitive_chain_is_flagged_across_modules(self, tmp_path):
+        findings = lint_package(tmp_path, self.FILES, select=["REP040"])
+        flagged = rep040(findings)
+        assert len(flagged) == 1
+        finding = flagged[0]
+        assert finding.path == "pkg/entry.py"
+        assert "simulate" in finding.message
+        assert "read_clock" in finding.message
+        assert "time.time" in finding.message
+
+    def test_injected_clock_parameter_sanitizes_the_chain(self, tmp_path):
+        files = dict(self.FILES)
+        files["pkg/entry.py"] = """
+            from repro.clock import SimulationClock
+
+
+            def simulate(population, clock: SimulationClock):
+                return clock.now() + population
+        """
+        findings = lint_package(tmp_path, files, select=["REP040"])
+        assert rep040(findings) == []
+
+    def test_direct_source_is_not_rep040(self, tmp_path):
+        # The helper itself is the per-file rules' problem (REP002),
+        # not a transitive finding.
+        findings = lint_package(tmp_path, self.FILES, select=["REP040"])
+        assert all(f.path != "pkg/helper.py" for f in rep040(findings))
+
+
+class TestFixpoint:
+    def test_mutual_recursion_converges(self, tmp_path):
+        graph = build_graph(tmp_path, {
+            "pkg/__init__.py": "",
+            "pkg/a.py": """
+                import time
+                from pkg.b import pong
+
+
+                def ping(n):
+                    if n <= 0:
+                        return time.time()
+                    return pong(n - 1)
+            """,
+            "pkg/b.py": """
+                from pkg.a import ping
+
+
+                def pong(n):
+                    return ping(n)
+            """,
+        })
+        result = propagate_taint(graph)
+        assert isinstance(result, TaintResult)
+        assert ("pkg.a", "ping") in result.tainted
+        assert ("pkg.b", "pong") in result.tainted
+        trace = result.trace(("pkg.b", "pong"))
+        assert isinstance(trace, TaintTrace)
+        assert trace.source == ("pkg.a", "ping")
+
+    def test_three_hop_chain_records_witness_path(self, tmp_path):
+        graph = build_graph(tmp_path, {
+            "pkg/__init__.py": "",
+            "pkg/a.py": """
+                import os
+
+
+                def entropy():
+                    return os.urandom(8)
+            """,
+            "pkg/b.py": """
+                from pkg.a import entropy
+
+
+                def middle():
+                    return entropy()
+            """,
+            "pkg/c.py": """
+                from pkg.b import middle
+
+
+                def top():
+                    return middle()
+            """,
+        })
+        result = propagate_taint(graph)
+        trace = result.trace(("pkg.c", "top"))
+        assert trace.chain == (
+            ("pkg.c", "top"), ("pkg.b", "middle"), ("pkg.a", "entropy"),
+        )
+        assert trace.reasons[0].kind == "os-entropy"
+        assert not trace.is_direct
+        assert result.trace(("pkg.a", "entropy")).is_direct
+
+    def test_marker_decorator_seeds_taint(self, tmp_path):
+        findings = lint_package(tmp_path, {
+            "pkg/__init__.py": "",
+            "pkg/ext.py": """
+                from repro.markers import nondeterministic
+
+
+                @nondeterministic
+                def read_sensor():
+                    return 0.0
+            """,
+            "pkg/use.py": """
+                from pkg.ext import read_sensor
+
+
+                def consume():
+                    return read_sensor() * 2
+            """,
+        }, select=["REP040"])
+        flagged = rep040(findings)
+        assert [f.path for f in flagged] == ["pkg/use.py"]
+        assert "@nondeterministic" in flagged[0].message
+
+    def test_sanctioned_modules_never_seed(self, tmp_path):
+        # A module literally named rng.py defines the sanctioned
+        # wrapper; its internal entropy must not taint its callers.
+        findings = lint_package(tmp_path, {
+            "pkg/__init__.py": "",
+            "pkg/rng.py": """
+                import random
+
+
+                def draw():
+                    return random.random()
+            """,
+            "pkg/use.py": """
+                from pkg.rng import draw
+
+
+                def consume():
+                    return draw()
+            """,
+        }, select=["REP040"])
+        assert rep040(findings) == []
+
+    def test_rng_method_call_is_sanitized(self, tmp_path):
+        findings = lint_package(tmp_path, {
+            "pkg/__init__.py": "",
+            "pkg/use.py": """
+                from repro.rng import SeededRng
+
+
+                def consume(rng: SeededRng):
+                    return rng.random()
+            """,
+        }, select=["REP040"])
+        assert rep040(findings) == []
+
+
+class TestMarkerRuntime:
+    def test_decorator_is_identity(self):
+        def probe():
+            return 41
+
+        assert nondeterministic(probe) is probe
+        assert nondeterministic(probe)() == 41
