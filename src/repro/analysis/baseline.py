@@ -20,6 +20,7 @@ from dataclasses import dataclass
 from typing import Dict, Iterable, List, Sequence, Tuple
 
 from ..errors import AnalysisError
+from ..io import atomic_write_text
 from .findings import Finding
 
 __all__ = ["Baseline", "BaselineEntry"]
@@ -115,10 +116,9 @@ class Baseline:
         return "\n".join(lines) + "\n"
 
     def save(self, path: str) -> None:
-        """Write the baseline file."""
+        """Write the baseline file (atomically: tmp + fsync + rename)."""
         try:
-            with open(path, "w", encoding="utf-8") as handle:
-                handle.write(self.render())
+            atomic_write_text(path, self.render())
         except OSError as exc:
             raise AnalysisError(f"cannot write baseline {path}: {exc}") from exc
 

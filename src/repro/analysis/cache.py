@@ -20,9 +20,9 @@ from __future__ import annotations
 
 import hashlib
 import json
-import os
 from typing import Any, Dict, List, Optional, Tuple
 
+from ..io import atomic_write_json
 from .findings import Finding
 from .graph import ModuleSummary
 
@@ -116,10 +116,7 @@ class LintCache:
             "entries": self._entries,
         }
         try:
-            tmp = f"{self.path}.tmp.{os.getpid()}"
-            with open(tmp, "w", encoding="utf-8") as handle:
-                json.dump(payload, handle, sort_keys=True)
-            os.replace(tmp, self.path)
+            atomic_write_json(self.path, payload, indent=None)
         except OSError:
             pass
         self._dirty = False

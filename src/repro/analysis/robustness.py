@@ -1,4 +1,4 @@
-"""Robustness rules (REP030).
+"""Robustness rules (REP03x).
 
 .. note:: The rule packs are numbered by decade (determinism REP00x,
    clock REP01x, hygiene REP02x); REP011 is already taken by
@@ -16,7 +16,13 @@ retry code quietly goes wrong:
   ``continue`` body), which turns an exhausted retry budget into a
   fabricated negative observation.
 
-Both are checked on ``src/repro`` itself by the self-hosting lint gate.
+REP031 guards the persistence layer: any state the library writes to
+disk must go through :mod:`repro.io`'s atomic helpers (tmp + fsync +
+rename) or the durable journal append — a direct ``open(..., "w")`` or
+``Path.write_text`` can be torn by a crash mid-write, which is exactly
+the failure mode the checkpoint plane exists to survive.
+
+All are checked on ``src/repro`` itself by the self-hosting lint gate.
 """
 
 from __future__ import annotations
@@ -27,7 +33,7 @@ from typing import Iterator, Set
 from .findings import Severity
 from .rules import ModuleContext, Rule, register
 
-__all__ = ["UnboundedRetryRule"]
+__all__ = ["UnboundedRetryRule", "DirectStateWriteRule"]
 
 #: Call names that reach the network fabric (directly or via a client).
 #: ``get`` is deliberately absent — ``dict.get`` would swamp the rule
@@ -165,3 +171,70 @@ class UnboundedRetryRule(Rule):
                 "failures silently; degrade explicitly (UNMEASURED, "
                 "metrics) or catch the narrowest class",
             )
+
+
+#: ``open`` modes that mutate the target file.
+_MUTATING_MODE_CHARS = ("w", "a", "x", "+")
+
+
+def _literal_open_mode(call: ast.Call) -> "str | None":
+    """The call's literal mode string, if statically visible."""
+    if len(call.args) >= 2:
+        mode = call.args[1]
+        if isinstance(mode, ast.Constant) and isinstance(mode.value, str):
+            return mode.value
+    for keyword in call.keywords:
+        if keyword.arg == "mode":
+            value = keyword.value
+            if isinstance(value, ast.Constant) and isinstance(value.value, str):
+                return value.value
+    return None
+
+
+@register
+class DirectStateWriteRule(Rule):
+    """REP031: file writes bypassing the atomic-write helpers.
+
+    A crash between a direct ``open(..., "w")``'s truncate and its
+    final flush leaves a torn file — neither the old state nor the new.
+    Every persistence path must use
+    :func:`repro.io.atomic_write_text`/:func:`~repro.io.atomic_write_json`
+    (tmp + fsync + rename) or, for journals,
+    :func:`repro.io.append_durable_line`.  ``Path.write_text`` /
+    ``write_bytes`` are flagged for the same reason; read-mode opens
+    are untouched.
+    """
+
+    rule_id = "REP031"
+    title = "direct file write bypasses atomic-write helpers"
+    severity = Severity.ERROR
+
+    def check(self, module: ModuleContext) -> Iterator:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if isinstance(func, ast.Name) and func.id == "open":
+                mode = _literal_open_mode(node)
+                if mode is not None and any(
+                    char in mode for char in _MUTATING_MODE_CHARS
+                ):
+                    yield self.finding(
+                        module,
+                        node,
+                        f"open(..., {mode!r}) writes directly and can tear "
+                        "the file on a crash; use repro.io.atomic_write_text"
+                        "/atomic_write_json (or append_durable_line for "
+                        "journal appends)",
+                    )
+            elif isinstance(func, ast.Attribute) and func.attr in (
+                "write_text",
+                "write_bytes",
+            ):
+                yield self.finding(
+                    module,
+                    node,
+                    f".{func.attr}(...) writes directly and can tear the "
+                    "file on a crash; use repro.io.atomic_write_text/"
+                    "atomic_write_json",
+                )

@@ -10,6 +10,12 @@
                            [--label L] [--out PATH]
     python -m repro chaos  --profile NAME [--population N] [--seed S]
                            [--warmup W] [--out PATH]
+    python -m repro resume CHECKPOINT_DIR [--population N] [--seed S]
+                           [--days D] [--warmup W] [--profile NAME]
+                           [--export PATH]
+    python -m repro kill-matrix [--population N] [--seed S] [--days D]
+                           [--warmup W] [--profile NAME] [--workdir DIR]
+                           [--out PATH]
     python -m repro lint   [paths] [--select IDS] [--ignore IDS]
                            [--format text|json|sarif] [--baseline PATH]
                            [--update-baseline] [--cache PATH] [--no-cache]
@@ -23,9 +29,16 @@ workloads and writes a ``BENCH_<label>.json`` trajectory point;
 ``chaos`` reruns them under a named fault profile against a same-seed
 fault-free run, writes ``CHAOS_<profile>.json``, and exits nonzero if
 an equivalence profile diverged (or a degradation profile failed to
-degrade explicitly); ``lint`` runs the determinism and
-simulation-invariant static analysis (exit 0 clean, 1 findings,
-2 usage error).
+degrade explicitly); ``study --checkpoint DIR`` commits a durable
+checkpoint barrier after every study day; ``resume`` continues a
+crashed checkpointed study on the exact deterministic trajectory
+(mismatched inputs, corrupt snapshots, and damaged journals are
+refused with a nonzero exit); ``kill-matrix`` crashes a checkpointed
+study at every barrier in both crash modes, resumes each, and writes a
+``KILLMATRIX.json`` divergence report (nonzero exit unless every
+resumed run is byte-identical to the uninterrupted reference); ``lint``
+runs the determinism and simulation-invariant static analysis (exit 0
+clean, 1 findings, 2 usage error).
 """
 
 from __future__ import annotations
@@ -46,6 +59,7 @@ from .core.residual_scan import CloudflareScanner, NameserverHarvest
 from .core.study import SixWeekStudy, StudyConfig
 from .dps.plans import PlanTier
 from .dps.portal import ReroutingMethod
+from .io import atomic_write_json
 from .net.geo import PAPER_VANTAGE_REGIONS
 from .world import SimulatedInternet, WorldConfig
 
@@ -74,6 +88,13 @@ def build_parser() -> argparse.ArgumentParser:
                        help="warm-up days before the study (default 56)")
     study.add_argument("--export", metavar="PATH", default=None,
                        help="also write the report as JSON to PATH")
+    study.add_argument("--checkpoint", metavar="DIR", default=None,
+                       help="commit a durable checkpoint barrier after "
+                            "every study day into DIR (resume with "
+                            "'repro resume DIR')")
+    study.add_argument("--fault-profile", metavar="NAME", default=None,
+                       help="run the checkpointed study under a named "
+                            "fault profile (requires --checkpoint)")
 
     scan = subparsers.add_parser("scan", help="one residual-resolution sweep")
     add_world_args(scan)
@@ -122,6 +143,44 @@ def build_parser() -> argparse.ArgumentParser:
                             "(default 21)")
     chaos.add_argument("--out", metavar="PATH", default=None,
                        help="output path (default: CHAOS_<profile>.json)")
+
+    resume = subparsers.add_parser(
+        "resume", help="continue a crashed checkpointed study"
+    )
+    resume.add_argument("checkpoint", metavar="CHECKPOINT_DIR",
+                        help="checkpoint directory written by "
+                             "'repro study --checkpoint'")
+    add_world_args(resume)
+    resume.add_argument("--days", type=int, default=42,
+                        help="study length in days (default 42)")
+    resume.add_argument("--warmup", type=int, default=56,
+                        help="warm-up days before the study (default 56)")
+    resume.add_argument("--fault-profile", metavar="NAME", default=None,
+                        help="fault profile the original run used, if any")
+    resume.add_argument("--export", metavar="PATH", default=None,
+                        help="also write the report as JSON to PATH")
+
+    killmatrix = subparsers.add_parser(
+        "kill-matrix",
+        help="crash a checkpointed study at every barrier, resume, "
+             "and demand byte-identical artifacts",
+    )
+    killmatrix.add_argument("--population", type=int, default=2000,
+                            help="number of websites (default 2000)")
+    killmatrix.add_argument("--seed", type=int, default=2018,
+                            help="world seed (default 2018)")
+    killmatrix.add_argument("--days", type=int, default=4,
+                            help="study length in days (default 4)")
+    killmatrix.add_argument("--warmup", type=int, default=10,
+                            help="warm-up days before the study (default 10)")
+    killmatrix.add_argument("--fault-profile", metavar="NAME", default=None,
+                            help="also run the matrix under a fault profile")
+    killmatrix.add_argument("--workdir", metavar="DIR", default=None,
+                            help="where the matrix keeps its checkpoint "
+                                 "directories (default: a fresh temp dir)")
+    killmatrix.add_argument("--out", metavar="PATH", default="KILLMATRIX.json",
+                            help="divergence report path "
+                                 "(default: KILLMATRIX.json)")
 
     lint = subparsers.add_parser(
         "lint", help="determinism & simulation-invariant static analysis"
@@ -233,6 +292,12 @@ def main(argv: Optional[List[str]] = None) -> int:  # repro: allow[REP040] -- re
         return _cmd_lint(args)
     if args.command == "chaos":
         return _cmd_chaos(args)
+    if args.command == "resume":
+        return _cmd_resume(args)
+    if args.command == "kill-matrix":
+        return _cmd_kill_matrix(args)
+    if args.command == "study" and args.checkpoint:
+        return _cmd_study_checkpointed(args)
     world = SimulatedInternet(
         WorldConfig(population_size=args.population, seed=args.seed)
     )
@@ -248,8 +313,6 @@ def main(argv: Optional[List[str]] = None) -> int:  # repro: allow[REP040] -- re
 
 
 def _cmd_chaos(args) -> int:
-    import json
-
     from .faults.chaos import run_chaos
 
     report = run_chaos(
@@ -259,9 +322,7 @@ def _cmd_chaos(args) -> int:
         warmup_days=args.warmup,
     )
     out_path = args.out or f"CHAOS_{report['profile']}.json"
-    with open(out_path, "w", encoding="utf-8") as handle:
-        json.dump(report, handle, indent=2, sort_keys=True)
-        handle.write("\n")
+    atomic_write_json(out_path, report)
     retries = report["retries"]
     print(f"profile {report['profile']} "
           f"({'equivalence' if report['expect_equivalence'] else 'degradation'}): "
@@ -284,15 +345,11 @@ def _cmd_chaos(args) -> int:
 
 
 def _cmd_bench(world: SimulatedInternet, args) -> int:  # repro: allow[REP040] -- run_bench's wall-clock reads are the bench's output, not simulation state
-    import json
-
     from .obs.bench import run_bench
 
     result = run_bench(world, warmup_days=args.warmup, label=args.label)
     out_path = args.out or f"BENCH_{result['label']}.json"
-    with open(out_path, "w", encoding="utf-8") as handle:
-        json.dump(result, handle, indent=2, sort_keys=True)
-        handle.write("\n")
+    atomic_write_json(out_path, result)
     e1 = result["e1_collection"]
     e8 = result["e8_residual_scan"]
     comparison = e8["query_path_comparison"]
@@ -314,14 +371,92 @@ def _cmd_bench(world: SimulatedInternet, args) -> int:  # repro: allow[REP040] -
 
 
 def _cmd_study(world: SimulatedInternet, args) -> int:
+    if args.fault_profile:
+        print("repro study: --fault-profile requires --checkpoint",
+              file=sys.stderr)
+        return 2
     config = StudyConfig(warmup_days=args.warmup, study_days=args.days)
     report = SixWeekStudy(world, config).run()
+    return _print_study_report(report, args.export)
+
+
+def _print_study_report(report, export: Optional[str]) -> int:
     print(render_full_report(report))
-    if args.export:
+    if export:
         from .core.export import save_report
 
-        path = save_report(report, args.export)
+        path = save_report(report, export)
         print(f"\nreport exported to {path}")
+    return 0
+
+
+def _cmd_study_checkpointed(args) -> int:
+    from .checkpoint import run_checkpointed_study
+    from .errors import CheckpointError
+
+    config = StudyConfig(warmup_days=args.warmup, study_days=args.days)
+    try:
+        report = run_checkpointed_study(
+            args.checkpoint,
+            population=args.population,
+            seed=args.seed,
+            config=config,
+            fault_profile=args.fault_profile,
+        )
+    except CheckpointError as exc:
+        print(f"repro study: {exc}", file=sys.stderr)
+        return 1
+    return _print_study_report(report, args.export)
+
+
+def _cmd_resume(args) -> int:
+    from .checkpoint import resume_study
+    from .errors import CheckpointError
+
+    config = StudyConfig(warmup_days=args.warmup, study_days=args.days)
+    try:
+        report = resume_study(
+            args.checkpoint,
+            population=args.population,
+            seed=args.seed,
+            config=config,
+            fault_profile=args.fault_profile,
+        )
+    except CheckpointError as exc:
+        print(f"repro resume: {exc}", file=sys.stderr)
+        return 1
+    return _print_study_report(report, args.export)
+
+
+def _cmd_kill_matrix(args) -> int:
+    import tempfile
+
+    from .checkpoint import run_kill_matrix
+
+    config = StudyConfig(warmup_days=args.warmup, study_days=args.days)
+    workdir = args.workdir or tempfile.mkdtemp(prefix="repro-killmatrix-")
+    payload = run_kill_matrix(
+        workdir,
+        population=args.population,
+        seed=args.seed,
+        config=config,
+        fault_profile=args.fault_profile,
+    )
+    atomic_write_json(args.out, payload)
+    failed = [c for c in payload["cases"] if not c["passed"]]
+    print(f"kill matrix: {len(payload['cases'])} crash case(s), "
+          f"{len(payload['refusals'])} refusal check(s), "
+          f"{len(failed)} failure(s)")
+    for case in failed:
+        print(f"  {case['mode']} @ barrier {case['barrier']}: "
+              f"{'; '.join(case['divergences'][:5]) or 'failed'}")
+    for refusal in payload["refusals"]:
+        verdict = "ok" if refusal["passed"] else "FAILED"
+        print(f"  refusal {refusal['check']}: {verdict}")
+    print(f"divergence report written to {args.out}")
+    if not payload["passed"]:
+        print("kill matrix FAILED", file=sys.stderr)
+        return 1
     return 0
 
 

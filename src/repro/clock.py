@@ -80,5 +80,20 @@ class SimulationClock:
         """Move to 00:00 of the given day index."""
         return self.advance_to(day * SECONDS_PER_DAY)
 
+    # -- verification -------------------------------------------------
+
+    def require(self, timestamp: int) -> None:
+        """Assert the clock sits exactly at ``timestamp``.
+
+        The resume path replays world dynamics and then checks the
+        rebuilt clock against the checkpointed position; any drift means
+        the replay did not retrace the original trajectory and must fail
+        loudly before measurement continues.
+        """
+        if self._now != int(timestamp):
+            raise SimulationError(
+                f"clock at {self._now}, expected {int(timestamp)}"
+            )
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"SimulationClock(now={self._now}, day={self.day})"

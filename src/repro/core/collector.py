@@ -79,6 +79,15 @@ class DnsRecordCollector:
         self._resolver = resolver
         self.runs = 0
 
+    def state_dict(self) -> Dict[str, object]:
+        """Persistent mutable state: the run counter and the resolver."""
+        return {"runs": self.runs, "resolver": self._resolver.state_dict()}
+
+    def restore_state(self, state: Dict[str, object]) -> None:
+        """Reinstate state captured by :meth:`state_dict`."""
+        self.runs = int(state["runs"])
+        self._resolver.restore_state(state["resolver"])
+
     def collect(
         self, hostnames: Iterable["DomainName | str"], day: int
     ) -> DailySnapshot:

@@ -13,6 +13,7 @@ import json
 from pathlib import Path
 from typing import Any, Dict
 
+from ..io import atomic_write_json
 from ..world.admin import BehaviorKind
 from .study import StudyReport
 
@@ -123,9 +124,7 @@ def report_to_dict(report: StudyReport) -> Dict[str, Any]:
 
 def save_report(report: StudyReport, path: "str | Path") -> Path:
     """Write the report as pretty-printed JSON; returns the path."""
-    target = Path(path)
-    target.write_text(json.dumps(report_to_dict(report), indent=2, sort_keys=True))
-    return target
+    return atomic_write_json(path, report_to_dict(report), trailing_newline=False)
 
 
 def load_report_dict(path: "str | Path") -> Dict[str, Any]:

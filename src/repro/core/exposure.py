@@ -48,6 +48,14 @@ class ExposureTimeline:
         """Add one weekly scan's verified set."""
         self._weeks.append(set(verified_websites))
 
+    def state_dict(self) -> List[List[str]]:
+        """The weekly sets as sorted lists (JSON-compatible, byte-stable)."""
+        return [sorted(week) for week in self._weeks]
+
+    def restore_state(self, weeks: Sequence[Iterable[str]]) -> None:
+        """Reinstate the timeline captured by :meth:`state_dict`."""
+        self._weeks = [set(week) for week in weeks]
+
     @property
     def num_weeks(self) -> int:
         """Weeks recorded so far."""

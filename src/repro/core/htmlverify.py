@@ -56,6 +56,15 @@ class HtmlVerifier:
         self.strictness = strictness
         self.attempts = 0
 
+    def state_dict(self) -> dict:
+        """Persistent mutable state: attempt counter + HTTP client."""
+        return {"attempts": self.attempts, "client": self._client.state_dict()}
+
+    def restore_state(self, state: dict) -> None:
+        """Reinstate state captured by :meth:`state_dict`."""
+        self.attempts = int(state["attempts"])
+        self._client.restore_state(state["client"])
+
     def verify(
         self,
         host: "DomainName | str",

@@ -104,6 +104,20 @@ class FilterPipeline:
         self._resolver = resolver
         self._verifier = verifier
 
+    def state_dict(self) -> Dict[str, object]:
+        """Persistent mutable state — the pipeline's private resolver.
+
+        The verifier is deliberately excluded: one
+        :class:`~repro.core.htmlverify.HtmlVerifier` is shared across
+        pipelines, so its state is captured once by the owner (the
+        study runtime), not once per pipeline.
+        """
+        return {"resolver": self._resolver.state_dict()}
+
+    def restore_state(self, state: Dict[str, object]) -> None:
+        """Reinstate state captured by :meth:`state_dict`."""
+        self._resolver.restore_state(state["resolver"])
+
     def run(
         self,
         records: Iterable[RetrievedRecord],

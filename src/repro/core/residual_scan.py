@@ -58,6 +58,19 @@ class NameserverHarvest:
         """Every harvested nameserver hostname."""
         return list(self._hostnames)
 
+    def state_dict(self) -> List[str]:
+        """The harvested hostnames, in first-seen order."""
+        return [str(hostname) for hostname in self._hostnames]
+
+    def restore_state(self, hostnames: Iterable[str]) -> None:
+        """Reinstate the harvest captured by :meth:`state_dict`.
+
+        First-seen order is part of the state: it fixes the order the
+        weekly address-resolution batch walks, hence the query sequence
+        a resumed run replays.
+        """
+        self._hostnames = {DomainName(hostname): None for hostname in hostnames}
+
     def resolve_addresses(self, resolver: RecursiveResolver) -> List[IPv4Address]:
         """Resolve each harvested hostname to its (anycast) address.
 
@@ -176,6 +189,22 @@ class IncapsulaScanner:
     def known_canonicals(self) -> Dict[DomainName, str]:
         """Every collected canonical and the site it belonged to."""
         return dict(self._canonicals)
+
+    def state_dict(self) -> Dict[str, object]:
+        """Persistent mutable state: canonicals (ordered) + resolver."""
+        return {
+            "canonicals": [
+                [str(canonical), www] for canonical, www in self._canonicals.items()
+            ],
+            "resolver": self._resolver.state_dict(),
+        }
+
+    def restore_state(self, state: Dict[str, object]) -> None:
+        """Reinstate state captured by :meth:`state_dict`."""
+        self._canonicals = {
+            DomainName(canonical): www for canonical, www in state["canonicals"]
+        }
+        self._resolver.restore_state(state["resolver"])
 
     def scan(self) -> List[RetrievedRecord]:
         """Resolve every known canonical and keep what answers.

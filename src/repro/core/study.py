@@ -38,7 +38,7 @@ from .pipeline import FilterPipeline, PipelineReport
 from .residual_scan import CloudflareScanner, IncapsulaScanner, NameserverHarvest
 from .status import DpsObservation, StatusDeterminer
 
-__all__ = ["StudyConfig", "StudyReport", "SixWeekStudy"]
+__all__ = ["StudyConfig", "StudyReport", "StudyRuntime", "SixWeekStudy"]
 
 
 @dataclass
@@ -157,6 +157,39 @@ class StudyReport:
         return {kind: totals[kind] / days for kind in totals}
 
 
+@dataclass
+class StudyRuntime:
+    """The campaign's complete mutable loop state, made explicit.
+
+    Everything :meth:`SixWeekStudy.run_day` reads or writes between
+    days lives here — the partially filled report, the persistent
+    measurement objects, and the ``day_index`` cursor (the next study
+    day to run).  Making the loop state a first-class object is what
+    lets the checkpoint plane serialize a run at a barrier and a resumed
+    process rebuild the exact same trajectory.
+    """
+
+    report: StudyReport
+    study_start_day: int
+    day_index: int
+    hostnames: List[str]
+    collection_resolver: object
+    collector: DnsRecordCollector
+    verifier: HtmlVerifier
+    harvest: NameserverHarvest
+    exposure: ExposureTimeline
+    vantage_clients: List
+    scan_pop_totals: Dict[str, int]
+    incap_scanner: Optional[IncapsulaScanner] = None
+    cf_pipeline: Optional[FilterPipeline] = None
+    incap_pipeline: Optional[FilterPipeline] = None
+
+    @property
+    def finished(self) -> bool:
+        """True once every study day has run."""
+        return self.day_index >= self.report.config.study_days
+
+
 class SixWeekStudy:
     """Runs the whole campaign."""
 
@@ -177,6 +210,17 @@ class SixWeekStudy:
 
     def run(self) -> StudyReport:
         """Execute warm-up, the daily campaign, and the analyses."""
+        runtime = self.begin()
+        while not runtime.finished:
+            self.run_day(runtime)
+        return self.finalise(runtime)
+
+    def begin(self) -> StudyRuntime:
+        """Warm the world up and build the campaign's measurement state.
+
+        Returns the :class:`StudyRuntime` positioned at day 0 (checkpoint
+        barrier 0: post-warmup, nothing measured yet).
+        """
         world, config = self.world, self.config
         report = StudyReport(
             config=config,
@@ -185,17 +229,13 @@ class SixWeekStudy:
         )
 
         world.engine.run_days(config.warmup_days)
-        study_start_day = world.clock.day
 
         collection_resolver = world.make_resolver()
-        collector = DnsRecordCollector(collection_resolver)
         verifier = HtmlVerifier(
             world.http_client(config.vantage_regions[0]),
             strictness=config.verifier_strictness,
         )
-        hostnames = [str(site.www) for site in world.population]
 
-        harvest = NameserverHarvest()
         incap_scanner = None
         cf_pipeline = incap_pipeline = None
         if config.run_residual_scans and "incapsula" in world.providers:
@@ -207,80 +247,112 @@ class SixWeekStudy:
             cf_pipeline = FilterPipeline(
                 world.provider("cloudflare").prefixes, world.make_resolver(), verifier
             )
-        exposure = ExposureTimeline()
-        vantage_clients = [
-            world.dns_client(region) for region in config.vantage_regions
-        ]
-        scan_pop_totals: Dict[str, int] = {}
+
+        return StudyRuntime(
+            report=report,
+            study_start_day=world.clock.day,
+            day_index=0,
+            hostnames=[str(site.www) for site in world.population],
+            collection_resolver=collection_resolver,
+            collector=DnsRecordCollector(collection_resolver),
+            verifier=verifier,
+            harvest=NameserverHarvest(),
+            exposure=ExposureTimeline(),
+            vantage_clients=[
+                world.dns_client(region) for region in config.vantage_regions
+            ],
+            scan_pop_totals={},
+            incap_scanner=incap_scanner,
+            cf_pipeline=cf_pipeline,
+            incap_pipeline=incap_pipeline,
+        )
+
+    def run_day(self, runtime: StudyRuntime) -> None:
+        """One study day: collect, observe, scan (weekly), advance.
+
+        Advances ``runtime.day_index`` and the world by one day; calling
+        it ``config.study_days`` times from a fresh :meth:`begin` runtime
+        reproduces the monolithic loop exactly.
+        """
+        world, config = self.world, self.config
+        report = runtime.report
+        day_index = runtime.day_index
         cf_provider = world.providers.get("cloudflare")
 
-        for day_index in range(config.study_days):
-            day = world.clock.day
-            snapshot = collector.collect(hostnames, day)
-            report.snapshots.append(snapshot)
-            report.observations.append(
-                {
-                    www: self.determiner.observe(domain_snapshot)
-                    for www, domain_snapshot in snapshot.domains.items()
-                }
-            )
-            report.unmeasured_daily_counts.append(snapshot.unmeasured_count)
-            if snapshot.is_partial:
-                report.partial_days.append(day)
-            harvest.ingest([snapshot])
-            if incap_scanner is not None:
-                incap_scanner.ingest([snapshot])
+        day = world.clock.day
+        snapshot = runtime.collector.collect(runtime.hostnames, day)
+        report.snapshots.append(snapshot)
+        report.observations.append(
+            {
+                www: self.determiner.observe(domain_snapshot)
+                for www, domain_snapshot in snapshot.domains.items()
+            }
+        )
+        report.unmeasured_daily_counts.append(snapshot.unmeasured_count)
+        if snapshot.is_partial:
+            report.partial_days.append(day)
+        runtime.harvest.ingest([snapshot])
+        if runtime.incap_scanner is not None:
+            runtime.incap_scanner.ingest([snapshot])
 
-            if config.run_residual_scans and day_index % config.scan_every_days == 0:
-                week = day_index // config.scan_every_days
-                ns_ips: List = []
-                if cf_pipeline is not None and len(harvest) > 0:
-                    ns_ips = harvest.resolve_addresses(world.make_resolver())
-                    if not ns_ips:
-                        # Every harvested nameserver name failed to
-                        # resolve this week (outage / exhausted budget):
-                        # carry the week as skipped, don't crash.
-                        report.skipped_scan_weeks.append(week)
-                if ns_ips:
-                    scanner = CloudflareScanner(
-                        ns_ips,
-                        vantage_clients,
-                        rng=world.rng.fork(f"cf-scan-week-{week}"),
-                    )
-                    fleet = cf_provider.customer_fleet if cf_provider else None
-                    before = fleet.pop_query_counts() if fleet else {}
-                    retrieved = scanner.scan(hostnames)
-                    if fleet is not None:
-                        for pop, count in fleet.pop_query_counts().items():
-                            delta = count - before.get(pop, 0)
-                            if delta:
-                                scan_pop_totals[pop] = (
-                                    scan_pop_totals.get(pop, 0) + delta
-                                )
-                    weekly = cf_pipeline.run(retrieved, "cloudflare", week)
-                    report.cloudflare_weekly.append(weekly)
-                    exposure.record_week(weekly.verified_websites())
-                if incap_scanner is not None and incap_pipeline is not None:
-                    retrieved = incap_scanner.scan()
-                    report.incapsula_weekly.append(
-                        incap_pipeline.run(retrieved, "incapsula", week)
-                    )
+        if config.run_residual_scans and day_index % config.scan_every_days == 0:
+            week = day_index // config.scan_every_days
+            ns_ips: List = []
+            if runtime.cf_pipeline is not None and len(runtime.harvest) > 0:
+                ns_ips = runtime.harvest.resolve_addresses(world.make_resolver())
+                if not ns_ips:
+                    # Every harvested nameserver name failed to
+                    # resolve this week (outage / exhausted budget):
+                    # carry the week as skipped, don't crash.
+                    report.skipped_scan_weeks.append(week)
+            if ns_ips:
+                scanner = CloudflareScanner(
+                    ns_ips,
+                    runtime.vantage_clients,
+                    rng=world.rng.fork(f"cf-scan-week-{week}"),
+                )
+                fleet = cf_provider.customer_fleet if cf_provider else None
+                before = fleet.pop_query_counts() if fleet else {}
+                retrieved = scanner.scan(runtime.hostnames)
+                if fleet is not None:
+                    for pop, count in fleet.pop_query_counts().items():
+                        delta = count - before.get(pop, 0)
+                        if delta:
+                            runtime.scan_pop_totals[pop] = (
+                                runtime.scan_pop_totals.get(pop, 0) + delta
+                            )
+                weekly = runtime.cf_pipeline.run(retrieved, "cloudflare", week)
+                report.cloudflare_weekly.append(weekly)
+                runtime.exposure.record_week(weekly.verified_websites())
+            if runtime.incap_scanner is not None and runtime.incap_pipeline is not None:
+                retrieved = runtime.incap_scanner.scan()
+                report.incapsula_weekly.append(
+                    runtime.incap_pipeline.run(retrieved, "incapsula", week)
+                )
 
-            world.engine.run_day()
+        world.engine.run_day()
+        runtime.day_index = day_index + 1
 
+    def finalise(self, runtime: StudyRuntime) -> StudyReport:
+        """The post-loop analyses, turning the runtime into the report."""
+        world, config = self.world, self.config
+        report = runtime.report
         report.quarantined_nameservers = [
-            address for address, _, _ in collection_resolver.quarantine.snapshot()
+            address
+            for address, _, _ in runtime.collection_resolver.quarantine.snapshot()
         ]
-        self._analyse_usage_dynamics(report, study_start_day, verifier)
+        self._analyse_usage_dynamics(
+            report, runtime.study_start_day, runtime.verifier
+        )
         self._analyse_adoption(report)
         if config.run_residual_scans:
-            report.cloudflare_exposure = exposure.summary()
-            report.harvested_nameservers = len(harvest)
-            report.scan_pop_query_counts = scan_pop_totals
+            report.cloudflare_exposure = runtime.exposure.summary()
+            report.harvested_nameservers = len(runtime.harvest)
+            report.scan_pop_query_counts = runtime.scan_pop_totals
         report.ground_truth_events = [
             event
             for event in world.engine.events
-            if event.day >= study_start_day
+            if event.day >= runtime.study_start_day
         ]
         return report
 

@@ -17,7 +17,7 @@ overhead is visible separately.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Dict, Optional
 
 from ..faults.retry import RetryPolicy, default_retry_rng
 from ..net.fabric import NetworkFabric
@@ -55,6 +55,25 @@ class DnsClient:
             label = self.region.name if self.region is not None else "global"
             self._retry_rng = default_retry_rng(f"dns-client-{label}")
         return self._retry_rng
+
+    def state_dict(self) -> Dict[str, object]:
+        """Persistent mutable state (counters, jitter position, metrics)."""
+        return {
+            "queries_sent": self.queries_sent,
+            "retry_rng": (
+                self._retry_rng.getstate() if self._retry_rng is not None else None
+            ),
+            "metrics": self.metrics.snapshot(),
+        }
+
+    def restore_state(self, state: Dict[str, object]) -> None:
+        """Reinstate state captured by :meth:`state_dict`."""
+        self.queries_sent = int(state["queries_sent"])
+        if state["retry_rng"] is None:
+            self._retry_rng = None
+        else:
+            self._jitter_rng().setstate(state["retry_rng"])
+        self.metrics.restore(state["metrics"])
 
     def query(
         self,

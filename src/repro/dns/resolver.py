@@ -236,6 +236,39 @@ class RecursiveResolver:
         """Flush the cache (the collector's pre-run hygiene step)."""
         self.cache.purge()
 
+    # -- checkpoint support ---------------------------------------------
+
+    def state_dict(self) -> Dict[str, object]:
+        """The resolver's persistent mutable state, JSON-compatible.
+
+        The TTL cache is deliberately absent: every study entry point
+        (collector, pipeline, scanners) purges it before use, so it
+        never carries across a checkpoint barrier.  What does carry is
+        the query counters, the quarantine roster, the jitter-stream
+        position (``None`` when no retry ever materialised it), and the
+        metrics registry.
+        """
+        return {
+            "queries_sent": self.queries_sent,
+            "transient_failures": self._transient_failures,
+            "retry_rng": (
+                self._retry_rng.getstate() if self._retry_rng is not None else None
+            ),
+            "quarantine": self.quarantine.snapshot(),
+            "metrics": self.metrics.snapshot(),
+        }
+
+    def restore_state(self, state: Dict[str, object]) -> None:
+        """Reinstate state captured by :meth:`state_dict`."""
+        self.queries_sent = int(state["queries_sent"])
+        self._transient_failures = int(state["transient_failures"])
+        if state["retry_rng"] is None:
+            self._retry_rng = None
+        else:
+            self._jitter_rng().setstate(state["retry_rng"])
+        self.quarantine.restore(state["quarantine"])
+        self.metrics.restore(state["metrics"])
+
     # -- single-name lookup ------------------------------------------------------
 
     def _lookup(

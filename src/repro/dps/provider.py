@@ -305,10 +305,26 @@ class DpsProvider:
             return list(self.customer_fleet.hostnames)
         return list(self.infra_fleet.hostnames)
 
-    def edge_for(self, hostname: "DomainName | str") -> EdgeServer:
-        """Deterministic edge assignment for a customer hostname."""
-        index = stable_hash(self.name, str(DomainName(hostname))) % len(self.edges)
-        return self.edges[index]
+    def edge_for(
+        self, hostname: "DomainName | str", onnet_only: bool = False
+    ) -> EdgeServer:
+        """Deterministic edge assignment for a customer hostname.
+
+        A-based rerouting publishes the bare edge address in the
+        customer's own zone with no CNAME trail, so an off-net
+        (footnote-6) edge there is unattributable to the provider —
+        neither the RouteViews origin match nor the CNAME correction
+        can classify the site.  Providers put A-record customers on
+        on-net edges (``onnet_only=True``); shared off-net addresses
+        are reached through CNAME/NS rerouting, which keeps the
+        provider-owned name in the resolution chain.
+        """
+        pool = self.edges
+        if onnet_only:
+            offnet = set(self.offnet_edge_ips)
+            pool = [edge for edge in self.edges if edge.ip not in offnet]
+        index = stable_hash(self.name, str(DomainName(hostname))) % len(pool)
+        return pool[index]
 
     # ------------------------------------------------------------------
     # Portal operations
@@ -349,7 +365,9 @@ class DpsProvider:
             # Re-joining: the stale record is superseded, not left behind.
             self._forget(existing)
 
-        edge = self.edge_for(name)
+        edge = self.edge_for(
+            name, onnet_only=rerouting is ReroutingMethod.A_BASED
+        )
         record = CustomerRecord(
             hostname=name,
             origin_ip=origin,

@@ -28,6 +28,11 @@ __all__ = [
     "SimulationError",
     "MeasurementError",
     "AnalysisError",
+    "CheckpointError",
+    "CheckpointCorruptError",
+    "CheckpointMismatchError",
+    "CheckpointSchemaError",
+    "SimulatedCrash",
 ]
 
 
@@ -146,3 +151,36 @@ class MeasurementError(ReproError):
 class AnalysisError(ReproError):
     """The ``repro lint`` engine was misused (bad rule ID, unreadable
     path, malformed baseline file).  Maps to CLI exit code 2."""
+
+
+# ---------------------------------------------------------------------------
+# Checkpoint / resume plane
+# ---------------------------------------------------------------------------
+
+
+class CheckpointError(ReproError):
+    """Base class for checkpoint-store and resume failures."""
+
+
+class CheckpointCorruptError(CheckpointError):
+    """Stored state failed an integrity check: a snapshot whose content
+    hash does not match its journal record, a journal record corrupted
+    mid-file, or a resumed world whose replayed clock disagrees with the
+    snapshot.  (A torn *tail* record is not corruption — it is the
+    expected signature of a crash mid-append and is discarded.)"""
+
+
+class CheckpointMismatchError(CheckpointError):
+    """A resume was attempted against different inputs than the run that
+    wrote the checkpoint — seed, population, study config, or fault
+    profile.  Refused loudly rather than silently diverging."""
+
+
+class CheckpointSchemaError(CheckpointError):
+    """The checkpoint was written by an incompatible schema version."""
+
+
+class SimulatedCrash(ReproError):
+    """Raised by a ``CRASH`` fault at its checkpoint barrier — the
+    deterministic stand-in for ``kill -9`` that the kill-matrix harness
+    uses to cut a study short at a known point."""

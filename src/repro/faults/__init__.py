@@ -15,12 +15,15 @@ the CLI because it depends on the world/study layers above this
 package.  See ``docs/ROBUSTNESS.md`` for the full model.
 """
 
+from .crash import CRASH_MODES, CrashPlan
 from .plan import FaultKind, FaultPlan, FaultRule, FaultVerdict
 from .profiles import PROFILES, FaultProfile
 from .quarantine import NameserverQuarantine
 from .retry import RetryBudget, RetryPolicy, default_retry_rng
 
 __all__ = [
+    "CRASH_MODES",
+    "CrashPlan",
     "FaultKind",
     "FaultPlan",
     "FaultRule",

@@ -1,0 +1,73 @@
+"""Deterministic process-death injection at checkpoint barriers.
+
+The kill matrix needs to cut a study short at a *known, reproducible*
+point — "die at the Nth checkpoint barrier" — which no fabric-level
+:class:`~repro.faults.plan.FaultRule` can express: barriers are a
+control-plane event, not a packet delivery.  A :class:`CrashPlan` is
+the :data:`~repro.faults.plan.FaultKind.CRASH` counterpart consulted by
+the checkpoint runner at every barrier; when its barrier comes up it
+raises :class:`~repro.errors.SimulatedCrash`, abandoning all in-memory
+state exactly as ``kill -9`` would.
+
+Two timings matter, because they exercise the two halves of the
+write-ahead contract:
+
+* ``after-commit`` — die right *after* the barrier's journal record is
+  fsynced.  Resume must pick up from this very barrier.
+* ``before-commit`` — die right *before* the commit.  The journal still
+  ends at the previous barrier; resume must redo the lost day and
+  arrive at the same trajectory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError, SimulatedCrash
+from .plan import FaultKind
+
+__all__ = ["CrashPlan", "CRASH_MODES"]
+
+#: Valid crash timings relative to the barrier's journal commit.
+CRASH_MODES = ("after-commit", "before-commit")
+
+
+@dataclass(frozen=True)
+class CrashPlan:
+    """Kill the run at one checkpoint barrier.
+
+    ``at_barrier`` counts barriers the way the runner does: barrier 0 is
+    post-warmup / pre-day-0, barrier *k* follows the completion of study
+    day *k - 1*.  ``before-commit`` at barrier 0 is rejected — nothing
+    was ever journalled, so there is no checkpoint to resume from and
+    the "crash" is just a run that never started.
+    """
+
+    at_barrier: int
+    mode: str = "after-commit"
+
+    #: The fault kind this plan realises (for symmetry with FaultRule).
+    kind = FaultKind.CRASH
+
+    def __post_init__(self) -> None:
+        if self.at_barrier < 0:
+            raise ConfigurationError(
+                f"at_barrier must be >= 0, got {self.at_barrier}"
+            )
+        if self.mode not in CRASH_MODES:
+            raise ConfigurationError(
+                f"unknown crash mode {self.mode!r}; "
+                f"known: {', '.join(CRASH_MODES)}"
+            )
+        if self.mode == "before-commit" and self.at_barrier == 0:
+            raise ConfigurationError(
+                "before-commit crash at barrier 0 leaves no checkpoint "
+                "to resume from; use after-commit or a later barrier"
+            )
+
+    def fire_if_due(self, barrier: int, phase: str) -> None:
+        """Raise :class:`SimulatedCrash` when (barrier, phase) matches."""
+        if barrier == self.at_barrier and phase == self.mode:
+            raise SimulatedCrash(
+                f"simulated crash {self.mode} at checkpoint barrier {barrier}"
+            )

@@ -61,6 +61,11 @@ class FaultKind(enum.Enum):
     RATE_LIMIT = "rate-limit"
     #: Scheduled unavailability window: every delivery dropped.
     OUTAGE = "outage"
+    #: Process death at the Nth checkpoint barrier.  Not a fabric fault:
+    #: a :class:`FaultRule` refuses this kind — it belongs to a
+    #: :class:`~repro.faults.crash.CrashPlan` consulted by the
+    #: checkpoint runner, not to delivery interception.
+    CRASH = "crash"
 
     def __str__(self) -> str:
         return self.value
@@ -102,6 +107,11 @@ class FaultRule:
     until_day: Optional[int] = None
 
     def __post_init__(self) -> None:
+        if self.kind is FaultKind.CRASH:
+            raise ConfigurationError(
+                "CRASH is a checkpoint-barrier fault; schedule it with "
+                "repro.faults.crash.CrashPlan, not a fabric FaultRule"
+            )
         if not 0.0 <= self.probability <= 1.0:
             raise ConfigurationError(
                 f"fault probability out of range: {self.probability}"
@@ -328,3 +338,39 @@ class FaultPlan:
         if kind is FaultKind.RATE_LIMIT:
             return "rate-limited"
         return kind.value
+
+    # -- checkpoint support ---------------------------------------------
+
+    def state_dict(self) -> Dict[str, object]:
+        """The plan's mutable state as JSON-compatible primitives.
+
+        Rules are *not* serialized — they are rebuilt deterministically
+        from the profile at resume time; what must survive is the RNG
+        position, the consecutive-failure counters, and the per-day rate
+        windows, so the resumed fault sequence replays bit-for-bit.
+        """
+        return {
+            "rng": self._rng.getstate(),
+            "consecutive": sorted(
+                [plane, str(address), count]
+                for (plane, address), count in self._consecutive.items()
+            ),
+            "rate_counts": sorted(
+                [index, str(address), day, count]
+                for (index, address), (day, count) in self._rate_counts.items()
+            ),
+            "metrics": self.metrics.snapshot(),
+        }
+
+    def restore_state(self, state: Dict[str, object]) -> None:
+        """Reinstate mutable state captured by :meth:`state_dict`."""
+        self._rng.setstate(state["rng"])
+        self._consecutive = {
+            (plane, IPv4Address(address)): int(count)
+            for plane, address, count in state["consecutive"]
+        }
+        self._rate_counts = {
+            (int(index), IPv4Address(address)): (int(day), int(count))
+            for index, address, day, count in state["rate_counts"]
+        }
+        self.metrics.restore(state["metrics"])

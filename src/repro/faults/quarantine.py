@@ -15,7 +15,7 @@ server is ever quarantined and the ordering is untouched.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..clock import SECONDS_PER_HOUR, SimulationClock
 from ..errors import ConfigurationError
@@ -101,6 +101,24 @@ class NameserverQuarantine:
         return sorted(
             (str(addr), at, due) for addr, (at, due) in self._entries.items()
         )
+
+    def restore(self, entries: Iterable[Tuple[str, int, int]]) -> None:
+        """Reinstate entries captured by :meth:`snapshot`.
+
+        Round-trips exactly: ``restore(snapshot())`` leaves every future
+        :meth:`partition` / :meth:`reprobe_due` decision identical, which
+        is what lets a resumed study keep deprioritising the same
+        servers until their original re-probe times.
+        """
+        restored: Dict[IPv4Address, Tuple[int, int]] = {}
+        for address, quarantined_at, due in entries:
+            if due < quarantined_at or quarantined_at < 0:
+                raise ConfigurationError(
+                    f"invalid quarantine entry for {address}: "
+                    f"at={quarantined_at}, due={due}"
+                )
+            restored[IPv4Address(address)] = (int(quarantined_at), int(due))
+        self._entries = restored
 
     def quarantined_addresses(self) -> List[IPv4Address]:
         """Addresses currently quarantined, in sorted order."""

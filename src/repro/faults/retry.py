@@ -24,7 +24,7 @@ This module deliberately imports nothing from :mod:`repro.dns` or
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Sequence, Tuple
 
 from ..errors import ConfigurationError
 from ..rng import SeededRng, stable_hash
@@ -125,3 +125,32 @@ class RetryBudget:
     def exhausted(self) -> bool:
         """True once the destination's budget has been spent."""
         return self.spent_ms >= self.limit_ms
+
+    def snapshot(self) -> Tuple[int, int]:
+        """The budget's balance as ``(limit_ms, spent_ms)``."""
+        return (self.limit_ms, self.spent_ms)
+
+    def restore(self, state: "Tuple[int, int] | Sequence[int]") -> None:
+        """Reinstate a balance captured by :meth:`snapshot`.
+
+        Restoring mid-flight keeps every later :meth:`charge` /
+        :attr:`exhausted` decision identical to the uninterrupted
+        budget's — the property the checkpoint plane's round-trip tests
+        pin down.
+        """
+        limit_ms, spent_ms = state
+        if limit_ms <= 0 or spent_ms < 0:
+            raise ConfigurationError(
+                f"invalid budget state: limit={limit_ms}, spent={spent_ms}"
+            )
+        self.limit_ms = int(limit_ms)
+        self.spent_ms = int(spent_ms)
+
+    @classmethod
+    def from_snapshot(
+        cls, state: "Tuple[int, int] | Sequence[int]"
+    ) -> "RetryBudget":
+        """Build a budget directly from a :meth:`snapshot` value."""
+        budget = cls(int(state[0]))
+        budget.restore(state)
+        return budget

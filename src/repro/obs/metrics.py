@@ -101,6 +101,22 @@ class MetricsRegistry:
         """A :class:`SimTimer` recording under ``name``."""
         return SimTimer(self, name, clock)
 
+    def restore(self, counters: Dict[str, int]) -> None:
+        """Replace every counter with a previously taken :meth:`snapshot`.
+
+        The checkpoint plane's restore side: counters are monotonic
+        *within* a run, and a resume re-seats them at the exact totals
+        the snapshot recorded so the continued run counts from there.
+        Negative values are rejected — they cannot have come from a
+        registry.
+        """
+        for name, value in counters.items():
+            if int(value) < 0:
+                raise SimulationError(
+                    f"counter {name!r} cannot restore to {value}"
+                )
+        self._counters = {name: int(value) for name, value in counters.items()}
+
     # -- snapshots -----------------------------------------------------
 
     def snapshot(self, prefix: Optional[str] = None) -> Dict[str, int]:

@@ -62,6 +62,24 @@ class SeededRng:
         """
         return SeededRng(stable_hash(self.seed, label))
 
+    # -- checkpoint support -------------------------------------------
+
+    def getstate(self) -> list:
+        """The stream's position as JSON-compatible primitives.
+
+        Captures the underlying Mersenne Twister state (version, the
+        624-word state vector + index, and the pending ``gauss`` value),
+        so a restored stream continues the *exact* draw sequence —
+        stream offsets survive a checkpoint/resume round trip.
+        """
+        version, internal, gauss_next = self._random.getstate()
+        return [version, list(internal), gauss_next]
+
+    def setstate(self, state: "list | tuple") -> None:
+        """Restore a position previously captured by :meth:`getstate`."""
+        version, internal, gauss_next = state
+        self._random.setstate((version, tuple(internal), gauss_next))
+
     # -- draw helpers -------------------------------------------------
 
     def random(self) -> float:

@@ -103,6 +103,25 @@ class HttpClient:
             self._retry_rng = default_retry_rng(f"http-client-{label}")
         return self._retry_rng
 
+    def state_dict(self) -> Dict[str, object]:
+        """Persistent mutable state (counters, jitter position, metrics)."""
+        return {
+            "requests_sent": self.requests_sent,
+            "retry_rng": (
+                self._retry_rng.getstate() if self._retry_rng is not None else None
+            ),
+            "metrics": self.metrics.snapshot(),
+        }
+
+    def restore_state(self, state: Dict[str, object]) -> None:
+        """Reinstate state captured by :meth:`state_dict`."""
+        self.requests_sent = int(state["requests_sent"])
+        if state["retry_rng"] is None:
+            self._retry_rng = None
+        else:
+            self._jitter_rng().setstate(state["retry_rng"])
+        self.metrics.restore(state["metrics"])
+
     def get(
         self,
         ip: "IPv4Address | str",

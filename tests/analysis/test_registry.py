@@ -30,7 +30,7 @@ from repro.analysis.hygiene import (
     MutableDefaultRule,
     OverBroadExceptRule,
 )
-from repro.analysis.robustness import UnboundedRetryRule
+from repro.analysis.robustness import DirectStateWriteRule, UnboundedRetryRule
 from repro.analysis.suppressions import StaleSuppressionRule
 
 EXPORTED_RULES = {
@@ -45,6 +45,7 @@ EXPORTED_RULES = {
     "REP021": OverBroadExceptRule,
     "REP022": MissingAllRule,
     "REP030": UnboundedRetryRule,
+    "REP031": DirectStateWriteRule,
     "REP040": TransitiveNondeterminismRule,
     "REP041": CorrelatedStreamsRule,
     "REP042": ShadowedInjectionRule,

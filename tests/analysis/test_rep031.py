@@ -1,0 +1,122 @@
+"""Tests for REP031 (direct file writes bypassing atomic helpers)."""
+
+from repro.analysis.robustness import DirectStateWriteRule
+
+from .conftest import rule_ids
+
+
+class TestDirectOpenWrites:
+    def test_write_mode_flagged(self, lint):
+        findings = lint(
+            """
+            def save(path, text):
+                with open(path, "w", encoding="utf-8") as handle:
+                    handle.write(text)
+            """,
+            select=["REP031"],
+        )
+        assert rule_ids(findings) == ["REP031"]
+        assert "atomic_write_text" in findings[0].message
+
+    def test_append_mode_flagged(self, lint):
+        findings = lint(
+            """
+            def log(path, line):
+                with open(path, "a") as handle:
+                    handle.write(line)
+            """,
+            select=["REP031"],
+        )
+        assert rule_ids(findings) == ["REP031"]
+
+    def test_mode_keyword_flagged(self, lint):
+        findings = lint(
+            """
+            def save(path):
+                return open(path, mode="w+")
+            """,
+            select=["REP031"],
+        )
+        assert rule_ids(findings) == ["REP031"]
+
+    def test_read_modes_ignored(self, lint):
+        findings = lint(
+            """
+            def load(path):
+                with open(path, "r", encoding="utf-8") as handle:
+                    return handle.read()
+
+            def load_default(path):
+                with open(path) as handle:
+                    return handle.read()
+
+            def load_bytes(path):
+                with open(path, "rb") as handle:
+                    return handle.read()
+            """,
+            select=["REP031"],
+        )
+        assert findings == []
+
+    def test_os_fdopen_not_confused_with_open(self, lint):
+        findings = lint(
+            """
+            import os
+
+            def inner(fd):
+                with os.fdopen(fd, "w") as handle:
+                    handle.write("x")
+            """,
+            select=["REP031"],
+        )
+        assert findings == []
+
+
+class TestPathWriters:
+    def test_write_text_flagged(self, lint):
+        findings = lint(
+            """
+            def save(target, text):
+                target.write_text(text)
+            """,
+            select=["REP031"],
+        )
+        assert rule_ids(findings) == ["REP031"]
+        assert "write_text" in findings[0].message
+
+    def test_write_bytes_flagged(self, lint):
+        findings = lint(
+            """
+            def save(target, blob):
+                target.write_bytes(blob)
+            """,
+            select=["REP031"],
+        )
+        assert rule_ids(findings) == ["REP031"]
+
+    def test_read_text_ignored(self, lint):
+        findings = lint(
+            """
+            def load(target):
+                return target.read_text()
+            """,
+            select=["REP031"],
+        )
+        assert findings == []
+
+
+class TestSuppression:
+    def test_inline_suppression_honoured(self, lint):
+        findings = lint(
+            """
+            def journal(path, line):
+                with open(path, "a") as handle:  # repro: allow[REP031] -- sanctioned append
+                    handle.write(line)
+            """,
+            select=["REP031"],
+        )
+        assert findings == []
+
+    def test_rule_metadata(self):
+        assert DirectStateWriteRule.rule_id == "REP031"
+        assert "atomic" in DirectStateWriteRule.title

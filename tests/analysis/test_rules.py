@@ -354,10 +354,10 @@ class TestRep022MissingAll:
 
 
 class TestRegistry:
-    def test_default_pack_has_sixteen_rules(self):
-        # 10 per-module REP00x/01x/02x, REP030, the four REP04x project
-        # rules, and REP050 (stale inline suppression).
-        assert len(default_registry()) == 16
+    def test_default_pack_has_seventeen_rules(self):
+        # 10 per-module REP00x/01x/02x, REP030/REP031, the four REP04x
+        # project rules, and REP050 (stale inline suppression).
+        assert len(default_registry()) == 17
 
     def test_unknown_select_raises(self, tmp_path):
         with pytest.raises(AnalysisError):

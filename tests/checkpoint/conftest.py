@@ -1,0 +1,42 @@
+"""Shared fixtures for the checkpoint-plane tests.
+
+Everything runs at a deliberately tiny scale (150 sites, 8 warm-up
+days, 3 study days) — enough for the weekly scan block to fire at
+barrier 0 and for world dynamics to plant events, small enough that
+the whole pack, including the full kill matrix, stays in seconds.
+"""
+
+import pytest
+
+from repro.core.study import StudyConfig
+
+POPULATION = 150
+SEED = 11
+WARMUP_DAYS = 8
+STUDY_DAYS = 3
+
+
+def small_config() -> StudyConfig:
+    return StudyConfig(warmup_days=WARMUP_DAYS, study_days=STUDY_DAYS)
+
+
+@pytest.fixture
+def study_inputs():
+    """Keyword arguments shared by every checkpointed run in a test."""
+    return dict(population=POPULATION, seed=SEED, config=small_config())
+
+
+@pytest.fixture(scope="session")
+def reference_artifact():
+    """One uninterrupted checkpointed run's artifact, shared read-only."""
+    import tempfile
+
+    from repro.checkpoint import canonical_json, run_checkpointed_study, study_artifact
+
+    report = run_checkpointed_study(
+        tempfile.mkdtemp(prefix="repro-ckpt-ref-"),
+        population=POPULATION,
+        seed=SEED,
+        config=small_config(),
+    )
+    return canonical_json(study_artifact(report))

@@ -146,3 +146,77 @@ class TestChaosCommand:
         assert code == 1
         assert "chaos check FAILED" in captured.err
         assert (tmp_path / "CHAOS_lossy-default.json").exists()
+
+
+class TestCheckpointCommands:
+    def test_resume_parser_defaults(self):
+        args = build_parser().parse_args(["resume", "ckpt-dir"])
+        assert args.checkpoint == "ckpt-dir"
+        assert args.population == 2000
+        assert args.seed == 2018
+        assert args.days == 42
+        assert args.warmup == 56
+        assert args.fault_profile is None
+
+    def test_kill_matrix_parser_defaults(self):
+        args = build_parser().parse_args(["kill-matrix"])
+        assert args.population == 2000
+        assert args.days == 4
+        assert args.warmup == 10
+        assert args.out == "KILLMATRIX.json"
+        assert args.workdir is None
+
+    def test_fault_profile_requires_checkpoint(self, capsys):
+        code = main([
+            "study", "--population", "150", "--seed", "11",
+            "--days", "1", "--warmup", "2",
+            "--fault-profile", "lossy-default",
+        ])
+        assert code == 2
+        assert "--checkpoint" in capsys.readouterr().err
+
+    def test_checkpointed_study_then_resume(self, capsys, tmp_path):
+        ckpt = str(tmp_path / "ckpt")
+        base = ["--population", "150", "--seed", "11",
+                "--days", "2", "--warmup", "4"]
+        code = main(["study", "--checkpoint", ckpt] + base)
+        assert code == 0
+        assert "Table VI" in capsys.readouterr().out
+
+        # Mismatched seed must refuse with a nonzero exit.
+        wrong = ["resume", ckpt, "--population", "150", "--seed", "12",
+                 "--days", "2", "--warmup", "4"]
+        code = main(wrong)
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "seed" in captured.err
+
+        # Matching inputs resume cleanly (the run is already complete).
+        code = main(["resume", ckpt] + base)
+        assert code == 0
+        assert "Table VI" in capsys.readouterr().out
+
+    def test_study_checkpoint_refuses_reuse(self, capsys, tmp_path):
+        ckpt = str(tmp_path / "ckpt")
+        base = ["--population", "150", "--seed", "11",
+                "--days", "1", "--warmup", "2"]
+        assert main(["study", "--checkpoint", ckpt] + base) == 0
+        capsys.readouterr()
+        code = main(["study", "--checkpoint", ckpt] + base)
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "already holds a manifest" in captured.err
+
+    def test_kill_matrix_command(self, capsys, tmp_path):
+        out_path = tmp_path / "KILLMATRIX.json"
+        code = main([
+            "kill-matrix", "--population", "150", "--seed", "11",
+            "--days", "1", "--warmup", "4",
+            "--workdir", str(tmp_path / "work"), "--out", str(out_path),
+        ])
+        printed = capsys.readouterr().out
+        assert code == 0
+        assert "3 crash case(s)" in printed
+        payload = json.loads(out_path.read_text())
+        assert payload["passed"] is True
+        assert len(payload["cases"]) == 3
