@@ -17,6 +17,9 @@ AST-based lint engine instead of review-time convention:
 * :mod:`repro.analysis.graph` / :mod:`repro.analysis.taint` /
   :mod:`repro.analysis.graphrules` — the project graph, the determinism
   taint fixpoint, and the whole-program REP04x rules;
+* :mod:`repro.analysis.shardrules` — the REP06x shard-safety rules
+  auditing the declared shard boundary (``repro.markers``) ahead of the
+  multiprocess study runner;
 * :mod:`repro.analysis.suppressions` — inline ``# repro: allow[...]``
   comments and the REP050 stale-suppression rule;
 * :mod:`repro.analysis.baseline` — the grandfathered-violation allowlist;
@@ -54,7 +57,7 @@ from .taint import TaintResult, propagate_taint
 
 # Importing the rule packs registers their rules with the default registry.
 from . import clockrules, determinism, hygiene, robustness  # noqa: F401  (side effect)
-from . import graphrules, suppressions  # noqa: F401  (side effect)
+from . import graphrules, shardrules, suppressions  # noqa: F401  (side effect)
 
 __all__ = [
     "Analyzer",

@@ -10,9 +10,10 @@ are cross-file, so one edited module can change another module's
 findings).
 
 Entries are invalidated by content hash and by a *ruleset signature*
-(cache schema version + the active per-module rule IDs), so upgrading
-the linter or changing ``--select``/``--ignore`` never serves stale
-findings.  A corrupt or unreadable cache file degrades to a cold run —
+(cache schema version + every active rule ID, project rules included —
+their inputs are the cached summaries, whose collected evidence grows
+with the rule set), so upgrading the linter or changing
+``--select``/``--ignore`` never serves stale findings.  A corrupt or unreadable cache file degrades to a cold run —
 the cache is an accelerator, never a correctness dependency.
 """
 
@@ -29,7 +30,9 @@ from .graph import ModuleSummary
 __all__ = ["LintCache", "content_hash", "ruleset_signature"]
 
 #: Bump when the cached shape (findings/summary serialization) changes.
-CACHE_SCHEMA_VERSION = 1
+#: v2: ModuleSummary grew the REP06x shard-safety evidence (globals,
+#: string sets, loads, self writes, merge hazards, mutable defaults).
+CACHE_SCHEMA_VERSION = 2
 
 
 def content_hash(data: bytes) -> str:
@@ -38,7 +41,7 @@ def content_hash(data: bytes) -> str:
 
 
 def ruleset_signature(rule_ids: List[str]) -> str:
-    """Signature of the active per-module ruleset (plus cache schema)."""
+    """Signature of the active ruleset (plus cache schema)."""
     payload = json.dumps(
         {"schema": CACHE_SCHEMA_VERSION, "rules": sorted(rule_ids)},
         sort_keys=True,

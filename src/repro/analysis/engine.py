@@ -21,6 +21,7 @@ never shifts another finding's fingerprint.
 from __future__ import annotations
 
 import ast
+import concurrent.futures
 import os
 import re
 from dataclasses import dataclass, field, replace
@@ -36,6 +37,9 @@ from .suppressions import StaleSuppressionRule, Suppression
 __all__ = ["Analyzer", "LintResult", "LintStats"]
 
 _IDENTIFIER_RE = re.compile(r"[A-Za-z_][A-Za-z0-9_]*")
+_STAR_IMPORT_RE = re.compile(
+    r"^\s*from\s+([A-Za-z_][\w.]*)\s+import\s+\*", re.MULTILINE
+)
 
 #: Directories next to the analysis root scanned for external symbol
 #: references (REP043): a name used only by a test is still alive.
@@ -108,6 +112,11 @@ class Analyzer:
         exist.
     ignore_unused_suppressions:
         Do not report inline suppressions that matched nothing.
+    jobs:
+        Worker processes for cold-start parsing.  ``1`` (the default)
+        stays serial; ``0`` means one per CPU.  Findings and summaries
+        are merged back in discovery order, so output is byte-identical
+        to a serial run regardless of worker scheduling.
     """
 
     def __init__(
@@ -120,6 +129,7 @@ class Analyzer:
         cache_path: Optional[str] = None,
         reference_roots: Optional[Sequence[str]] = None,
         ignore_unused_suppressions: bool = False,
+        jobs: int = 1,
     ) -> None:
         registry = registry or default_registry()
         if rules is None:
@@ -137,6 +147,7 @@ class Analyzer:
             list(reference_roots) if reference_roots is not None else None
         )
         self.ignore_unused_suppressions = ignore_unused_suppressions
+        self.jobs = jobs
 
     # -- discovery ------------------------------------------------------
 
@@ -212,12 +223,17 @@ class Analyzer:
 
     # -- external references (REP043) -----------------------------------
 
-    def _external_references(self) -> Set[str]:
-        """Identifiers used in the reference roots (textual scan).
+    def _external_references(self) -> Tuple[Set[str], Set[str]]:
+        """References from the reference roots (textual scan).
 
         A plain token scan, not a parse: reference roots are tests and
         scripts whose *mention* of a symbol is what keeps an export
         alive, and a regex over a few hundred KB costs nothing.
+
+        Returns ``(identifiers, star_imported_modules)`` — the second
+        set holds dotted module names pulled in via ``from m import *``,
+        which materializes every ``__all__`` export without mentioning
+        any of them by name.
         """
         roots = self.reference_roots
         if roots is None:
@@ -227,9 +243,10 @@ class Analyzer:
                 if os.path.isdir(os.path.join(self.root, name))
             ]
         references: Set[str] = set()
+        star_modules: Set[str] = set()
         for root in roots:
             if os.path.isfile(root):
-                references.update(self._scan_identifiers(root))
+                self._scan_reference_file(root, references, star_modules)
                 continue
             for dirpath, dirnames, filenames in os.walk(root):
                 dirnames.sort()
@@ -239,21 +256,23 @@ class Analyzer:
                 ]
                 for filename in sorted(filenames):
                     if filename.endswith(".py"):
-                        references.update(
-                            self._scan_identifiers(
-                                os.path.join(dirpath, filename)
-                            )
+                        self._scan_reference_file(
+                            os.path.join(dirpath, filename),
+                            references, star_modules,
                         )
-        return references
+        return references, star_modules
 
     @staticmethod
-    def _scan_identifiers(path: str) -> Set[str]:
+    def _scan_reference_file(
+        path: str, references: Set[str], star_modules: Set[str]
+    ) -> None:
         try:
             with open(path, "r", encoding="utf-8", errors="replace") as handle:
                 text = handle.read()
         except OSError:
-            return set()
-        return set(_IDENTIFIER_RE.findall(text))
+            return
+        references.update(_IDENTIFIER_RE.findall(text))
+        star_modules.update(_STAR_IMPORT_RE.findall(text))
 
     # -- the run ---------------------------------------------------------
 
@@ -263,31 +282,49 @@ class Analyzer:
         stats = LintStats(cache_enabled=self.cache_path is not None)
         cache: Optional[LintCache] = None
         if self.cache_path is not None:
+            # Project rules have no per-file cache entry, but their IDs
+            # are part of the signature: the summaries they consume are
+            # cached, and the evidence collected into a summary grows
+            # with the rule set.
             signature = ruleset_signature(
-                [rule.rule_id for rule in self.module_rules]
+                [rule.rule_id for rule in self.rules]
             )
             cache = LintCache.load(self.cache_path, signature)
+
+        # Phase 1: read and hash everything, serving cache hits.
+        records: List[Tuple[str, str, bytes, str, Optional[Tuple[List[Finding], ModuleSummary]]]] = []
+        for abspath in self.discover(paths):
+            display = self._display_path(abspath)
+            data = self._read(abspath)
+            digest = content_hash(data)
+            cached = cache.get(display, digest) if cache is not None else None
+            records.append((abspath, display, data, digest, cached))
+
+        # Phase 2: parse the misses — in parallel when jobs > 1 — and
+        # merge back in discovery order.
+        misses = [
+            (abspath, data)
+            for abspath, _, data, _, cached in records
+            if cached is None
+        ]
+        fresh = self._lint_cold(misses)
 
         raw_findings: List[Finding] = []
         summaries: List[ModuleSummary] = []
         display_paths: List[str] = []
-        for abspath in self.discover(paths):
-            display = self._display_path(abspath)
+        fresh_index = 0
+        for abspath, display, data, digest, cached in records:
             display_paths.append(display)
-            data = self._read(abspath)
-            digest = content_hash(data)
-            cached = cache.get(display, digest) if cache is not None else None
+            stats.files += 1
             if cached is not None:
                 stats.cache_hits += 1
                 module_findings, summary = cached
             else:
                 stats.parsed += 1
-                context = self._parse_source(abspath, data)
-                module_findings = self.check_module(context)
-                summary = summarize_module(context, module_name_for(display))
+                module_findings, summary = fresh[fresh_index]
+                fresh_index += 1
                 if cache is not None:
                     cache.put(display, digest, module_findings, summary)
-            stats.files += 1
             raw_findings.extend(module_findings)
             summaries.append(summary)
         if cache is not None:
@@ -295,13 +332,63 @@ class Analyzer:
             cache.save()
 
         if self.project_rules:
+            references, star_modules = self._external_references()
             graph = ProjectGraph(
-                summaries, external_references=self._external_references()
+                summaries,
+                external_references=references,
+                star_imported_modules=star_modules,
             )
             for rule in self.project_rules:
                 raw_findings.extend(rule.check_project(graph))
 
         return self._apply_suppressions(raw_findings, summaries, stats)
+
+    # -- cold-path parsing (serial or multi-process) ---------------------
+
+    def _lint_one(
+        self, abspath: str, data: bytes
+    ) -> Tuple[List[Finding], ModuleSummary]:
+        context = self._parse_source(abspath, data)
+        findings = self.check_module(context)
+        summary = summarize_module(context, module_name_for(context.path))
+        return findings, summary
+
+    def _lint_cold(
+        self, misses: List[Tuple[str, bytes]]
+    ) -> List[Tuple[List[Finding], ModuleSummary]]:
+        """Parse and module-lint every cache miss, in input order."""
+        jobs = self.jobs if self.jobs > 0 else (os.cpu_count() or 1)
+        if jobs > 1 and len(misses) > 1:
+            try:
+                return self._lint_cold_parallel(misses, jobs)
+            except (OSError, NotImplementedError, ImportError):
+                # No usable multiprocessing primitives on this host —
+                # the parallel path is an accelerator, never a
+                # correctness dependency.
+                pass
+        return [self._lint_one(abspath, data) for abspath, data in misses]
+
+    def _lint_cold_parallel(
+        self, misses: List[Tuple[str, bytes]], jobs: int
+    ) -> List[Tuple[List[Finding], ModuleSummary]]:
+        """Fan the misses out over worker processes.
+
+        ``executor.map`` yields results in submission order, so the
+        merged output — findings, summaries, and hence fingerprints and
+        the project graph — is byte-identical to the serial path no
+        matter how the OS schedules the workers (the merge-determinism
+        discipline REP061 enforces on the study's own shard plane).
+        """
+        workers = min(jobs, len(misses))
+        chunksize = max(1, len(misses) // (workers * 4))
+        with concurrent.futures.ProcessPoolExecutor(
+            max_workers=workers,
+            initializer=_worker_init,
+            initargs=(self.root, self.module_rules),
+        ) as executor:
+            return list(
+                executor.map(_worker_lint, misses, chunksize=chunksize)
+            )
 
     def run(self, paths: Iterable[str]) -> List[Finding]:
         """Lint ``paths`` and return the live findings, sorted.
@@ -388,3 +475,23 @@ class Analyzer:
             stats=stats,
             summaries=summaries,
         )
+
+
+# -- worker-process entry points (repro lint --jobs N) -----------------------
+
+#: Per-worker Analyzer, built once by the pool initializer.  Module rules
+#: are shipped pickled from the parent, so a custom rule list behaves
+#: identically in serial and parallel runs.
+_WORKER_ANALYZER: Optional[Analyzer] = None
+
+
+def _worker_init(root: str, module_rules: List[Rule]) -> None:
+    global _WORKER_ANALYZER
+    _WORKER_ANALYZER = Analyzer(rules=module_rules, root=root)
+
+
+def _worker_lint(
+    item: Tuple[str, bytes]
+) -> Tuple[List[Finding], ModuleSummary]:
+    assert _WORKER_ANALYZER is not None
+    return _WORKER_ANALYZER._lint_one(item[0], item[1])

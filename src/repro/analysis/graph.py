@@ -39,10 +39,12 @@ __all__ = [
     "ExportInfo",
     "ForkLabel",
     "FunctionSummary",
+    "MergeHazard",
     "ModuleSummary",
     "ParamInfo",
     "ProjectGraph",
     "ShadowSite",
+    "StateSite",
     "TaintReason",
     "module_name_for",
     "summarize_module",
@@ -78,6 +80,22 @@ _WALL_TIME_ATTRS = frozenset({
 _WALL_DATETIME_ATTRS = frozenset({"now", "utcnow", "today"})
 _OS_ENTROPY_ATTRS = frozenset({"urandom", "getrandom"})
 _UUID_ENTROPY_ATTRS = frozenset({"uuid1", "uuid4"})
+
+#: Constructors whose result is a shared-mutable container (REP06x).
+_MUTABLE_CONSTRUCTORS = frozenset({
+    "list", "dict", "set", "bytearray", "defaultdict", "deque",
+    "Counter", "OrderedDict",
+})
+#: Mutating accumulator methods that make a fold arrival-order
+#: sensitive when the folded iterable is unordered (REP061).
+_FOLD_METHODS = frozenset({"append", "extend", "add", "update"})
+#: Callables whose result iterates in a content-determined order, so a
+#: fold over them is shard-order safe.
+_ORDERED_ITER_CALLS = frozenset({"sorted", "range"})
+#: Iteration wrappers that preserve their (first) argument's order.
+_ORDER_PRESERVING_CALLS = frozenset({
+    "enumerate", "reversed", "list", "tuple", "zip",
+})
 
 
 def module_name_for(display_path: str) -> str:
@@ -259,6 +277,70 @@ class ExportInfo:
         return cls(data["name"], data["line"], data["column"], data["source"])
 
 
+@dataclass(frozen=True)
+class StateSite:
+    """One mutable-state definition site (REP060/REP063 evidence).
+
+    Used for module-level globals, class-level attributes, and mutable
+    default arguments alike; ``kind`` names the container constructor
+    (``list``/``dict``/``set``/...).
+    """
+
+    name: str
+    line: int
+    column: int
+    source: str
+    kind: str
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "line": self.line,
+            "column": self.column,
+            "source": self.source,
+            "kind": self.kind,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "StateSite":
+        return cls(
+            data["name"], data["line"], data["column"],
+            data["source"], data["kind"],
+        )
+
+
+@dataclass(frozen=True)
+class MergeHazard:
+    """One order-sensitive aggregation site inside a function (REP061).
+
+    ``kind`` is ``unsorted-dict-iteration``, ``unsorted-set-iteration``,
+    or ``arrival-order-fold``; ``detail`` is a short human-readable
+    description of the offending expression.
+    """
+
+    kind: str
+    detail: str
+    line: int
+    column: int
+    source: str
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "detail": self.detail,
+            "line": self.line,
+            "column": self.column,
+            "source": self.source,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "MergeHazard":
+        return cls(
+            data["kind"], data["detail"], data["line"],
+            data["column"], data["source"],
+        )
+
+
 @dataclass
 class FunctionSummary:
     """Everything the graph rules need to know about one function."""
@@ -274,6 +356,12 @@ class FunctionSummary:
     taint_reasons: List[TaintReason] = field(default_factory=list)
     rng_args: List[Tuple[str, int]] = field(default_factory=list)
     parent: Optional[str] = None
+    #: Free names read (not locally bound) — REP060 global-use evidence.
+    loads: Tuple[str, ...] = ()
+    #: ``self.x`` attributes this function assigns (REP063 mutability).
+    self_writes: Tuple[str, ...] = ()
+    mutable_defaults: List[StateSite] = field(default_factory=list)
+    merge_hazards: List[MergeHazard] = field(default_factory=list)
 
     def to_dict(self) -> Dict[str, Any]:
         return {
@@ -288,6 +376,10 @@ class FunctionSummary:
             "taint_reasons": [t.to_dict() for t in self.taint_reasons],
             "rng_args": [list(pair) for pair in self.rng_args],
             "parent": self.parent,
+            "loads": list(self.loads),
+            "self_writes": list(self.self_writes),
+            "mutable_defaults": [s.to_dict() for s in self.mutable_defaults],
+            "merge_hazards": [h.to_dict() for h in self.merge_hazards],
         }
 
     @classmethod
@@ -304,6 +396,14 @@ class FunctionSummary:
             taint_reasons=[TaintReason.from_dict(t) for t in data["taint_reasons"]],
             rng_args=[(pair[0], pair[1]) for pair in data["rng_args"]],
             parent=data["parent"],
+            loads=tuple(data["loads"]),
+            self_writes=tuple(data["self_writes"]),
+            mutable_defaults=[
+                StateSite.from_dict(s) for s in data["mutable_defaults"]
+            ],
+            merge_hazards=[
+                MergeHazard.from_dict(h) for h in data["merge_hazards"]
+            ],
         )
 
     def param(self, name: str) -> Optional[ParamInfo]:
@@ -316,6 +416,14 @@ class FunctionSummary:
     def is_marked_nondeterministic(self) -> bool:
         return "nondeterministic" in self.decorators
 
+    @property
+    def is_shard_entry(self) -> bool:
+        return "shard_entry" in self.decorators
+
+    @property
+    def is_merge_point(self) -> bool:
+        return "merge_point" in self.decorators
+
 
 @dataclass
 class ClassSummary:
@@ -326,6 +434,11 @@ class ClassSummary:
     bases: Tuple[str, ...] = ()
     methods: Dict[str, str] = field(default_factory=dict)  # name -> qualname
     attr_types: Dict[str, Tuple[str, ...]] = field(default_factory=dict)
+    column: int = 0
+    source: str = ""
+    #: Class-level mutable container attributes (shared across instances
+    #: *and* across threads — but not across processes: REP060).
+    mutable_attrs: List[StateSite] = field(default_factory=list)
 
     def to_dict(self) -> Dict[str, Any]:
         return {
@@ -334,6 +447,9 @@ class ClassSummary:
             "bases": list(self.bases),
             "methods": dict(self.methods),
             "attr_types": {k: list(v) for k, v in self.attr_types.items()},
+            "column": self.column,
+            "source": self.source,
+            "mutable_attrs": [s.to_dict() for s in self.mutable_attrs],
         }
 
     @classmethod
@@ -346,6 +462,11 @@ class ClassSummary:
             attr_types={
                 k: tuple(v) for k, v in data["attr_types"].items()
             },
+            column=data["column"],
+            source=data["source"],
+            mutable_attrs=[
+                StateSite.from_dict(s) for s in data["mutable_attrs"]
+            ],
         )
 
 
@@ -365,6 +486,11 @@ class ModuleSummary:
     suppressions: List[Suppression] = field(default_factory=list)
     fork_labels: List[ForkLabel] = field(default_factory=list)
     shadows: List[ShadowSite] = field(default_factory=list)
+    #: Module-level mutable containers (REP060 shared-state evidence).
+    globals: List[StateSite] = field(default_factory=list)
+    #: UPPER_CASE names bound to constant string collections (consumed
+    #: by REP063 to read ``checkpoint.serde``'s SERDE_REGISTRY).
+    string_sets: Dict[str, Tuple[str, ...]] = field(default_factory=dict)
 
     def to_dict(self) -> Dict[str, Any]:
         return {
@@ -385,6 +511,10 @@ class ModuleSummary:
             "suppressions": [s.to_dict() for s in self.suppressions],
             "fork_labels": [f.to_dict() for f in self.fork_labels],
             "shadows": [s.to_dict() for s in self.shadows],
+            "globals": [s.to_dict() for s in self.globals],
+            "string_sets": {
+                k: list(v) for k, v in self.string_sets.items()
+            },
         }
 
     @classmethod
@@ -413,6 +543,10 @@ class ModuleSummary:
             ],
             fork_labels=[ForkLabel.from_dict(f) for f in data["fork_labels"]],
             shadows=[ShadowSite.from_dict(s) for s in data["shadows"]],
+            globals=[StateSite.from_dict(s) for s in data["globals"]],
+            string_sets={
+                k: tuple(v) for k, v in data["string_sets"].items()
+            },
         )
 
     @property
@@ -471,6 +605,81 @@ def _decorator_names(node) -> Tuple[str, ...]:
     return tuple(names)
 
 
+def _mutable_kind(value: Optional[ast.AST]) -> Optional[str]:
+    """Classify a mutable-container initializer expression, or None."""
+    if isinstance(value, (ast.List, ast.ListComp)):
+        return "list"
+    if isinstance(value, (ast.Dict, ast.DictComp)):
+        return "dict"
+    if isinstance(value, (ast.Set, ast.SetComp)):
+        return "set"
+    if isinstance(value, ast.Call) and isinstance(value.func, ast.Name):
+        if value.func.id in _MUTABLE_CONSTRUCTORS:
+            return value.func.id
+    return None
+
+
+def _constant_strings(value: ast.AST) -> Optional[Tuple[str, ...]]:
+    """The string elements of a constant collection literal, or None.
+
+    Accepts a bare list/tuple/set display or one wrapped in a single
+    ``frozenset``/``set``/``tuple``/``list`` call — the shapes a
+    checked-in registry like ``SERDE_REGISTRY`` plausibly takes.
+    """
+    if (
+        isinstance(value, ast.Call)
+        and isinstance(value.func, ast.Name)
+        and value.func.id in ("frozenset", "set", "tuple", "list")
+        and len(value.args) == 1
+        and not value.keywords
+    ):
+        value = value.args[0]
+    if not isinstance(value, (ast.List, ast.Tuple, ast.Set)):
+        return None
+    strings: List[str] = []
+    for element in value.elts:
+        if isinstance(element, ast.Constant) and isinstance(element.value, str):
+            strings.append(element.value)
+        else:
+            return None
+    return tuple(strings)
+
+
+def _iter_hazard(iter_node: ast.AST) -> Optional[Tuple[str, str]]:
+    """Classify an unordered iterable expression, or None.
+
+    Returns ``(kind, detail)`` when iterating ``iter_node`` visits
+    elements in an order a sharded merge must not rely on.
+    """
+    if isinstance(iter_node, ast.Call):
+        func = iter_node.func
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr in ("items", "keys", "values")
+            and not iter_node.args
+        ):
+            return ("unsorted-dict-iteration", f".{func.attr}()")
+        if isinstance(func, ast.Name) and func.id in ("set", "frozenset"):
+            return ("unsorted-set-iteration", f"{func.id}(...)")
+    if isinstance(iter_node, (ast.Set, ast.SetComp)):
+        return ("unsorted-set-iteration", "set expression")
+    return None
+
+
+def _iter_is_ordered(iter_node: ast.AST, depth: int = 0) -> bool:
+    """Whether iterating ``iter_node`` has a content-determined order."""
+    if depth > 4:
+        return False
+    if isinstance(iter_node, (ast.List, ast.Tuple, ast.Constant)):
+        return True
+    if isinstance(iter_node, ast.Call) and isinstance(iter_node.func, ast.Name):
+        if iter_node.func.id in _ORDERED_ITER_CALLS:
+            return True
+        if iter_node.func.id in _ORDER_PRESERVING_CALLS and iter_node.args:
+            return _iter_is_ordered(iter_node.args[0], depth + 1)
+    return False
+
+
 def _resolve_relative(module_name: str, is_package: bool,
                       level: int, target: Optional[str]) -> str:
     """Absolute module named by a (possibly relative) ``from`` import."""
@@ -496,12 +705,33 @@ class _FunctionCollector:
         self.fn = fn
         self.class_ctx = class_ctx
         self.local_types: Dict[str, str] = {}
+        self._loads: Set[str] = set()
+        self._stores: Set[str] = set()
+        self._global_decls: Set[str] = set()
+        self._self_writes: Set[str] = set()
 
     # -- classification -------------------------------------------------
 
     def collect(self, body: Sequence[ast.stmt]) -> None:
         for statement in body:
             self._visit(statement)
+        # Free names: read but never locally bound — the only reads that
+        # can reach module-level state.  Declared ``global`` names are
+        # free even when assigned.
+        params = {param.name for param in self.fn.params}
+        free = (self._loads - self._stores - params) | self._global_decls
+        self.fn.loads = tuple(sorted(free))
+        self.fn.self_writes = tuple(sorted(self._self_writes))
+        # Nested loops can surface one fold site twice (once per
+        # enclosing loop); keep the first occurrence only.
+        seen: Set[Tuple[str, str, int, int]] = set()
+        unique: List[MergeHazard] = []
+        for hazard in self.fn.merge_hazards:
+            key = (hazard.kind, hazard.detail, hazard.line, hazard.column)
+            if key not in seen:
+                seen.add(key)
+                unique.append(hazard)
+        self.fn.merge_hazards[:] = unique
 
     def _visit(self, node: ast.AST) -> None:
         if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
@@ -521,10 +751,27 @@ class _FunctionCollector:
             self._record_assignment(node)
         elif isinstance(node, ast.If):
             self._record_if_shadow(node)
+        elif isinstance(node, ast.Global):
+            self._global_decls.update(node.names)
+        elif isinstance(node, ast.For):
+            self._record_fold_hazard(node)
         if isinstance(node, ast.Call):
             self._record_call(node)
+        if isinstance(node, ast.Name):
+            if isinstance(node.ctx, ast.Load):
+                self._loads.add(node.id)
+            else:
+                self._stores.add(node.id)
         if isinstance(node, ast.Attribute):
             self._record_taint_attr(node)
+            if (
+                not isinstance(node.ctx, ast.Load)
+                and isinstance(node.value, ast.Name)
+                and node.value.id == "self"
+            ):
+                self._self_writes.add(node.attr)
+        if isinstance(node, (ast.For, ast.comprehension)):
+            self._record_iter_hazard(node.iter)
         for child in ast.iter_child_nodes(node):
             self._visit(child)
 
@@ -637,6 +884,62 @@ class _FunctionCollector:
             isinstance(child, ast.Name) and child.id == name
             for child in ast.walk(node)
         )
+
+    # -- REP061 merge hazards --------------------------------------------
+
+    def _hazard(self, kind: str, detail: str, node: ast.AST) -> None:
+        line = getattr(node, "lineno", self.fn.line)
+        self.fn.merge_hazards.append(
+            MergeHazard(
+                kind=kind,
+                detail=detail,
+                line=line,
+                column=getattr(node, "col_offset", 0),
+                source=self.summarizer.source_line(line),
+            )
+        )
+
+    def _record_iter_hazard(self, iter_node: ast.AST) -> None:
+        hazard = _iter_hazard(iter_node)
+        if hazard is not None:
+            self._hazard(hazard[0], f"iterates {hazard[1]}", iter_node)
+
+    def _record_fold_hazard(self, node: ast.For) -> None:
+        """A loop accumulating into a container in arrival order.
+
+        Only fires when the iterable's order is not content-determined
+        (``sorted(...)``/``range(...)`` folds are shard-order safe) and
+        the loop body mutates an accumulator defined outside the loop.
+        """
+        if _iter_hazard(node.iter) is not None:
+            return  # already recorded as an unsorted-iteration hazard
+        if _iter_is_ordered(node.iter):
+            return
+        for child in ast.walk(node):
+            if not (
+                isinstance(child, ast.Call)
+                and isinstance(child.func, ast.Attribute)
+                and child.func.attr in _FOLD_METHODS
+            ):
+                continue
+            receiver = child.func.value
+            if isinstance(receiver, ast.Name):
+                accumulator = receiver.id
+            elif (
+                isinstance(receiver, ast.Attribute)
+                and isinstance(receiver.value, ast.Name)
+                and receiver.value.id == "self"
+            ):
+                accumulator = f"self.{receiver.attr}"
+            else:
+                continue
+            self._hazard(
+                "arrival-order-fold",
+                f"'{accumulator}.{child.func.attr}()' folds an unordered"
+                " iterable in arrival order",
+                child,
+            )
+            return
 
     # -- call sites ------------------------------------------------------
 
@@ -792,6 +1095,7 @@ class _ModuleSummarizer:
     def run(self) -> ModuleSummary:
         self._collect_bindings_and_refs()
         self._collect_exports()
+        self._collect_module_state()
         self.summary.suppressions = scan_suppressions(self.context.lines)
         for node in self.context.tree.body:
             if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
@@ -858,6 +1162,54 @@ class _ModuleSummarizer:
                     )
             self.summary.exports = exports
 
+    # -- pass 2b: module-level state (REP060/REP063) ----------------------
+
+    @staticmethod
+    def _assigned_names(node: ast.stmt) -> Tuple[List[str], Optional[ast.AST]]:
+        """Plain-name targets and the value of an (ann)assignment."""
+        if isinstance(node, ast.Assign):
+            names = [
+                target.id
+                for target in node.targets
+                if isinstance(target, ast.Name)
+            ]
+            return names, node.value
+        if isinstance(node, ast.AnnAssign) and isinstance(
+            node.target, ast.Name
+        ):
+            return [node.target.id], node.value
+        return [], None
+
+    def _record_state(self, sink: List[StateSite], name: str, kind: str,
+                      node: ast.stmt) -> None:
+        sink.append(
+            StateSite(
+                name=name,
+                line=node.lineno,
+                column=node.col_offset,
+                source=self.source_line(node.lineno),
+                kind=kind,
+            )
+        )
+
+    def _collect_module_state(self) -> None:
+        for node in self.context.tree.body:
+            names, value = self._assigned_names(node)
+            if value is None or not names:
+                continue
+            strings = _constant_strings(value)
+            if strings is not None:
+                for name in names:
+                    if name.isupper():
+                        self.summary.string_sets[name] = strings
+            kind = _mutable_kind(value)
+            if kind is None:
+                continue
+            for name in names:
+                if name.startswith("__") and name.endswith("__"):
+                    continue  # __all__ and friends are module protocol
+                self._record_state(self.summary.globals, name, kind, node)
+
     # -- pass 3: functions & classes --------------------------------------
 
     def summarize_function(self, node, qualname: str,
@@ -885,8 +1237,32 @@ class _ModuleSummarizer:
             fn.taint_reasons.append(
                 TaintReason("marker", "@nondeterministic", node.lineno)
             )
+        self._collect_mutable_defaults(fn, args)
         _FunctionCollector(self, fn, class_ctx).collect(node.body)
         return fn
+
+    def _collect_mutable_defaults(self, fn: FunctionSummary,
+                                  args: ast.arguments) -> None:
+        positional = list(args.posonlyargs) + list(args.args)
+        defaulted = positional[len(positional) - len(args.defaults):]
+        pairs = list(zip(defaulted, args.defaults))
+        pairs.extend(
+            (arg, default)
+            for arg, default in zip(args.kwonlyargs, args.kw_defaults)
+            if default is not None
+        )
+        for arg, default in pairs:
+            kind = _mutable_kind(default)
+            if kind is not None:
+                fn.mutable_defaults.append(
+                    StateSite(
+                        name=arg.arg,
+                        line=default.lineno,
+                        column=default.col_offset,
+                        source=self.source_line(default.lineno),
+                        kind=kind,
+                    )
+                )
 
     def _summarize_class(self, node: ast.ClassDef) -> None:
         bases: List[str] = []
@@ -896,7 +1272,8 @@ class _ModuleSummarizer:
             elif isinstance(base, ast.Attribute):
                 bases.append(base.attr)
         summary = ClassSummary(
-            name=node.name, line=node.lineno, bases=tuple(bases)
+            name=node.name, line=node.lineno, bases=tuple(bases),
+            column=node.col_offset, source=self.source_line(node.lineno),
         )
         self.summary.classes[node.name] = summary
         for child in node.body:
@@ -904,6 +1281,17 @@ class _ModuleSummarizer:
                 qualname = f"{node.name}.{child.name}"
                 summary.methods[child.name] = qualname
                 self.summarize_function(child, qualname, summary)
+                continue
+            names, value = self._assigned_names(child)
+            if value is None:
+                continue
+            kind = _mutable_kind(value)
+            if kind is None:
+                continue
+            for name in names:
+                if name.startswith("__") and name.endswith("__"):
+                    continue  # __slots__ and friends are class protocol
+                self._record_state(summary.mutable_attrs, name, kind, child)
 
 
 def summarize_module(context: ModuleContext,
@@ -936,15 +1324,23 @@ class ProjectGraph:
     external_references:
         Identifiers seen outside the analyzed tree (tests, examples) —
         consumed by the dead-export rule (REP043).
+    star_imported_modules:
+        Dotted module names star-imported (``from m import *``) by the
+        reference roots; a star import materializes every ``__all__``
+        export without naming it, so those exports count as referenced.
     """
 
     def __init__(self, summaries: Sequence[ModuleSummary],
-                 external_references: Optional[Set[str]] = None) -> None:
+                 external_references: Optional[Set[str]] = None,
+                 star_imported_modules: Optional[Set[str]] = None) -> None:
         self.summaries = list(summaries)
         self.modules: Dict[str, ModuleSummary] = {}
         for summary in self.summaries:
             self.modules[summary.module] = summary
         self.external_references: Set[str] = set(external_references or ())
+        self.star_imported_modules: Set[str] = set(
+            star_imported_modules or ()
+        )
         # method name -> [(module, class name)]
         self._method_index: Dict[str, List[Tuple[str, str]]] = {}
         # class name -> [(module, class name)]
@@ -1152,6 +1548,61 @@ class ProjectGraph:
         if len(owners) == 1:
             return [self._method_key(owners[0], method)]
         return []
+
+    # -- shard boundary (REP06x) -------------------------------------------
+
+    def shard_entries(self) -> List[FunctionKey]:
+        """Functions declared ``@shard_entry``, sorted."""
+        return sorted(
+            (summary.module, fn.qualname)
+            for summary, fn in self.functions()
+            if fn.is_shard_entry
+        )
+
+    def merge_points(self) -> List[FunctionKey]:
+        """Functions declared ``@merge_point``, sorted."""
+        return sorted(
+            (summary.module, fn.qualname)
+            for summary, fn in self.functions()
+            if fn.is_merge_point
+        )
+
+    def resolve_global(
+        self, module: ModuleSummary, name: str
+    ) -> Optional[Tuple[ModuleSummary, StateSite]]:
+        """Resolve a free name to a module-level mutable global.
+
+        Looks in the reading module itself, then through a ``from``
+        import binding into the defining module.  Returns the defining
+        summary and the state site, or None when the name is not a
+        known mutable global.
+        """
+        for site in module.globals:
+            if site.name == name:
+                return (module, site)
+        binding = module.bindings.get(name)
+        if binding is not None and binding[0] == "symbol":
+            target = self.modules.get(binding[1])
+            if target is not None:
+                for site in target.globals:
+                    if site.name == binding[2]:
+                        return (target, site)
+        return None
+
+    def resolve_class_reference(
+        self, module: ModuleSummary, name: str
+    ) -> Optional[Tuple[str, str]]:
+        """Resolve a class name as seen from ``module`` (public hook)."""
+        return self._resolve_class(module, name)
+
+    def class_summary(
+        self, class_key: Tuple[str, str]
+    ) -> Optional[ClassSummary]:
+        """The :class:`ClassSummary` for a ``(module, class)`` key."""
+        summary = self.modules.get(class_key[0])
+        if summary is None:
+            return None
+        return summary.classes.get(class_key[1])
 
     # -- edges -------------------------------------------------------------
 

@@ -195,6 +195,11 @@ class DeadExportRule(ProjectRule):
                 continue
             if not summary.exports:
                 continue
+            if summary.module in graph.star_imported_modules:
+                # ``from <module> import *`` in a reference root binds
+                # every __all__ name without mentioning any of them —
+                # the whole export list is live.
+                continue
             for export in summary.exports:
                 if export.name in graph.external_references:
                     continue

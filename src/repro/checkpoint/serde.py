@@ -28,7 +28,44 @@ from ..dps.portal import ReroutingMethod
 from ..errors import CheckpointCorruptError
 from ..net.ipaddr import IPv4Address
 
-__all__ = ["config_to_dict", "serialize_runtime", "restore_runtime"]
+__all__ = [
+    "SERDE_REGISTRY",
+    "config_to_dict",
+    "serialize_runtime",
+    "restore_runtime",
+]
+
+#: Every class whose mutable state this module can carry across a
+#: checkpoint barrier — either through the object's own
+#: ``state_dict``/``restore_state`` pair or through an inline converter
+#: below.  The REP063 shard-safety rule checks mutable classes reachable
+#: from the study's shard entry points against this list: stateful
+#: objects that live across ``run_day`` calls but are absent here would
+#: silently lose state on resume.
+SERDE_REGISTRY = frozenset({
+    "DailySnapshot",
+    "DnsClient",
+    "DnsRecordCollector",
+    "DomainSnapshot",
+    "DpsObservation",
+    "ExposureTimeline",
+    "FaultPlan",
+    "FilterPipeline",
+    "HiddenRecord",
+    "HtmlVerifier",
+    "HttpClient",
+    "IncapsulaScanner",
+    # Carried transitively: RecursiveResolver.state_dict embeds the
+    # quarantine roster and the metrics counters.
+    "MetricsRegistry",
+    "NameserverHarvest",
+    "NameserverQuarantine",
+    "PipelineReport",
+    "RecursiveResolver",
+    "StudyConfig",
+    "StudyReport",
+    "StudyRuntime",
+})
 
 
 def config_to_dict(config: StudyConfig) -> Dict[str, object]:

@@ -19,7 +19,7 @@
     python -m repro lint   [paths] [--select IDS] [--ignore IDS]
                            [--format text|json|sarif] [--baseline PATH]
                            [--update-baseline] [--cache PATH] [--no-cache]
-                           [--ignore-unused-suppressions]
+                           [--ignore-unused-suppressions] [--jobs N]
 
 ``study`` runs the full six-week campaign and prints every table and
 figure; ``scan`` runs one §V residual-resolution sweep; ``attack``
@@ -221,6 +221,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--ignore-unused-suppressions", action="store_true",
         help="do not report inline suppressions that matched no finding",
     )
+    lint.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes for cold-start parsing (0 = one per CPU;"
+             " default: 1, serial)",
+    )
     return parser
 
 
@@ -255,6 +260,7 @@ def _cmd_lint(args) -> int:
             ignore=split_ids(args.ignore),
             cache_path=None if args.no_cache else args.cache,
             ignore_unused_suppressions=args.ignore_unused_suppressions,
+            jobs=args.jobs,
         )
         result = analyzer.analyze(args.paths or _default_lint_paths())
         baseline = Baseline.load(args.baseline)

@@ -90,7 +90,7 @@ class NameserverHarvest:
         return len(self._hostnames)
 
 
-class CloudflareScanner:
+class CloudflareScanner:  # repro: allow[REP063] -- constructed fresh inside each weekly sweep; never alive at a checkpoint barrier
     """Direct-query scanner against an NS-rerouting provider's fleet."""
 
     def __init__(

@@ -24,6 +24,7 @@ from typing import Dict, List, Optional, Set
 
 from ..clock import DAYS_PER_WEEK
 from ..dps.portal import ReroutingMethod
+from ..markers import merge_point, shard_entry
 from ..net.geo import PAPER_VANTAGE_REGIONS
 from ..world.admin import BehaviorEvent, BehaviorKind
 from ..world.internet import SimulatedInternet
@@ -130,11 +131,12 @@ class StudyReport:
     # -- Table VI totals ------------------------------------------------
 
     @staticmethod
+    @merge_point
     def _totals(weekly: List[PipelineReport]) -> Dict[str, int]:
         hidden: Set[str] = set()
         verified: Set[str] = set()
         for report in weekly:
-            hidden.update(report.hidden_websites())
+            hidden.update(report.hidden_websites())  # repro: allow[REP061] -- folds into sets and reports only their sizes; arrival order cannot reach the output
             verified.update(report.verified_websites())
         return {"hidden": len(hidden), "verified": len(verified)}
 
@@ -267,6 +269,7 @@ class SixWeekStudy:
             incap_pipeline=incap_pipeline,
         )
 
+    @shard_entry
     def run_day(self, runtime: StudyRuntime) -> None:
         """One study day: collect, observe, scan (weekly), advance.
 
@@ -358,6 +361,7 @@ class SixWeekStudy:
 
     # ------------------------------------------------------------------
 
+    @merge_point
     def _analyse_usage_dynamics(
         self, report: StudyReport, study_start_day: int, verifier: HtmlVerifier
     ) -> None:
@@ -386,6 +390,7 @@ class SixWeekStudy:
         experiment = IpChangeExperiment(verifier)
         report.ip_change = experiment.run(report.behaviors, report.snapshots)
 
+    @merge_point
     def _analyse_adoption(self, report: StudyReport) -> None:
         if not report.observations:
             return
@@ -400,16 +405,16 @@ class SixWeekStudy:
         for day_observations in report.observations:
             adopted = 0
             top_adopted = 0
-            for www, observation in day_observations.items():
+            for www, observation in sorted(day_observations.items()):
                 if observation.provider is not None:
                     adopted += 1
                     totals[observation.provider] = totals.get(observation.provider, 0) + 1
                     if www in top_sites:
                         top_adopted += 1
-            adopted_per_day.append(adopted)
+            adopted_per_day.append(adopted)  # repro: allow[REP061] -- report.observations is in day order by construction; the per-day series must preserve it
             top_adopted_per_day.append(top_adopted)
         report.adoption_by_provider = {
-            provider: count / num_days for provider, count in totals.items()
+            provider: count / num_days for provider, count in sorted(totals.items())
         }
         report.overall_adoption_rate = (
             sum(adopted_per_day) / num_days / report.population_size
@@ -425,7 +430,7 @@ class SixWeekStudy:
         # Fig. 6: Cloudflare customers by rerouting mechanism.
         ns_count = cname_count = 0
         for day_observations in report.observations:
-            for observation in day_observations.values():
+            for observation in day_observations.values():  # repro: allow[REP061] -- commutative counters; iteration order cannot affect the sums
                 if observation.provider != "cloudflare":
                     continue
                 if observation.rerouting is ReroutingMethod.CNAME_BASED:

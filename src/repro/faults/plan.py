@@ -225,6 +225,21 @@ class FaultPlan:
         self._consecutive: Dict[Tuple[str, IPv4Address], int] = {}
         #: (rule index, address) -> (sim day, deliveries seen today).
         self._rate_counts: Dict[Tuple[int, IPv4Address], Tuple[int, int]] = {}
+        # Precomputed at install time (rules are fixed for the plan's
+        # lifetime; a resume rebuilds the plan from the profile): days
+        # outside every rule's window skip rule evaluation entirely on
+        # the delivery hot path.  With only day-scoped rules installed,
+        # most study days never touch the rule list.
+        self._dateless_rules = any(
+            rule.from_day is None and rule.until_day is None
+            for rule in self.rules
+        )
+        self._day_windows: List[Tuple[Optional[int], Optional[int]]] = [
+            (rule.from_day, rule.until_day)
+            for rule in self.rules
+            if rule.from_day is not None or rule.until_day is not None
+        ]
+        self._day_active: Dict[int, bool] = {}
 
     # -- delivery hooks -------------------------------------------------
 
@@ -259,6 +274,14 @@ class FaultPlan:
         if not self.rules:
             return _DELIVER
         day = self._clock.day
+        if not self._rules_active_on(day):
+            # No rule's window covers today: preserve the exact
+            # bookkeeping of a full scan that matched nothing (the
+            # consecutive-failure streak still resets on a clean
+            # delivery) without consulting any rule.
+            if self._consecutive:
+                self._consecutive.pop((plane, address), None)
+            return _DELIVER
         qname = query.qname if query is not None else host
         latency = 0
         suppressed = False
@@ -314,6 +337,19 @@ class FaultPlan:
             elif rule.kind is FaultKind.LAME:
                 response = DnsResponse.refused(query)
         return FaultVerdict(outcome=outcome, response=response, latency_ms=latency)
+
+    def _rules_active_on(self, day: int) -> bool:
+        """Whether any rule's day window covers ``day`` (memoized)."""
+        if self._dateless_rules:
+            return True
+        active = self._day_active.get(day)
+        if active is None:
+            active = any(
+                (lo is None or day >= lo) and (hi is None or day < hi)
+                for lo, hi in self._day_windows
+            )
+            self._day_active[day] = active
+        return active
 
     def _cap_reached(self, plane: str, address: IPv4Address) -> bool:
         cap = self.max_consecutive_failures

@@ -107,7 +107,7 @@ class RetryPolicy:
         return RetryBudget(self.budget_ms)
 
 
-class RetryBudget:
+class RetryBudget:  # repro: allow[REP063] -- one budget per delivery attempt; exhausted and dropped within a single query
     """Tracks simulated milliseconds spent against one destination."""
 
     __slots__ = ("limit_ms", "spent_ms")

@@ -8,8 +8,19 @@ report).  The :func:`nondeterministic` decorator declares such a
 function explicitly: the taint pass treats it as a source, so every
 caller that does not route around it shows up as a REP040 finding.
 
-The decorator is a no-op at runtime — it exists purely as a durable,
-greppable annotation that the analyzer and human reviewers share.
+The shard-safety decade (REP060–REP063) needs one more piece of
+ground truth the AST cannot infer: where the planned multiprocess
+shard boundary *is*.  :func:`shard_entry` declares a function the
+per-shard unit of work (each worker process runs it independently);
+:func:`merge_point` declares a function that combines per-shard
+results back into one artifact.  The declarations are the checked-in
+shard-boundary spec — the analyzer consults them to decide which
+mutable state is shared across processes (REP060), which aggregation
+order matters (REP061), and which RNG streams may not cross the
+boundary (REP062).
+
+All decorators are no-ops at runtime — they exist purely as durable,
+greppable annotations that the analyzer and human reviewers share.
 """
 
 from __future__ import annotations
@@ -18,7 +29,7 @@ from typing import Callable, TypeVar
 
 F = TypeVar("F", bound=Callable)
 
-__all__ = ["nondeterministic"]
+__all__ = ["merge_point", "nondeterministic", "shard_entry"]
 
 
 def nondeterministic(func: F) -> F:
@@ -28,5 +39,30 @@ def nondeterministic(func: F) -> F:
     outside the seeded world (wall clock, host entropy, environment).
     Callers inherit the taint transitively; sanctioned call chains are
     then suppressed inline or baselined, each with a written reason.
+    """
+    return func
+
+
+def shard_entry(func: F) -> F:
+    """Declare ``func`` a shard entry point for the REP06x analysis.
+
+    A shard entry point is the unit of work the planned sharded runner
+    hands to one worker process.  Everything reachable from it runs
+    concurrently in several processes, so module/class-level mutable
+    state it touches is a cross-process hazard (REP060) and any RNG
+    stream it forks is owned by exactly this entry point (REP062).
+    Entry points must not be nested — do not declare a function that is
+    itself reachable from another declared entry point.
+    """
+    return func
+
+
+def merge_point(func: F) -> F:
+    """Declare ``func`` a merge point for the REP06x analysis.
+
+    A merge point combines per-shard results into one artifact, so its
+    output must not depend on shard arrival order: REP061 flags
+    unsorted dict/set iteration and arrival-order folds inside it, and
+    REP062 flags shard-owned RNG streams flowing into it.
     """
     return func

@@ -118,7 +118,7 @@ class NetworkFabric:
         Returns None when nothing listens there (packet disappears into
         the void, like a query to a dark address on the real Internet).
         """
-        addr = IPv4Address(ip)
+        addr = ip if type(ip) is IPv4Address else IPv4Address(ip)
         server = self._dns_unicast.get(addr)
         if server is not None:
             return server
@@ -140,7 +140,9 @@ class NetworkFabric:
         the query reaches the server bound at ``ip`` (``dark`` outcome
         when nothing listens there).
         """
-        addr = IPv4Address(ip)
+        # Hot path: resolvers pass IPv4Address values already; skip the
+        # re-wrapping allocation for those.
+        addr = ip if type(ip) is IPv4Address else IPv4Address(ip)
         latency = 0
         plan = self.fault_plan
         if plan is not None:
@@ -185,7 +187,7 @@ class NetworkFabric:
         self, ip: "IPv4Address | str", client_region: Optional[Region] = None
     ) -> Optional[object]:
         """The HTTP listener a client reaches at ``ip``, or None."""
-        addr = IPv4Address(ip)
+        addr = ip if type(ip) is IPv4Address else IPv4Address(ip)
         handler = self._http_unicast.get(addr)
         if handler is not None:
             return handler
@@ -205,7 +207,7 @@ class NetworkFabric:
         Mirrors :meth:`deliver_dns`; HTTP faults have no synthetic
         response — a dropped request looks like a connection timeout.
         """
-        addr = IPv4Address(ip)
+        addr = ip if type(ip) is IPv4Address else IPv4Address(ip)
         latency = 0
         plan = self.fault_plan
         if plan is not None:

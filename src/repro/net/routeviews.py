@@ -29,7 +29,7 @@ class _TrieNode:
         self.prefix: Optional[IPv4Prefix] = None
 
 
-class RouteViewsDb:
+class RouteViewsDb:  # repro: allow[REP063] -- world-layer state; rebuilt from (seed, population) by deterministic replay, never serialized by design
     """Longest-prefix-match database from prefix announcements."""
 
     def __init__(self) -> None:

@@ -98,6 +98,39 @@ class TestWarmRuns:
         )
         assert result.stats.parsed == 3
 
+    def test_pre_rep06x_cache_is_fully_discarded(self, tmp_path):
+        # A cache written before the REP06x decade existed carries
+        # summaries without the shard-safety evidence.  Its signature
+        # (schema v1 + the 17-rule pack) can never match today's, so
+        # the whole file must be discarded — zero hits, full re-parse.
+        write_package(tmp_path, FILES)
+        cache_path = tmp_path / "cache.json"
+        make_analyzer(tmp_path).analyze([str(tmp_path / "pkg")])
+        payload = json.loads(cache_path.read_text(encoding="utf-8"))
+        pre_decade_rules = [
+            rule.rule_id for rule in Analyzer(root=str(tmp_path)).rules
+            if not rule.rule_id.startswith("REP06")
+        ]
+        payload["signature"] = ruleset_signature(pre_decade_rules)
+        cache_path.write_text(json.dumps(payload), encoding="utf-8")
+        result = make_analyzer(tmp_path).analyze([str(tmp_path / "pkg")])
+        assert result.stats.cache_hits == 0
+        assert result.stats.parsed == 3
+        # ... and the run rewrote the cache under the current signature.
+        warm = make_analyzer(tmp_path).analyze([str(tmp_path / "pkg")])
+        assert warm.stats.parsed == 0
+
+    def test_warm_run_stays_hit_after_schema_bump(self, tmp_path):
+        # The acceptance check for the schema bump: once a cache has
+        # been written by the current (v2) engine, a second run over an
+        # unchanged tree performs zero re-parses even with the full
+        # default pack (REP06x included).
+        write_package(tmp_path, FILES)
+        make_analyzer(tmp_path).analyze([str(tmp_path / "pkg")])
+        warm = make_analyzer(tmp_path).analyze([str(tmp_path / "pkg")])
+        assert warm.stats.cache_hits == 3
+        assert warm.stats.parsed == 0
+
     def test_cache_disabled_by_default(self, tmp_path):
         write_package(tmp_path, FILES)
         analyzer = Analyzer(root=str(tmp_path))

@@ -200,3 +200,27 @@ class TestRep043DeadExport:
             """,
         }, select=["REP043"])
         assert by_rule(findings, "REP043") == []
+
+    def test_star_import_in_reference_root_keeps_exports_alive(self, tmp_path):
+        # ``from pkg.mod import *`` binds every __all__ name without
+        # mentioning any of them; the whole export list is live.
+        write_package(tmp_path, {
+            "refs/test_star.py": "from pkg.mod import *\n\n\ndef go():\n    return used()\n",
+        })
+        findings = lint_package(
+            tmp_path, self.FILES, select=["REP043"],
+            reference_roots=[str(tmp_path / "refs")],
+        )
+        assert by_rule(findings, "REP043") == []
+
+    def test_star_import_of_other_module_does_not_shield(self, tmp_path):
+        write_package(tmp_path, {
+            "refs/test_star.py": "from pkg.other import *\n",
+        })
+        findings = lint_package(
+            tmp_path, self.FILES, select=["REP043"],
+            reference_roots=[str(tmp_path / "refs")],
+        )
+        flagged = by_rule(findings, "REP043")
+        assert len(flagged) == 1
+        assert "'unused'" in flagged[0].message

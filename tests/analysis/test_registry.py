@@ -31,6 +31,12 @@ from repro.analysis.hygiene import (
     OverBroadExceptRule,
 )
 from repro.analysis.robustness import DirectStateWriteRule, UnboundedRetryRule
+from repro.analysis.shardrules import (
+    OrderSensitiveMergeRule,
+    RngStreamEscapeRule,
+    SharedMutableStateRule,
+    UnregisteredCheckpointStateRule,
+)
 from repro.analysis.suppressions import StaleSuppressionRule
 
 EXPORTED_RULES = {
@@ -51,6 +57,10 @@ EXPORTED_RULES = {
     "REP042": ShadowedInjectionRule,
     "REP043": DeadExportRule,
     "REP050": StaleSuppressionRule,
+    "REP060": SharedMutableStateRule,
+    "REP061": OrderSensitiveMergeRule,
+    "REP062": RngStreamEscapeRule,
+    "REP063": UnregisteredCheckpointStateRule,
 }
 
 
@@ -73,10 +83,13 @@ class TestRegistry:
         assert rule_cls.title
         assert isinstance(rule_cls.severity, Severity)
 
-    def test_project_rules_are_the_rep04x_decade(self):
+    def test_project_rules_are_the_graph_decades(self):
         project_ids = {
             rule_id
             for rule_id, rule_cls in EXPORTED_RULES.items()
             if issubclass(rule_cls, ProjectRule)
         }
-        assert project_ids == {"REP040", "REP041", "REP042", "REP043"}
+        assert project_ids == {
+            "REP040", "REP041", "REP042", "REP043",
+            "REP060", "REP061", "REP062", "REP063",
+        }

@@ -354,10 +354,11 @@ class TestRep022MissingAll:
 
 
 class TestRegistry:
-    def test_default_pack_has_seventeen_rules(self):
+    def test_default_pack_has_twenty_one_rules(self):
         # 10 per-module REP00x/01x/02x, REP030/REP031, the four REP04x
-        # project rules, and REP050 (stale inline suppression).
-        assert len(default_registry()) == 17
+        # project rules, REP050 (stale inline suppression), and the four
+        # REP06x shard-safety project rules.
+        assert len(default_registry()) == 21
 
     def test_unknown_select_raises(self, tmp_path):
         with pytest.raises(AnalysisError):
