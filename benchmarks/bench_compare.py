@@ -9,6 +9,12 @@ warmup) — byte-identical across machines and Python versions — so any
 difference means the query path's *work* changed, not just its speed,
 and the script exits 1.  Wall times vary with hardware; they are
 printed for the perf trajectory but never gated.
+
+A payload may also carry a ``shard_scaling`` section (``repro bench
+--shards``): the sharded E1 collection's worker-scaling curve.  It is
+printed when present — wall times and CPU counts are hardware facts,
+and the curve's population may differ from the gated workload's — but
+never gated.
 """
 
 from __future__ import annotations
@@ -54,6 +60,9 @@ def compare(baseline: Dict[str, object], candidate: Dict[str, object]) -> int:
         f"({ratio:.2f}x, reported only)"
     )
 
+    _report_shard_scaling("baseline", baseline)
+    _report_shard_scaling("candidate", candidate)
+
     if drift:
         print(
             f"bench-compare: {len(drift)} E1 counter(s) drifted from "
@@ -66,6 +75,24 @@ def compare(baseline: Dict[str, object], candidate: Dict[str, object]) -> int:
         "byte-identical to the baseline"
     )
     return 0
+
+
+def _report_shard_scaling(role: str, payload: Dict[str, object]) -> None:
+    scaling = payload.get("shard_scaling")
+    if not scaling:
+        return
+    print(
+        f"bench-compare: {role} shard-scaling curve "
+        f"(p{scaling['population']}, {scaling['cpus']} cpu(s), "
+        "reported only):"
+    )
+    for point in scaling["points"]:
+        print(
+            f"  {point['workers']} worker(s) [{point['mode']}]: "
+            f"{float(point['wall_seconds']):.3f}s, "
+            f"{point['resolved']} resolved, "
+            f"{point['queries_sent']} queries"
+        )
 
 
 def main(argv) -> int:

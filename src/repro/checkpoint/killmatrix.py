@@ -52,12 +52,21 @@ def run_kill_matrix(
     seed: int,
     config: Optional[StudyConfig] = None,
     fault_profile: Optional[str] = None,
+    shards: int = 1,
+    shard_mode: str = "inline",
 ) -> Dict[str, object]:
     """Crash at every barrier in every mode; assert resumed == reference.
 
     Returns the divergence-report payload: one case per (mode, barrier)
     with its verdict and dotted-path divergences, the refusal-path
     checks, and an overall ``passed`` flag.
+
+    With ``shards > 1`` the whole matrix runs through the sharded
+    execution plane: the reference is an uninterrupted sharded campaign,
+    every crash case arms the plan in *all* lockstep workers, and the
+    refusal-path mutations target shard 0's store (one damaged worker
+    must be enough to stop — or, for the torn tail, be tolerated by —
+    the campaign resume).
     """
     base = Path(base_dir)
     config = config if config is not None else StudyConfig()
@@ -68,7 +77,43 @@ def run_kill_matrix(
         fault_profile=fault_profile,
     )
 
-    reference_report = run_checkpointed_study(base / "reference", **inputs)
+    if shards <= 1:
+        def launch(directory, crash_plan, run_inputs):
+            return run_checkpointed_study(
+                directory, crash_plan=crash_plan, **run_inputs
+            )
+
+        def reopen(directory, run_inputs):
+            return resume_study(directory, **run_inputs)
+
+        def store_dir(directory):
+            return Path(directory)
+    else:
+        # Imported lazily: repro.shard.runner itself imports this
+        # package's serde/store modules, and the package __init__ pulls
+        # in this module — a top-level import would close the cycle.
+        from ..shard.runner import (
+            resume_sharded_study,
+            run_sharded_study,
+            shard_directory,
+        )
+
+        def launch(directory, crash_plan, run_inputs):
+            return run_sharded_study(
+                checkpoint_dir=directory,
+                crash_plan=crash_plan,
+                shard_count=shards,
+                mode=shard_mode,
+                **run_inputs,
+            )
+
+        def reopen(directory, run_inputs):
+            return resume_sharded_study(directory, mode=shard_mode, **run_inputs)
+
+        def store_dir(directory):
+            return shard_directory(directory, 0, shards)
+
+    reference_report = launch(base / "reference", None, inputs)
     reference = study_artifact(reference_report)
     reference_bytes = canonical_json(reference)
 
@@ -86,10 +131,18 @@ def run_kill_matrix(
                     inputs,
                     reference,
                     reference_bytes,
+                    launch,
+                    reopen,
                 )
             )
 
-    refusals = _refusal_checks(base / "reference", inputs, reference_bytes)
+    refusals = _refusal_checks(
+        base / "reference",
+        inputs,
+        reference_bytes,
+        reopen,
+        store_dir(base / "reference"),
+    )
 
     return {
         "schema_version": 1,
@@ -97,6 +150,7 @@ def run_kill_matrix(
         "seed": seed,
         "study_days": config.study_days,
         "fault_profile": fault_profile,
+        "shards": shards,
         "reference_hash": content_hash(reference),
         "cases": cases,
         "refusals": refusals,
@@ -112,17 +166,19 @@ def _crash_case(
     inputs: Dict[str, object],
     reference: Dict[str, object],
     reference_bytes: str,
+    launch,
+    reopen,
 ) -> Dict[str, object]:
     case: Dict[str, object] = {"mode": mode, "barrier": barrier}
     plan = CrashPlan(at_barrier=barrier, mode=mode)
     try:
-        run_checkpointed_study(directory, crash_plan=plan, **inputs)
+        launch(directory, plan, inputs)
     except SimulatedCrash:
         case["crashed"] = True
     else:
         case.update(crashed=False, passed=False, divergences=["crash never fired"])
         return case
-    resumed = study_artifact(resume_study(directory, **inputs))
+    resumed = study_artifact(reopen(directory, inputs))
     identical = canonical_json(resumed) == reference_bytes
     case["passed"] = identical
     case["divergences"] = [] if identical else diff_artifacts(reference, resumed)
@@ -133,15 +189,26 @@ def _refusal_checks(
     reference_dir: Path,
     inputs: Dict[str, object],
     reference_bytes: str,
+    reopen,
+    store_dir: Path,
 ) -> List[Dict[str, object]]:
     """Mutate the (already harvested) reference directory and make sure
-    every refusal path refuses — and the torn-tail path tolerates."""
+    every refusal path refuses — and the torn-tail path tolerates.
+
+    ``store_dir`` is where the journal and snapshots actually live: the
+    reference directory itself for a monolithic run, shard 0's
+    subdirectory for a sharded campaign.
+    """
     checks: List[Dict[str, object]] = []
 
     wrong_seed = dict(inputs, seed=int(inputs["seed"]) + 1)
     checks.append(
         _expect_refusal(
-            "mismatched-seed", reference_dir, wrong_seed, CheckpointMismatchError
+            "mismatched-seed",
+            reference_dir,
+            wrong_seed,
+            CheckpointMismatchError,
+            reopen,
         )
     )
     other_profile = sorted(
@@ -150,17 +217,21 @@ def _refusal_checks(
     wrong_profile = dict(inputs, fault_profile=other_profile)
     checks.append(
         _expect_refusal(
-            "mismatched-profile", reference_dir, wrong_profile, CheckpointMismatchError
+            "mismatched-profile",
+            reference_dir,
+            wrong_profile,
+            CheckpointMismatchError,
+            reopen,
         )
     )
 
     # Torn tail: a partial record (crash mid-append) must be discarded,
     # resuming from the previous barrier and still matching byte-for-byte.
-    journal = reference_dir / "journal.jsonl"
+    journal = store_dir / "journal.jsonl"
     with open(journal, "a", encoding="utf-8") as handle:  # repro: allow[REP031] -- deliberately simulating a torn, non-durable append
         handle.write('{"barrier": 9999, "truncated')
     try:
-        resumed = study_artifact(resume_study(reference_dir, **inputs))
+        resumed = study_artifact(reopen(reference_dir, inputs))
         identical = canonical_json(resumed) == reference_bytes
         checks.append(
             {
@@ -181,14 +252,18 @@ def _refusal_checks(
         )
 
     # Corrupted snapshot: flip one byte in the newest snapshot body.
-    snapshots = sorted(reference_dir.glob("snapshot-*.json"))
+    snapshots = sorted(store_dir.glob("snapshot-*.json"))
     target = snapshots[-1]
     body = bytearray(target.read_bytes())
     body[len(body) // 2] ^= 0xFF
     target.write_bytes(bytes(body))  # repro: allow[REP031] -- deliberately corrupting a snapshot to prove the refusal path
     checks.append(
         _expect_refusal(
-            "corrupt-snapshot", reference_dir, inputs, CheckpointCorruptError
+            "corrupt-snapshot",
+            reference_dir,
+            inputs,
+            CheckpointCorruptError,
+            reopen,
         )
     )
     return checks
@@ -199,9 +274,10 @@ def _expect_refusal(
     directory: Path,
     inputs: Dict[str, object],
     expected: type,
+    reopen,
 ) -> Dict[str, object]:
     try:
-        resume_study(directory, **inputs)
+        reopen(directory, inputs)
     except expected as exc:
         return {"check": name, "passed": True, "detail": str(exc)}
     except Exception as exc:  # repro: allow[REP021] -- wrong-exception-type is recorded as a failing verdict, not propagated

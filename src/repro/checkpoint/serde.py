@@ -31,6 +31,8 @@ from ..net.ipaddr import IPv4Address
 __all__ = [
     "SERDE_REGISTRY",
     "config_to_dict",
+    "report_partial_to_dict",
+    "restore_report_partial",
     "serialize_runtime",
     "restore_runtime",
 ]
@@ -174,6 +176,56 @@ def _pipeline_from_dict(payload: Dict[str, object]) -> PipelineReport:
     )
 
 
+# -- report (daily-loop partial) -------------------------------------------
+
+
+def report_partial_to_dict(report) -> Dict[str, object]:
+    """The report fields the daily loop accumulates, as JSON primitives.
+
+    This is the payload unit both planes exchange: the checkpoint
+    snapshot embeds it per barrier, and a shard worker ships it to the
+    coordinator at the end of its slice's campaign.  Derived analyses
+    (adoption, pauses, exposure summary, ground truth) are excluded —
+    :meth:`SixWeekStudy.finalise` recomputes them from this state.
+    """
+    return {
+        "snapshots": [_daily_to_dict(s) for s in report.snapshots],
+        "observations": [
+            [_observation_to_list(www, obs) for www, obs in day.items()]
+            for day in report.observations
+        ],
+        "unmeasured_daily_counts": list(report.unmeasured_daily_counts),
+        "partial_days": list(report.partial_days),
+        "skipped_scan_weeks": list(report.skipped_scan_weeks),
+        "cloudflare_weekly": [
+            _pipeline_to_dict(w) for w in report.cloudflare_weekly
+        ],
+        "incapsula_weekly": [
+            _pipeline_to_dict(w) for w in report.incapsula_weekly
+        ],
+    }
+
+
+def restore_report_partial(report, partial: Dict[str, object]) -> None:
+    """Overlay a :func:`report_partial_to_dict` payload onto a report."""
+    report.snapshots = [_daily_from_dict(s) for s in partial["snapshots"]]
+    report.observations = [
+        {entry[0]: _observation_from_list(entry) for entry in day}
+        for day in partial["observations"]
+    ]
+    report.unmeasured_daily_counts = [
+        int(count) for count in partial["unmeasured_daily_counts"]
+    ]
+    report.partial_days = [int(day) for day in partial["partial_days"]]
+    report.skipped_scan_weeks = [int(w) for w in partial["skipped_scan_weeks"]]
+    report.cloudflare_weekly = [
+        _pipeline_from_dict(w) for w in partial["cloudflare_weekly"]
+    ]
+    report.incapsula_weekly = [
+        _pipeline_from_dict(w) for w in partial["incapsula_weekly"]
+    ]
+
+
 # -- runtime ---------------------------------------------------------------
 
 
@@ -186,28 +238,12 @@ def serialize_runtime(study: SixWeekStudy, runtime: StudyRuntime) -> Dict[str, o
     restored state.
     """
     world = study.world
-    report = runtime.report
     fault_plan = world.fabric.fault_plan
     return {
         "clock_now": world.clock.now,
         "day_index": runtime.day_index,
         "study_start_day": runtime.study_start_day,
-        "report": {
-            "snapshots": [_daily_to_dict(s) for s in report.snapshots],
-            "observations": [
-                [_observation_to_list(www, obs) for www, obs in day.items()]
-                for day in report.observations
-            ],
-            "unmeasured_daily_counts": list(report.unmeasured_daily_counts),
-            "partial_days": list(report.partial_days),
-            "skipped_scan_weeks": list(report.skipped_scan_weeks),
-            "cloudflare_weekly": [
-                _pipeline_to_dict(w) for w in report.cloudflare_weekly
-            ],
-            "incapsula_weekly": [
-                _pipeline_to_dict(w) for w in report.incapsula_weekly
-            ],
-        },
+        "report": report_partial_to_dict(runtime.report),
         "collector": runtime.collector.state_dict(),
         "verifier": runtime.verifier.state_dict(),
         "harvest": runtime.harvest.state_dict(),
@@ -252,24 +288,7 @@ def restore_runtime(
         )
     runtime.day_index = int(state["day_index"])
 
-    report = runtime.report
-    partial = state["report"]
-    report.snapshots = [_daily_from_dict(s) for s in partial["snapshots"]]
-    report.observations = [
-        {entry[0]: _observation_from_list(entry) for entry in day}
-        for day in partial["observations"]
-    ]
-    report.unmeasured_daily_counts = [
-        int(count) for count in partial["unmeasured_daily_counts"]
-    ]
-    report.partial_days = [int(day) for day in partial["partial_days"]]
-    report.skipped_scan_weeks = [int(w) for w in partial["skipped_scan_weeks"]]
-    report.cloudflare_weekly = [
-        _pipeline_from_dict(w) for w in partial["cloudflare_weekly"]
-    ]
-    report.incapsula_weekly = [
-        _pipeline_from_dict(w) for w in partial["incapsula_weekly"]
-    ]
+    restore_report_partial(runtime.report, state["report"])
 
     runtime.collector.restore_state(state["collector"])
     runtime.verifier.restore_state(state["verifier"])

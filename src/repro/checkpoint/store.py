@@ -93,8 +93,17 @@ class CheckpointStore:
         population: int,
         config: Dict[str, object],
         fault_profile: Optional[str] = None,
+        shard: Optional[Dict[str, int]] = None,
     ) -> "CheckpointStore":
-        """Start a fresh checkpoint directory (refuses to reuse one)."""
+        """Start a fresh checkpoint directory (refuses to reuse one).
+
+        ``shard`` records the store's position in a sharded campaign —
+        ``{"index": i, "count": n}`` for a worker's store, ``{"count": n}``
+        for the coordinator's parent directory, ``None`` (the default)
+        for a monolithic run.  The identity is checked on resume: a
+        worker's slice of the measurements must never be resumed as if
+        it covered the whole population, nor vice versa.
+        """
         directory = Path(directory)
         if (directory / MANIFEST_NAME).exists():
             raise CheckpointError(
@@ -110,6 +119,7 @@ class CheckpointStore:
             "config_hash": content_hash(config),
             "fault_profile": fault_profile,
             "profile_hash": content_hash({"fault_profile": fault_profile}),
+            "shard": shard,
         }
         atomic_write_text(directory / MANIFEST_NAME, canonical_json(manifest) + "\n")
         return cls(directory, manifest)
@@ -144,13 +154,21 @@ class CheckpointStore:
         population: int,
         config: Dict[str, object],
         fault_profile: Optional[str] = None,
+        shard: Optional[Dict[str, int]] = None,
     ) -> None:
-        """Refuse (loudly) to marry this store to different inputs."""
+        """Refuse (loudly) to marry this store to different inputs.
+
+        ``shard`` must match the identity recorded at :meth:`create`
+        (``None`` for monolithic stores) — manifests written before the
+        sharding plane carry no ``shard`` key, which reads back as
+        ``None`` and stays resumable monolithically.
+        """
         expected = {
             "seed": int(seed),
             "population": int(population),
             "fault_profile": fault_profile,
             "config_hash": content_hash(config),
+            "shard": shard,
         }
         for key, value in expected.items():
             recorded = self.manifest.get(key)

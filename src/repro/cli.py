@@ -3,19 +3,21 @@
 ::
 
     python -m repro study  [--population N] [--seed S] [--days D] [--warmup W]
+                           [--shards N] [--shard-mode inline|process]
     python -m repro scan   [--population N] [--seed S]
     python -m repro attack [--population N] [--seed S] [--gbps G]
     python -m repro purge-probe [--trials T] [--plan PLAN]
     python -m repro bench  [--population N] [--seed S] [--warmup W]
-                           [--label L] [--out PATH]
+                           [--label L] [--out PATH] [--shards N[,N...]]
     python -m repro chaos  --profile NAME [--population N] [--seed S]
                            [--warmup W] [--out PATH]
     python -m repro resume CHECKPOINT_DIR [--population N] [--seed S]
                            [--days D] [--warmup W] [--profile NAME]
-                           [--export PATH]
+                           [--export PATH] [--shard-mode inline|process]
     python -m repro kill-matrix [--population N] [--seed S] [--days D]
                            [--warmup W] [--profile NAME] [--workdir DIR]
-                           [--out PATH]
+                           [--out PATH] [--shards N]
+                           [--shard-mode inline|process]
     python -m repro lint   [paths] [--select IDS] [--ignore IDS]
                            [--format text|json|sarif] [--baseline PATH]
                            [--update-baseline] [--cache PATH] [--no-cache]
@@ -39,6 +41,17 @@ study at every barrier in both crash modes, resumes each, and writes a
 resumed run is byte-identical to the uninterrupted reference); ``lint``
 runs the determinism and simulation-invariant static analysis (exit 0
 clean, 1 findings, 2 usage error).
+
+``study --shards N`` partitions the site population across ``N``
+lockstep workers (forked processes by default, ``--shard-mode inline``
+for in-process) and merges their measurements into a report
+byte-identical to the monolithic run's; with ``--checkpoint`` each
+worker keeps its own store under the campaign directory and ``resume``
+detects the sharded layout from the coordinator manifest.
+``kill-matrix --shards N`` runs the whole matrix through the sharded
+plane, and ``bench --shards 1,2,4,8`` appends a worker-scaling curve
+for the E1 collection to the BENCH payload.  docs/SCALING.md documents
+the execution model.
 """
 
 from __future__ import annotations
@@ -95,6 +108,13 @@ def build_parser() -> argparse.ArgumentParser:
     study.add_argument("--fault-profile", metavar="NAME", default=None,
                        help="run the checkpointed study under a named "
                             "fault profile (requires --checkpoint)")
+    study.add_argument("--shards", type=int, default=1, metavar="N",
+                       help="partition the population across N lockstep "
+                            "workers and merge byte-identically (default 1)")
+    study.add_argument("--shard-mode", choices=["inline", "process"],
+                       default="process",
+                       help="how sharded workers execute: forked processes "
+                            "or in-process objects (default process)")
 
     scan = subparsers.add_parser("scan", help="one residual-resolution sweep")
     add_world_args(scan)
@@ -125,6 +145,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="trajectory label (default: p<population>)")
     bench.add_argument("--out", metavar="PATH", default=None,
                        help="output path (default: BENCH_<label>.json)")
+    bench.add_argument("--shards", metavar="N[,N...]", default=None,
+                       help="also measure the sharded E1 collection at "
+                            "these worker counts (e.g. 1,2,4,8) and record "
+                            "the scaling curve in the payload")
 
     chaos = subparsers.add_parser(
         "chaos",
@@ -159,6 +183,10 @@ def build_parser() -> argparse.ArgumentParser:
                         help="fault profile the original run used, if any")
     resume.add_argument("--export", metavar="PATH", default=None,
                         help="also write the report as JSON to PATH")
+    resume.add_argument("--shard-mode", choices=["inline", "process"],
+                        default="process",
+                        help="worker execution mode when the checkpoint is "
+                             "a sharded campaign (default process)")
 
     killmatrix = subparsers.add_parser(
         "kill-matrix",
@@ -181,6 +209,13 @@ def build_parser() -> argparse.ArgumentParser:
     killmatrix.add_argument("--out", metavar="PATH", default="KILLMATRIX.json",
                             help="divergence report path "
                                  "(default: KILLMATRIX.json)")
+    killmatrix.add_argument("--shards", type=int, default=1, metavar="N",
+                            help="run the matrix through the sharded "
+                                 "execution plane with N workers (default 1)")
+    killmatrix.add_argument("--shard-mode", choices=["inline", "process"],
+                            default="inline",
+                            help="worker execution mode for sharded matrix "
+                                 "runs (default inline)")
 
     lint = subparsers.add_parser(
         "lint", help="determinism & simulation-invariant static analysis"
@@ -302,6 +337,8 @@ def main(argv: Optional[List[str]] = None) -> int:  # repro: allow[REP040] -- re
         return _cmd_resume(args)
     if args.command == "kill-matrix":
         return _cmd_kill_matrix(args)
+    if args.command == "study" and args.shards > 1:
+        return _cmd_study_sharded(args)
     if args.command == "study" and args.checkpoint:
         return _cmd_study_checkpointed(args)
     world = SimulatedInternet(
@@ -350,10 +387,37 @@ def _cmd_chaos(args) -> int:
     return 0
 
 
+def _parse_shard_counts(raw: str) -> List[int]:
+    counts = []
+    for part in raw.split(","):
+        part = part.strip()
+        if part:
+            counts.append(int(part))
+    if not counts or any(count < 1 for count in counts):
+        raise ValueError(f"bad shard-count list {raw!r}")
+    return counts
+
+
 def _cmd_bench(world: SimulatedInternet, args) -> int:  # repro: allow[REP040] -- run_bench's wall-clock reads are the bench's output, not simulation state
     from .obs.bench import run_bench
 
+    if args.shards is not None:
+        try:
+            shard_counts = _parse_shard_counts(args.shards)
+        except ValueError:
+            print(f"repro bench: --shards wants a comma-separated list of "
+                  f"positive worker counts, got {args.shards!r}",
+                  file=sys.stderr)
+            return 2
+    else:
+        shard_counts = None
     result = run_bench(world, warmup_days=args.warmup, label=args.label)
+    if shard_counts:
+        from .obs.bench import run_shard_scaling
+
+        result["shard_scaling"] = run_shard_scaling(
+            world, shard_counts=shard_counts
+        )
     out_path = args.out or f"BENCH_{result['label']}.json"
     atomic_write_json(out_path, result)
     e1 = result["e1_collection"]
@@ -372,6 +436,14 @@ def _cmd_bench(world: SimulatedInternet, args) -> int:  # repro: allow[REP040] -
         naive = comparison["naive"]["queries_per_resolved"]
         print(f"query path: batched {batched:.2f} vs naive {naive:.2f} "
               f"queries/resolved name")
+    scaling = result.get("shard_scaling")
+    if scaling:
+        print(f"shard scaling ({scaling['cpus']} cpu(s)):")
+        for point in scaling["points"]:
+            print(f"  {point['workers']} worker(s) [{point['mode']}]: "
+                  f"{point['wall_seconds']:.3f}s, "
+                  f"{point['resolved']} resolved, "
+                  f"{point['queries_sent']} queries")
     print(f"bench written to {out_path}")
     return 0
 
@@ -396,6 +468,31 @@ def _print_study_report(report, export: Optional[str]) -> int:
     return 0
 
 
+def _cmd_study_sharded(args) -> int:
+    from .errors import CheckpointError, ShardError
+    from .shard import run_sharded_study
+
+    if args.fault_profile and not args.checkpoint:
+        print("repro study: --fault-profile requires --checkpoint",
+              file=sys.stderr)
+        return 2
+    config = StudyConfig(warmup_days=args.warmup, study_days=args.days)
+    try:
+        report = run_sharded_study(
+            population=args.population,
+            seed=args.seed,
+            config=config,
+            fault_profile=args.fault_profile,
+            shard_count=args.shards,
+            mode=args.shard_mode,
+            checkpoint_dir=args.checkpoint,
+        )
+    except (CheckpointError, ShardError) as exc:
+        print(f"repro study: {exc}", file=sys.stderr)
+        return 1
+    return _print_study_report(report, args.export)
+
+
 def _cmd_study_checkpointed(args) -> int:
     from .checkpoint import run_checkpointed_study
     from .errors import CheckpointError
@@ -417,18 +514,36 @@ def _cmd_study_checkpointed(args) -> int:
 
 def _cmd_resume(args) -> int:
     from .checkpoint import resume_study
-    from .errors import CheckpointError
+    from .checkpoint.store import CheckpointStore
+    from .errors import CheckpointError, ShardError
 
     config = StudyConfig(warmup_days=args.warmup, study_days=args.days)
     try:
-        report = resume_study(
-            args.checkpoint,
-            population=args.population,
-            seed=args.seed,
-            config=config,
-            fault_profile=args.fault_profile,
-        )
-    except CheckpointError as exc:
+        # A sharded campaign's coordinator manifest records {"count": n}
+        # (no "index"); anything else resumes through the monolithic
+        # plane, including a worker's own shard-<i>-of-<n> store, which
+        # the identity check then refuses.
+        shard = CheckpointStore.open(args.checkpoint).manifest.get("shard")
+        if isinstance(shard, dict) and "count" in shard and "index" not in shard:
+            from .shard import resume_sharded_study
+
+            report = resume_sharded_study(
+                args.checkpoint,
+                population=args.population,
+                seed=args.seed,
+                config=config,
+                fault_profile=args.fault_profile,
+                mode=args.shard_mode,
+            )
+        else:
+            report = resume_study(
+                args.checkpoint,
+                population=args.population,
+                seed=args.seed,
+                config=config,
+                fault_profile=args.fault_profile,
+            )
+    except (CheckpointError, ShardError) as exc:
         print(f"repro resume: {exc}", file=sys.stderr)
         return 1
     return _print_study_report(report, args.export)
@@ -447,6 +562,8 @@ def _cmd_kill_matrix(args) -> int:
         seed=args.seed,
         config=config,
         fault_profile=args.fault_profile,
+        shards=args.shards,
+        shard_mode=args.shard_mode,
     )
     atomic_write_json(args.out, payload)
     failed = [c for c in payload["cases"] if not c["passed"]]

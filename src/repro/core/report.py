@@ -98,11 +98,16 @@ def render_fig2_adoption(report: StudyReport) -> str:
             report.adoption_by_provider.items(), key=lambda kv: -kv[1]
         )
     ]
+    growth = (
+        f"{report.adoption_growth:+.2%}"
+        if report.adoption_growth is not None
+        else "undefined (no adopters)"
+    )
     header = (
         f"Fig. 2 — DPS adoption (avg/day). Overall rate "
         f"{report.overall_adoption_rate:.2%} (paper: 14.85%); top-sites "
         f"{report.top_sites_adoption_rate:.2%} (paper: 38.98%); growth "
-        f"{report.adoption_growth:+.2%} (paper: +1.17%).\n"
+        f"{growth} (paper: +1.17%).\n"
     )
     return header + _table(["provider", "sites (sim)", "sites (×scale)"], rows)
 
@@ -166,7 +171,8 @@ def render_fig7_vantage(report: StudyReport) -> str:
     rows = [
         (pop, count)
         for pop, count in sorted(
-            report.scan_pop_query_counts.items(), key=lambda kv: -kv[1]
+            report.scan_pop_query_counts.items(),
+            key=lambda kv: (-kv[1], kv[0]),
         )
         if count > 0
     ]

@@ -39,6 +39,15 @@ class NameserverHarvest:
 
     The paper extracted 391 nameservers carrying the unique string
     ``ns.cloudflare.com`` from observed NS records (§V-A-1).
+
+    The harvest is a *set with a canonical order*: every read
+    (:attr:`hostnames`, :meth:`state_dict`, :meth:`resolve_addresses`)
+    walks the hostnames sorted lexicographically.  First-seen order is
+    deliberately not part of the contract — it depends on which sites a
+    process collects and in what interleaving, so a sharded run's merged
+    harvest could never match a monolithic run's.  Sorted order is
+    partition-independent: the union of per-shard harvests reads back
+    exactly like the monolithic harvest.
     """
 
     def __init__(self, marker: str = "ns.cloudflare") -> None:
@@ -53,33 +62,42 @@ class NameserverHarvest:
                     if self.marker in str(ns_target):
                         self._hostnames.setdefault(DomainName(ns_target))
 
+    def _sorted(self) -> List[DomainName]:
+        return sorted(self._hostnames, key=str)
+
     @property
     def hostnames(self) -> List[DomainName]:
-        """Every harvested nameserver hostname."""
-        return list(self._hostnames)
+        """Every harvested nameserver hostname, in canonical order."""
+        return self._sorted()
 
     def state_dict(self) -> List[str]:
-        """The harvested hostnames, in first-seen order."""
-        return [str(hostname) for hostname in self._hostnames]
+        """The harvested hostnames, in canonical (sorted) order."""
+        return [str(hostname) for hostname in self._sorted()]
 
     def restore_state(self, hostnames: Iterable[str]) -> None:
-        """Reinstate the harvest captured by :meth:`state_dict`.
-
-        First-seen order is part of the state: it fixes the order the
-        weekly address-resolution batch walks, hence the query sequence
-        a resumed run replays.
-        """
+        """Reinstate the harvest captured by :meth:`state_dict`."""
         self._hostnames = {DomainName(hostname): None for hostname in hostnames}
+
+    def merge(self, other: "NameserverHarvest") -> None:
+        """Absorb another harvest (same marker) into this one.
+
+        Set union; the canonical sorted order makes the result identical
+        no matter how the ingests were partitioned across processes.
+        """
+        for hostname in other._hostnames:
+            self._hostnames.setdefault(hostname)
 
     def resolve_addresses(self, resolver: RecursiveResolver) -> List[IPv4Address]:
         """Resolve each harvested hostname to its (anycast) address.
 
         One batched pass: the hostnames all sit under the provider's
         infrastructure zone, exactly the sibling-heavy shape the
-        resolver's zone-cut memo exists for.
+        resolver's zone-cut memo exists for.  The batch walks the
+        canonical sorted order, so the returned address list is the same
+        whichever process(es) did the harvesting.
         """
         results = resolver.resolve_many(
-            (hostname, RecordType.A) for hostname in self._hostnames
+            (hostname, RecordType.A) for hostname in self._sorted()
         )
         addresses: List[IPv4Address] = []
         for result in results:
@@ -120,7 +138,11 @@ class CloudflareScanner:  # repro: allow[REP063] -- constructed fresh inside eac
         self.queries_answered = 0
         self.queries_ignored = 0
 
-    def scan(self, hostnames: Iterable["DomainName | str"]) -> List[RetrievedRecord]:
+    def scan(
+        self,
+        hostnames: Iterable["DomainName | str"],
+        start_index: int = 0,
+    ) -> List[RetrievedRecord]:
         """Retrieve the A records the provider still holds.
 
         Each hostname is queried at a *randomly-chosen* nameserver from
@@ -130,11 +152,22 @@ class CloudflareScanner:  # repro: allow[REP063] -- constructed fresh inside eac
         fixed nameserver subset, which is what an aligned
         ``index % len`` stride does whenever the fleet size divides
         evenly by the vantage count.
+
+        Both per-hostname decisions are *position-independent*: the
+        nameserver choice draws from a stream forked off ``rng`` by the
+        hostname itself (not from the stream's running position), and
+        the vantage rotation uses the hostname's global index —
+        ``start_index`` is the offset of the first hostname in the full
+        population.  A process scanning only a slice of the population
+        therefore queries each hostname at exactly the (vantage,
+        nameserver) pair the whole-population scan would.
         """
         retrieved: List[RetrievedRecord] = []
-        for index, hostname in enumerate(hostnames):
+        for index, hostname in enumerate(hostnames, start=start_index):
             client = self._clients[index % len(self._clients)]
-            ns_ip = self._rng.choice(self._nameserver_ips)
+            ns_ip = self._rng.fork(str(DomainName(hostname))).choice(
+                self._nameserver_ips
+            )
             response = client.query(ns_ip, hostname, RecordType.A)
             self.metrics.incr("scan.cloudflare.queries")
             if response is None or response.rcode is not Rcode.NOERROR or not response.answers:

@@ -39,7 +39,34 @@ from .pipeline import FilterPipeline, PipelineReport
 from .residual_scan import CloudflareScanner, IncapsulaScanner, NameserverHarvest
 from .status import DpsObservation, StatusDeterminer
 
-__all__ = ["StudyConfig", "StudyReport", "StudyRuntime", "SixWeekStudy"]
+__all__ = [
+    "StudyConfig",
+    "StudyReport",
+    "StudyRuntime",
+    "SixWeekStudy",
+    "shard_bounds",
+]
+
+
+def shard_bounds(total: int, shard_index: int, shard_count: int) -> "tuple[int, int]":
+    """The half-open ``[start, end)`` slice of shard ``shard_index``.
+
+    Contiguous balanced partition: every shard gets ``total //
+    shard_count`` items and the first ``total % shard_count`` shards get
+    one extra, so the shards cover the population exactly once, in
+    order.  Pure arithmetic — the coordinator and every worker compute
+    the same bounds without coordination.
+    """
+    if shard_count < 1:
+        raise ValueError(f"shard_count must be >= 1, got {shard_count}")
+    if not 0 <= shard_index < shard_count:
+        raise ValueError(
+            f"shard_index {shard_index} out of range for {shard_count} shard(s)"
+        )
+    base, extra = divmod(total, shard_count)
+    start = shard_index * base + min(shard_index, extra)
+    end = start + base + (1 if shard_index < extra else 0)
+    return start, end
 
 
 @dataclass
@@ -85,7 +112,11 @@ class StudyReport:
     adoption_by_provider: Dict[str, float] = field(default_factory=dict)
     overall_adoption_rate: float = 0.0
     top_sites_adoption_rate: float = 0.0
-    adoption_growth: float = 0.0
+    #: Relative adoption growth over the study, measured against the
+    #: first day with a nonzero adopter count.  ``None`` means the
+    #: baseline never existed (no site adopted on any day) — distinct
+    #: from ``0.0``, which means adoption genuinely did not grow.
+    adoption_growth: Optional[float] = None
 
     # Fig. 3 / Table IV
     behavior_daily_counts: Dict[int, Dict[BehaviorKind, int]] = field(default_factory=dict)
@@ -185,6 +216,20 @@ class StudyRuntime:
     incap_scanner: Optional[IncapsulaScanner] = None
     cf_pipeline: Optional[FilterPipeline] = None
     incap_pipeline: Optional[FilterPipeline] = None
+    #: Which slice of the population this runtime measures.  A
+    #: monolithic run is the degenerate shard 0-of-1 with offset 0;
+    #: shard workers carry their index so the weekly scan can rotate
+    #: vantage points by *global* hostname position.
+    shard_index: int = 0
+    shard_count: int = 1
+    shard_offset: int = 0
+    #: Scan-time harvest override.  The weekly Cloudflare sweep needs
+    #: the nameservers harvested across the *whole* population (the
+    #: paper's 391 names came from every delegation observed, §V-A-1);
+    #: a shard's own harvest covers only its slice.  The shard runner
+    #: sets this to the merged, broadcast harvest before each scan day;
+    #: ``None`` (the monolithic case) falls back to ``harvest``.
+    scan_harvest: Optional[NameserverHarvest] = None
 
     @property
     def finished(self) -> bool:
@@ -217,13 +262,20 @@ class SixWeekStudy:
             self.run_day(runtime)
         return self.finalise(runtime)
 
-    def begin(self) -> StudyRuntime:
+    def begin(self, shard_index: int = 0, shard_count: int = 1) -> StudyRuntime:
         """Warm the world up and build the campaign's measurement state.
 
         Returns the :class:`StudyRuntime` positioned at day 0 (checkpoint
         barrier 0: post-warmup, nothing measured yet).
+
+        With ``shard_count > 1`` the runtime measures only shard
+        ``shard_index``'s contiguous slice of the population (see
+        :func:`shard_bounds`); the world itself is always the full one —
+        its dynamics are global and measurement-independent, so every
+        shard replays the identical world and observes its own sites.
         """
         world, config = self.world, self.config
+        start, end = shard_bounds(len(world.population), shard_index, shard_count)
         report = StudyReport(
             config=config,
             population_size=len(world.population),
@@ -250,11 +302,12 @@ class SixWeekStudy:
                 world.provider("cloudflare").prefixes, world.make_resolver(), verifier
             )
 
+        hostnames = [str(site.www) for site in world.population]
         return StudyRuntime(
             report=report,
             study_start_day=world.clock.day,
             day_index=0,
-            hostnames=[str(site.www) for site in world.population],
+            hostnames=hostnames[start:end],
             collection_resolver=collection_resolver,
             collector=DnsRecordCollector(collection_resolver),
             verifier=verifier,
@@ -267,6 +320,9 @@ class SixWeekStudy:
             incap_scanner=incap_scanner,
             cf_pipeline=cf_pipeline,
             incap_pipeline=incap_pipeline,
+            shard_index=shard_index,
+            shard_count=shard_count,
+            shard_offset=start,
         )
 
     @shard_entry
@@ -275,14 +331,28 @@ class SixWeekStudy:
 
         Advances ``runtime.day_index`` and the world by one day; calling
         it ``config.study_days`` times from a fresh :meth:`begin` runtime
-        reproduces the monolithic loop exactly.
+        reproduces the monolithic loop exactly.  The three phases are
+        exposed separately (:meth:`collect_day`, :meth:`scan_day`,
+        :meth:`advance_day`) so the shard runner can interpose the
+        harvest broadcast between collection and the weekly scan; this
+        method is their exact composition.
         """
-        world, config = self.world, self.config
-        report = runtime.report
-        day_index = runtime.day_index
-        cf_provider = world.providers.get("cloudflare")
+        self.collect_day(runtime)
+        if self.scan_due(runtime):
+            self.scan_day(runtime)
+        self.advance_day(runtime)
 
-        day = world.clock.day
+    def scan_due(self, runtime: StudyRuntime) -> bool:
+        """Whether the current study day carries a weekly §V scan."""
+        return (
+            self.config.run_residual_scans
+            and runtime.day_index % self.config.scan_every_days == 0
+        )
+
+    def collect_day(self, runtime: StudyRuntime) -> None:
+        """Phase 1: daily A/CNAME/NS collection over the shard's slice."""
+        report = runtime.report
+        day = self.world.clock.day
         snapshot = runtime.collector.collect(runtime.hostnames, day)
         report.snapshots.append(snapshot)
         report.observations.append(
@@ -298,43 +368,61 @@ class SixWeekStudy:
         if runtime.incap_scanner is not None:
             runtime.incap_scanner.ingest([snapshot])
 
-        if config.run_residual_scans and day_index % config.scan_every_days == 0:
-            week = day_index // config.scan_every_days
-            ns_ips: List = []
-            if runtime.cf_pipeline is not None and len(runtime.harvest) > 0:
-                ns_ips = runtime.harvest.resolve_addresses(world.make_resolver())
-                if not ns_ips:
-                    # Every harvested nameserver name failed to
-                    # resolve this week (outage / exhausted budget):
-                    # carry the week as skipped, don't crash.
-                    report.skipped_scan_weeks.append(week)
-            if ns_ips:
-                scanner = CloudflareScanner(
-                    ns_ips,
-                    runtime.vantage_clients,
-                    rng=world.rng.fork(f"cf-scan-week-{week}"),
-                )
-                fleet = cf_provider.customer_fleet if cf_provider else None
-                before = fleet.pop_query_counts() if fleet else {}
-                retrieved = scanner.scan(runtime.hostnames)
-                if fleet is not None:
-                    for pop, count in fleet.pop_query_counts().items():
-                        delta = count - before.get(pop, 0)
-                        if delta:
-                            runtime.scan_pop_totals[pop] = (
-                                runtime.scan_pop_totals.get(pop, 0) + delta
-                            )
-                weekly = runtime.cf_pipeline.run(retrieved, "cloudflare", week)
-                report.cloudflare_weekly.append(weekly)
-                runtime.exposure.record_week(weekly.verified_websites())
-            if runtime.incap_scanner is not None and runtime.incap_pipeline is not None:
-                retrieved = runtime.incap_scanner.scan()
-                report.incapsula_weekly.append(
-                    runtime.incap_pipeline.run(retrieved, "incapsula", week)
-                )
+    def scan_day(self, runtime: StudyRuntime) -> None:
+        """Phase 2 (weekly): the §V residual-resolution sweeps."""
+        world, config = self.world, self.config
+        report = runtime.report
+        day_index = runtime.day_index
+        cf_provider = world.providers.get("cloudflare")
+        week = day_index // config.scan_every_days
+        harvest = (
+            runtime.scan_harvest
+            if runtime.scan_harvest is not None
+            else runtime.harvest
+        )
+        ns_ips: List = []
+        if runtime.cf_pipeline is not None:
+            if len(harvest) > 0:
+                ns_ips = harvest.resolve_addresses(world.make_resolver())
+            if not ns_ips:
+                # The sweep cannot run this week — either nothing has
+                # been harvested yet (no cloudflare delegation observed
+                # before the first scan day) or every harvested name
+                # failed to resolve (outage / exhausted budget).  Both
+                # paths record the skip; silently dropping the week
+                # made the weekly series lie about its own coverage.
+                report.skipped_scan_weeks.append(week)
+        if ns_ips:
+            scanner = CloudflareScanner(
+                ns_ips,
+                runtime.vantage_clients,
+                rng=world.rng.fork(f"cf-scan-week-{week}"),
+            )
+            fleet = cf_provider.customer_fleet if cf_provider else None
+            before = fleet.pop_query_counts() if fleet else {}
+            retrieved = scanner.scan(
+                runtime.hostnames, start_index=runtime.shard_offset
+            )
+            if fleet is not None:
+                for pop, count in fleet.pop_query_counts().items():
+                    delta = count - before.get(pop, 0)
+                    if delta:
+                        runtime.scan_pop_totals[pop] = (
+                            runtime.scan_pop_totals.get(pop, 0) + delta
+                        )
+            weekly = runtime.cf_pipeline.run(retrieved, "cloudflare", week)
+            report.cloudflare_weekly.append(weekly)
+            runtime.exposure.record_week(weekly.verified_websites())
+        if runtime.incap_scanner is not None and runtime.incap_pipeline is not None:
+            retrieved = runtime.incap_scanner.scan()
+            report.incapsula_weekly.append(
+                runtime.incap_pipeline.run(retrieved, "incapsula", week)
+            )
 
-        world.engine.run_day()
-        runtime.day_index = day_index + 1
+    def advance_day(self, runtime: StudyRuntime) -> None:
+        """Phase 3: advance the world and the day cursor."""
+        self.world.engine.run_day()
+        runtime.day_index = runtime.day_index + 1
 
     def finalise(self, runtime: StudyRuntime) -> StudyReport:
         """The post-loop analyses, turning the runtime into the report."""
@@ -351,11 +439,30 @@ class SixWeekStudy:
         if config.run_residual_scans:
             report.cloudflare_exposure = runtime.exposure.summary()
             report.harvested_nameservers = len(runtime.harvest)
-            report.scan_pop_query_counts = runtime.scan_pop_totals
+            # Canonical (sorted) key order: the runtime dict's insertion
+            # order is first-seen order, which depends on how the
+            # campaign executed (fresh, resumed, or merged from shards)
+            # even though the totals themselves never do.
+            report.scan_pop_query_counts = {
+                pop: runtime.scan_pop_totals[pop]
+                for pop in sorted(runtime.scan_pop_totals)
+            }
+        # The observable ground-truth window.  Snapshots cover days
+        # [start, start + study_days); an event stamped on day d happens
+        # *after* day d's snapshot and is first visible in day d+1's, so
+        # events from the final run_day (day start + study_days - 1)
+        # never appear in any snapshot diff.  The window must exclude
+        # them — and the days past the study that later callers may have
+        # advanced the world through — or the ground-truth series claims
+        # events no measurement could recover.  The bound matches
+        # :meth:`StudyReport.ground_truth_daily_average`'s
+        # ``study_days - 1`` divisor: the window spans exactly that many
+        # observable days.
+        last_observable = runtime.study_start_day + config.study_days - 1
         report.ground_truth_events = [
             event
             for event in world.engine.events
-            if event.day >= runtime.study_start_day
+            if runtime.study_start_day <= event.day < last_observable
         ]
         return report
 
@@ -422,10 +529,14 @@ class SixWeekStudy:
         report.top_sites_adoption_rate = (
             sum(top_adopted_per_day) / num_days / len(top_sites) if top_sites else 0.0
         )
-        if adopted_per_day[0] > 0:
-            report.adoption_growth = (
-                adopted_per_day[-1] - adopted_per_day[0]
-            ) / adopted_per_day[0]
+        # Growth is measured against the first day with a nonzero
+        # adopter count, not blindly against day 0: a population that
+        # grows 0 -> 50 adopters must not report zero growth.  When no
+        # day ever has an adopter the baseline is undefined and the
+        # growth stays None.
+        baseline = next((count for count in adopted_per_day if count > 0), None)
+        if baseline is not None:
+            report.adoption_growth = (adopted_per_day[-1] - baseline) / baseline
 
         # Fig. 6: Cloudflare customers by rerouting mechanism.
         ns_count = cname_count = 0

@@ -33,6 +33,7 @@ __all__ = [
     "CheckpointMismatchError",
     "CheckpointSchemaError",
     "SimulatedCrash",
+    "ShardError",
 ]
 
 
@@ -184,3 +185,15 @@ class SimulatedCrash(ReproError):
     """Raised by a ``CRASH`` fault at its checkpoint barrier — the
     deterministic stand-in for ``kill -9`` that the kill-matrix harness
     uses to cut a study short at a known point."""
+
+
+# ---------------------------------------------------------------------------
+# Sharded execution plane
+# ---------------------------------------------------------------------------
+
+
+class ShardError(ReproError):
+    """The sharded study runner or merge detected an inconsistency:
+    worker payloads from mismatched topologies or positions, a worker
+    process that died without reporting, or merge inputs that could not
+    have come from one lockstep run."""

@@ -123,3 +123,31 @@ class NameserverQuarantine:
     def quarantined_addresses(self) -> List[IPv4Address]:
         """Addresses currently quarantined, in sorted order."""
         return sorted(self._entries, key=str)
+
+    @staticmethod
+    def merge_snapshots(
+        snapshots: Iterable[Iterable[Tuple[str, int, int]]],
+    ) -> List[Tuple[str, int, int]]:
+        """Union per-shard quarantine rosters into one canonical roster.
+
+        Each study shard resolves only its own slice, so each resolver
+        quarantines only the servers *it* exhausted a budget against;
+        the campaign-level roster is their union.  When two shards
+        quarantined the same address, the merged entry keeps the
+        earliest quarantined-at and the latest re-probe-due — the same
+        entry a single resolver would hold after both failures.  Sorted
+        by address, like :meth:`snapshot`, so the merge is independent
+        of shard order.
+        """
+        merged: Dict[str, Tuple[int, int]] = {}
+        for entries in snapshots:
+            for address, quarantined_at, due in entries:
+                previous = merged.get(address)
+                if previous is None:
+                    merged[address] = (int(quarantined_at), int(due))
+                else:
+                    merged[address] = (
+                        min(previous[0], int(quarantined_at)),
+                        max(previous[1], int(due)),
+                    )
+        return sorted((addr, at, due) for addr, (at, due) in merged.items())

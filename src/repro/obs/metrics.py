@@ -117,6 +117,20 @@ class MetricsRegistry:
                 )
         self._counters = {name: int(value) for name, value in counters.items()}
 
+    def merge(self, other: "MetricsRegistry | Dict[str, int]") -> None:
+        """Fold another registry's totals into this one, counter-wise.
+
+        The sharded study's aggregation primitive: each worker counts
+        its own slice's queries, and the coordinator sums the per-shard
+        registries into campaign totals.  Addition is commutative, so
+        the merged totals are independent of worker completion order.
+        Accepts either a registry or a :meth:`snapshot` dict (what a
+        worker process ships over the wire).
+        """
+        counters = other.snapshot() if isinstance(other, MetricsRegistry) else other
+        for name in sorted(counters):
+            self.incr(name, int(counters[name]))
+
     # -- snapshots -----------------------------------------------------
 
     def snapshot(self, prefix: Optional[str] = None) -> Dict[str, int]:

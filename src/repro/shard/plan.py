@@ -1,0 +1,67 @@
+"""Shard topology: who measures which slice of the population.
+
+A sharded study run is ``N`` workers over one deterministic world.
+Every worker rebuilds the *full* world from ``(seed, population)`` —
+world dynamics are global (the admin model steps every site each day
+from one forked RNG stream) and measurement-independent, so replicas
+stay in lockstep by construction — and measures only its contiguous
+slice of the population, computed by
+:func:`~repro.core.study.shard_bounds` with no coordination.
+
+The :class:`ShardPlan` is the one value the coordinator and the workers
+must agree on.  It is pure arithmetic over ``(population, shard_count)``
+so it can be recomputed anywhere (a worker process, a resumed run, the
+checkpoint manifest check) and always comes out the same.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from ..core.study import shard_bounds
+from ..errors import ConfigurationError
+
+__all__ = ["ShardPlan"]
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """The partition of ``population`` sites over ``shard_count`` workers."""
+
+    population: int
+    shard_count: int
+
+    def __post_init__(self) -> None:
+        if self.population < 1:
+            raise ConfigurationError(
+                f"population must be >= 1, got {self.population}"
+            )
+        if self.shard_count < 1:
+            raise ConfigurationError(
+                f"shard_count must be >= 1, got {self.shard_count}"
+            )
+        if self.shard_count > self.population:
+            raise ConfigurationError(
+                f"cannot split {self.population} site(s) over "
+                f"{self.shard_count} shard(s); every shard needs at "
+                "least one site"
+            )
+
+    def bounds(self, shard_index: int) -> Tuple[int, int]:
+        """Half-open ``[start, end)`` site-index slice of one shard."""
+        return shard_bounds(self.population, shard_index, self.shard_count)
+
+    def sizes(self) -> List[int]:
+        """Slice sizes, in shard order (they differ by at most one)."""
+        return [
+            end - start
+            for start, end in (
+                self.bounds(index) for index in range(self.shard_count)
+            )
+        ]
+
+    @property
+    def shard_indices(self) -> range:
+        """Iterate shard indices in canonical (merge) order."""
+        return range(self.shard_count)

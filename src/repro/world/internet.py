@@ -12,6 +12,7 @@ Address plan
 10.0.0.0/9          DPS provider platforms
 10.128.0.0/9        root/TLD infrastructure
 172.16.0.0/12      hosting providers (origin space)
+100.64.0.0/10       hosting overflow (very large populations only)
 192.168.0.0/16      off-net ("shared ISP") edge addresses
 198.18.0.0/15       vantage-point cloud
 ==================  =====================
@@ -49,6 +50,15 @@ from .website import Website
 __all__ = ["SimulatedInternet"]
 
 _NUM_HOSTING_PROVIDERS = 6
+#: Sites per hosting provider before the fleet grows.  Each provider
+#: owns one /16 origin pool (~65k addresses); capping occupancy at 50k
+#: leaves headroom for origin moves and round-robin pools.  Populations
+#: up to 300k sites keep the classic six-provider fleet, so every world
+#: small enough to have existed before the cap stays byte-identical.
+_SITES_PER_HOSTING_PROVIDER = 50_000
+#: The 172.16.0.0/12 hosting space holds sixteen /16 pools; providers
+#: beyond that draw from the CGNAT overflow block.
+_PROVIDERS_PER_HOSTING_SPACE = 16
 _MULTICDN_MEMBERS = ("fastly", "cloudfront", "akamai")
 
 
@@ -105,18 +115,34 @@ class SimulatedInternet:
             specs=self.specs,
         )
 
-        # Hosting providers.
-        self.hosting_providers: List[HostingProvider] = [
-            HostingProvider(
-                f"hostco{i + 1}",
-                64800 + i,
-                self.fabric,
-                self.hierarchy,
-                self.as_registry,
-                hosting_space,
+        # Hosting providers.  The fleet grows with the population so the
+        # per-provider /16 origin pools never exhaust: six providers up
+        # to 300k sites (the historical layout, unchanged for every
+        # world that could previously be built), one more per 50k sites
+        # beyond that, spilling into the CGNAT overflow space once the
+        # hosting /12 is fully carved.
+        num_hosting = max(
+            _NUM_HOSTING_PROVIDERS,
+            -(-self.config.population_size // _SITES_PER_HOSTING_PROVIDER),
+        )
+        hosting_overflow: Optional[AddressAllocator] = None
+        self.hosting_providers: List[HostingProvider] = []
+        for i in range(num_hosting):
+            space = hosting_space
+            if i >= _PROVIDERS_PER_HOSTING_SPACE:
+                if hosting_overflow is None:
+                    hosting_overflow = AddressAllocator("100.64.0.0/10")
+                space = hosting_overflow
+            self.hosting_providers.append(
+                HostingProvider(
+                    f"hostco{i + 1}",
+                    64800 + i,
+                    self.fabric,
+                    self.hierarchy,
+                    self.as_registry,
+                    space,
+                )
             )
-            for i in range(_NUM_HOSTING_PROVIDERS)
-        ]
 
         # Multi-CDN front-end (optional).
         self.multicdn: Optional[MultiCdnService] = None

@@ -1,0 +1,33 @@
+"""Shared fixtures for the sharded-execution tests.
+
+Everything runs at a deliberately tiny scale: 120 sites, 8 warm-up
+days, 8 study days — long enough that *two* weekly scan sweeps fire
+(study days 0 and 7), so the merge is exercised over multi-week state,
+small enough that a monolithic reference plus several sharded replays
+stay in seconds.
+"""
+
+import pytest
+
+from repro.checkpoint import canonical_json, study_artifact
+from repro.core.study import SixWeekStudy, StudyConfig
+from repro.world import SimulatedInternet, WorldConfig
+
+POPULATION = 120
+SEED = 23
+WARMUP_DAYS = 8
+STUDY_DAYS = 8
+
+
+def small_config() -> StudyConfig:
+    return StudyConfig(warmup_days=WARMUP_DAYS, study_days=STUDY_DAYS)
+
+
+@pytest.fixture(scope="session")
+def monolithic_artifact() -> str:
+    """The single-process campaign's artifact, canonically encoded."""
+    world = SimulatedInternet(
+        WorldConfig(population_size=POPULATION, seed=SEED)
+    )
+    report = SixWeekStudy(world, small_config()).run()
+    return canonical_json(study_artifact(report))

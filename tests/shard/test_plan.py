@@ -1,0 +1,82 @@
+"""The partition arithmetic: exact coverage, balance, loud refusals."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.study import shard_bounds
+from repro.errors import ConfigurationError
+from repro.shard import ShardPlan
+
+
+class TestShardPlan:
+    def test_bounds_cover_population_exactly_once(self):
+        plan = ShardPlan(population=10, shard_count=3)
+        covered = [
+            index
+            for shard in plan.shard_indices
+            for index in range(*plan.bounds(shard))
+        ]
+        assert covered == list(range(10))
+
+    def test_sizes_are_balanced_and_in_shard_order(self):
+        plan = ShardPlan(population=10, shard_count=3)
+        assert plan.sizes() == [4, 3, 3]
+        assert sum(plan.sizes()) == plan.population
+
+    def test_single_shard_is_the_whole_population(self):
+        plan = ShardPlan(population=7, shard_count=1)
+        assert plan.bounds(0) == (0, 7)
+
+    @pytest.mark.parametrize(
+        "population, shard_count",
+        [(0, 1), (10, 0), (10, -1), (2, 3)],
+    )
+    def test_bad_topologies_are_refused(self, population, shard_count):
+        with pytest.raises(ConfigurationError):
+            ShardPlan(population=population, shard_count=shard_count)
+
+    def test_out_of_range_shard_index_is_refused(self):
+        plan = ShardPlan(population=10, shard_count=2)
+        with pytest.raises(ValueError):
+            plan.bounds(2)
+        with pytest.raises(ValueError):
+            plan.bounds(-1)
+
+    @given(
+        population=st.integers(min_value=1, max_value=500),
+        shard_count=st.integers(min_value=1, max_value=32),
+    )
+    def test_property_partition_is_exact_contiguous_and_balanced(
+        self, population, shard_count
+    ):
+        if shard_count > population:
+            with pytest.raises(ConfigurationError):
+                ShardPlan(population=population, shard_count=shard_count)
+            return
+        plan = ShardPlan(population=population, shard_count=shard_count)
+        bounds = [plan.bounds(index) for index in plan.shard_indices]
+        # Contiguous: each shard starts where the previous one ended.
+        assert bounds[0][0] == 0
+        assert bounds[-1][1] == population
+        for (_, previous_end), (start, _) in zip(bounds, bounds[1:]):
+            assert start == previous_end
+        # Balanced: sizes differ by at most one, larger shards first.
+        sizes = plan.sizes()
+        assert max(sizes) - min(sizes) <= 1
+        assert sizes == sorted(sizes, reverse=True)
+
+    @given(
+        population=st.integers(min_value=1, max_value=300),
+        shard_count=st.integers(min_value=1, max_value=16),
+        shard_index=st.integers(min_value=0, max_value=15),
+    )
+    def test_property_bounds_need_no_coordination(
+        self, population, shard_count, shard_index
+    ):
+        """Any party recomputes the same bounds from pure arithmetic."""
+        if shard_index >= shard_count or shard_count > population:
+            return
+        assert shard_bounds(
+            population, shard_index, shard_count
+        ) == ShardPlan(population, shard_count).bounds(shard_index)

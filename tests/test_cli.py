@@ -220,3 +220,54 @@ class TestCheckpointCommands:
         payload = json.loads(out_path.read_text())
         assert payload["passed"] is True
         assert len(payload["cases"]) == 3
+
+
+class TestShardFlags:
+    def test_study_shard_defaults(self):
+        args = build_parser().parse_args(["study"])
+        assert args.shards == 1
+        assert args.shard_mode == "process"
+
+    def test_kill_matrix_shard_defaults_to_inline(self):
+        args = build_parser().parse_args(["kill-matrix"])
+        assert args.shards == 1
+        assert args.shard_mode == "inline"
+
+    def test_bench_shard_list_parses(self):
+        from repro.cli import _parse_shard_counts
+
+        assert _parse_shard_counts("1,2,4,8") == [1, 2, 4, 8]
+        assert _parse_shard_counts("3") == [3]
+        with pytest.raises(ValueError):
+            _parse_shard_counts("2,0")
+        with pytest.raises(ValueError):
+            _parse_shard_counts("two")
+
+    def test_bench_rejects_bad_shard_list(self, capsys):
+        code = main([
+            "bench", "--population", "50", "--warmup", "1",
+            "--shards", "0",
+        ])
+        assert code == 2
+        assert "--shards" in capsys.readouterr().err
+
+    def test_sharded_study_fault_profile_requires_checkpoint(self, capsys):
+        code = main([
+            "study", "--population", "60", "--days", "1", "--warmup", "1",
+            "--shards", "2", "--fault-profile", "lossy-default",
+        ])
+        assert code == 2
+        assert "requires --checkpoint" in capsys.readouterr().err
+
+    def test_sharded_study_command_small(self, capsys, tmp_path):
+        export = tmp_path / "report.json"
+        code = main([
+            "study", "--population", "60", "--seed", "5",
+            "--days", "2", "--warmup", "3",
+            "--shards", "2", "--shard-mode", "inline",
+            "--export", str(export),
+        ])
+        printed = capsys.readouterr().out
+        assert code == 0
+        assert "SIX-WEEK STUDY" in printed or "study" in printed.lower()
+        assert json.loads(export.read_text())["population_size"] == 60
