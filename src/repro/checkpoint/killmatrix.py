@@ -31,6 +31,7 @@ from ..errors import (
 from ..faults.chaos import _collection_artifact, diff_artifacts
 from ..faults.crash import CRASH_MODES, CrashPlan
 from ..faults.profiles import PROFILES
+from ..traffic.profiles import TRAFFIC_PROFILES
 from .runner import resume_study, run_checkpointed_study
 from .store import canonical_json, content_hash
 
@@ -52,6 +53,7 @@ def run_kill_matrix(
     seed: int,
     config: Optional[StudyConfig] = None,
     fault_profile: Optional[str] = None,
+    traffic_profile: Optional[str] = None,
     shards: int = 1,
     shard_mode: str = "inline",
 ) -> Dict[str, object]:
@@ -75,6 +77,7 @@ def run_kill_matrix(
         seed=seed,
         config=config,
         fault_profile=fault_profile,
+        traffic_profile=traffic_profile,
     )
 
     if shards <= 1:
@@ -150,6 +153,7 @@ def run_kill_matrix(
         "seed": seed,
         "study_days": config.study_days,
         "fault_profile": fault_profile,
+        "traffic_profile": traffic_profile,
         "shards": shards,
         "reference_hash": content_hash(reference),
         "cases": cases,
@@ -220,6 +224,19 @@ def _refusal_checks(
             "mismatched-profile",
             reference_dir,
             wrong_profile,
+            CheckpointMismatchError,
+            reopen,
+        )
+    )
+    other_traffic = sorted(
+        name for name in TRAFFIC_PROFILES if name != inputs["traffic_profile"]
+    )[0]
+    wrong_traffic = dict(inputs, traffic_profile=other_traffic)
+    checks.append(
+        _expect_refusal(
+            "mismatched-traffic",
+            reference_dir,
+            wrong_traffic,
             CheckpointMismatchError,
             reopen,
         )

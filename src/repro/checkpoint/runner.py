@@ -40,6 +40,7 @@ def run_checkpointed_study(
     seed: int,
     config: Optional[StudyConfig] = None,
     fault_profile: Optional[str] = None,
+    traffic_profile: Optional[str] = None,
     crash_plan: Optional[CrashPlan] = None,
 ) -> StudyReport:
     """Run the study from scratch, committing a barrier per day.
@@ -56,8 +57,9 @@ def run_checkpointed_study(
         population=population,
         config=config_to_dict(config),
         fault_profile=fault_profile,
+        traffic_profile=traffic_profile,
     )
-    study, runtime = _begin(population, seed, config, fault_profile)
+    study, runtime = _begin(population, seed, config, fault_profile, traffic_profile)
     return _drive(store, study, runtime, crash_plan, latest_barrier=-1)
 
 
@@ -68,6 +70,7 @@ def resume_study(
     seed: int,
     config: Optional[StudyConfig] = None,
     fault_profile: Optional[str] = None,
+    traffic_profile: Optional[str] = None,
     crash_plan: Optional[CrashPlan] = None,
 ) -> StudyReport:
     """Continue a crashed run on the exact deterministic trajectory.
@@ -86,6 +89,7 @@ def resume_study(
         population=population,
         config=config_to_dict(config),
         fault_profile=fault_profile,
+        traffic_profile=traffic_profile,
     )
     record = store.latest()
     if record is None:
@@ -95,7 +99,7 @@ def resume_study(
         )
     state = store.load_snapshot(record)
 
-    study, runtime = _begin(population, seed, config, fault_profile)
+    study, runtime = _begin(population, seed, config, fault_profile, traffic_profile)
     # Replay the world's measurement-independent dynamics day by day up
     # to the snapshot's position, then overlay the measurement state.
     for _ in range(int(state["day_index"])):
@@ -120,19 +124,24 @@ def _begin(
     seed: int,
     config: StudyConfig,
     fault_profile: Optional[str],
+    traffic_profile: Optional[str] = None,
 ) -> "tuple[SixWeekStudy, StudyRuntime]":
     """Deterministically rebuild world + study and begin the campaign.
 
     The fault profile installs *after* warm-up, so its day-windowed
     rules are relative to the same clock day on every rebuild — this is
     what makes a resumed run's fault schedule identical to the
-    original's.
+    original's.  The traffic plane installs the same way: post-warmup,
+    so a resumed run replays the identical background-load trajectory
+    before the snapshot overlays the plane's exact state.
     """
     world = SimulatedInternet(WorldConfig(population_size=population, seed=seed))
     study = SixWeekStudy(world, config)
     runtime = study.begin()
     if fault_profile is not None:
         world.install_faults(fault_profile)
+    if traffic_profile is not None:
+        world.install_traffic(traffic_profile)
     return study, runtime
 
 

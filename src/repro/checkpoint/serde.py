@@ -45,6 +45,10 @@ __all__ = [
 #: objects that live across ``run_day`` calls but are absent here would
 #: silently lose state on resume.
 SERDE_REGISTRY = frozenset({
+    # Carried transitively: TrafficPlane.state_dict embeds every
+    # bucket level, breaker state, and the adaptive limiter's tier.
+    "AdaptiveLimiter",
+    "CircuitBreaker",
     "DailySnapshot",
     "DnsClient",
     "DnsRecordCollector",
@@ -67,6 +71,8 @@ SERDE_REGISTRY = frozenset({
     "StudyConfig",
     "StudyReport",
     "StudyRuntime",
+    "TokenBucket",
+    "TrafficPlane",
 })
 
 
@@ -197,6 +203,9 @@ def report_partial_to_dict(report) -> Dict[str, object]:
         "unmeasured_daily_counts": list(report.unmeasured_daily_counts),
         "partial_days": list(report.partial_days),
         "skipped_scan_weeks": list(report.skipped_scan_weeks),
+        "partial_scan_weeks": sorted(
+            [week, count] for week, count in report.partial_scan_weeks.items()
+        ),
         "cloudflare_weekly": [
             _pipeline_to_dict(w) for w in report.cloudflare_weekly
         ],
@@ -218,6 +227,10 @@ def restore_report_partial(report, partial: Dict[str, object]) -> None:
     ]
     report.partial_days = [int(day) for day in partial["partial_days"]]
     report.skipped_scan_weeks = [int(w) for w in partial["skipped_scan_weeks"]]
+    report.partial_scan_weeks = {
+        int(week): int(count)
+        for week, count in partial.get("partial_scan_weeks", [])
+    }
     report.cloudflare_weekly = [
         _pipeline_from_dict(w) for w in partial["cloudflare_weekly"]
     ]
@@ -239,6 +252,7 @@ def serialize_runtime(study: SixWeekStudy, runtime: StudyRuntime) -> Dict[str, o
     """
     world = study.world
     fault_plan = world.fabric.fault_plan
+    traffic_plane = world.fabric.traffic_plane
     return {
         "clock_now": world.clock.now,
         "day_index": runtime.day_index,
@@ -268,6 +282,9 @@ def serialize_runtime(study: SixWeekStudy, runtime: StudyRuntime) -> Dict[str, o
             [pop, count] for pop, count in runtime.scan_pop_totals.items()
         ),
         "fault_plan": fault_plan.state_dict() if fault_plan is not None else None,
+        "traffic_plane": (
+            traffic_plane.state_dict() if traffic_plane is not None else None
+        ),
     }
 
 
@@ -319,6 +336,18 @@ def restore_runtime(
         )
     if fault_plan is not None:
         fault_plan.restore_state(fault_state)
+
+    # Old snapshots predate the traffic plane; their runs never had one
+    # installed, so a missing key means the same as an explicit None.
+    traffic_state = state.get("traffic_plane")
+    traffic_plane = study.world.fabric.traffic_plane
+    if (traffic_state is None) != (traffic_plane is None):
+        raise CheckpointCorruptError(
+            "snapshot and rebuilt world disagree about whether a traffic "
+            "plane is installed"
+        )
+    if traffic_plane is not None:
+        traffic_plane.restore_state(traffic_state)
 
 
 def _restore_optional(obj: Optional[object], saved: Optional[object], name: str) -> None:

@@ -93,6 +93,7 @@ class CheckpointStore:
         population: int,
         config: Dict[str, object],
         fault_profile: Optional[str] = None,
+        traffic_profile: Optional[str] = None,
         shard: Optional[Dict[str, int]] = None,
     ) -> "CheckpointStore":
         """Start a fresh checkpoint directory (refuses to reuse one).
@@ -119,6 +120,7 @@ class CheckpointStore:
             "config_hash": content_hash(config),
             "fault_profile": fault_profile,
             "profile_hash": content_hash({"fault_profile": fault_profile}),
+            "traffic_profile": traffic_profile,
             "shard": shard,
         }
         atomic_write_text(directory / MANIFEST_NAME, canonical_json(manifest) + "\n")
@@ -154,6 +156,7 @@ class CheckpointStore:
         population: int,
         config: Dict[str, object],
         fault_profile: Optional[str] = None,
+        traffic_profile: Optional[str] = None,
         shard: Optional[Dict[str, int]] = None,
     ) -> None:
         """Refuse (loudly) to marry this store to different inputs.
@@ -161,12 +164,15 @@ class CheckpointStore:
         ``shard`` must match the identity recorded at :meth:`create`
         (``None`` for monolithic stores) — manifests written before the
         sharding plane carry no ``shard`` key, which reads back as
-        ``None`` and stays resumable monolithically.
+        ``None`` and stays resumable monolithically.  Likewise
+        ``traffic_profile``: pre-traffic manifests read back as ``None``
+        and stay resumable without background load.
         """
         expected = {
             "seed": int(seed),
             "population": int(population),
             "fault_profile": fault_profile,
+            "traffic_profile": traffic_profile,
             "config_hash": content_hash(config),
             "shard": shard,
         }

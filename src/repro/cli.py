@@ -4,11 +4,15 @@
 
     python -m repro study  [--population N] [--seed S] [--days D] [--warmup W]
                            [--shards N] [--shard-mode inline|process]
+                           [--traffic PROFILE]
     python -m repro scan   [--population N] [--seed S]
     python -m repro attack [--population N] [--seed S] [--gbps G]
     python -m repro purge-probe [--trials T] [--plan PLAN]
     python -m repro bench  [--population N] [--seed S] [--warmup W]
                            [--label L] [--out PATH] [--shards N[,N...]]
+                           [--traffic PROFILE]
+    python -m repro traffic [--profile NAME] [--population N] [--seed S]
+                           [--days D]
     python -m repro chaos  --profile NAME [--population N] [--seed S]
                            [--warmup W] [--out PATH]
     python -m repro resume CHECKPOINT_DIR [--population N] [--seed S]
@@ -52,6 +56,15 @@ detects the sharded layout from the coordinator manifest.
 plane, and ``bench --shards 1,2,4,8`` appends a worker-scaling curve
 for the E1 collection to the BENCH payload.  docs/SCALING.md documents
 the execution model.
+
+``--traffic PROFILE`` (on ``study``, ``resume``, ``kill-matrix`` and
+``bench``) installs a named background-load profile after warm-up: the
+provider fleets serve Zipf-distributed client traffic and their defense
+stack (token buckets, adaptive limit tiers, circuit breakers, load
+shedding) may throttle the measurement plane, which degrades gracefully
+(UNMEASURED observations and partial scans, never fabricated
+transitions).  ``repro traffic`` lists the profiles or dry-drives one
+and prints its tallies.  docs/ROBUSTNESS.md documents the semantics.
 """
 
 from __future__ import annotations
@@ -108,6 +121,9 @@ def build_parser() -> argparse.ArgumentParser:
     study.add_argument("--fault-profile", metavar="NAME", default=None,
                        help="run the checkpointed study under a named "
                             "fault profile (requires --checkpoint)")
+    study.add_argument("--traffic", metavar="PROFILE", default=None,
+                       help="drive background load under a named traffic "
+                            "profile ('none' disables; see 'repro traffic')")
     study.add_argument("--shards", type=int, default=1, metavar="N",
                        help="partition the population across N lockstep "
                             "workers and merge byte-identically (default 1)")
@@ -145,6 +161,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="trajectory label (default: p<population>)")
     bench.add_argument("--out", metavar="PATH", default=None,
                        help="output path (default: BENCH_<label>.json)")
+    bench.add_argument("--traffic", metavar="PROFILE", default=None,
+                       help="run the workloads under a named background-"
+                            "traffic profile ('none' disables)")
     bench.add_argument("--shards", metavar="N[,N...]", default=None,
                        help="also measure the sharded E1 collection at "
                             "these worker counts (e.g. 1,2,4,8) and record "
@@ -181,6 +200,8 @@ def build_parser() -> argparse.ArgumentParser:
                         help="warm-up days before the study (default 56)")
     resume.add_argument("--fault-profile", metavar="NAME", default=None,
                         help="fault profile the original run used, if any")
+    resume.add_argument("--traffic", metavar="PROFILE", default=None,
+                        help="traffic profile the original run used, if any")
     resume.add_argument("--export", metavar="PATH", default=None,
                         help="also write the report as JSON to PATH")
     resume.add_argument("--shard-mode", choices=["inline", "process"],
@@ -203,6 +224,9 @@ def build_parser() -> argparse.ArgumentParser:
                             help="warm-up days before the study (default 10)")
     killmatrix.add_argument("--fault-profile", metavar="NAME", default=None,
                             help="also run the matrix under a fault profile")
+    killmatrix.add_argument("--traffic", metavar="PROFILE", default=None,
+                            help="also run the matrix under a background-"
+                                 "traffic profile")
     killmatrix.add_argument("--workdir", metavar="DIR", default=None,
                             help="where the matrix keeps its checkpoint "
                                  "directories (default: a fresh temp dir)")
@@ -216,6 +240,18 @@ def build_parser() -> argparse.ArgumentParser:
                             default="inline",
                             help="worker execution mode for sharded matrix "
                                  "runs (default inline)")
+
+    traffic = subparsers.add_parser(
+        "traffic",
+        help="inspect background-traffic profiles (list, or dry-drive one)",
+    )
+    add_world_args(traffic)
+    traffic.add_argument("--profile", metavar="NAME", default=None,
+                         help="drive this profile against a built world and "
+                              "print its tallies (default: list profiles)")
+    traffic.add_argument("--days", type=int, default=7,
+                         help="days of load to drive with --profile "
+                              "(default 7)")
 
     lint = subparsers.add_parser(
         "lint", help="determinism & simulation-invariant static analysis"
@@ -331,6 +367,17 @@ def main(argv: Optional[List[str]] = None) -> int:  # repro: allow[REP040] -- re
     args = build_parser().parse_args(argv)
     if args.command == "lint":
         return _cmd_lint(args)
+    if args.command == "traffic":
+        return _cmd_traffic(args)
+    if getattr(args, "traffic", None) is not None:
+        from .errors import ConfigurationError
+        from .traffic import normalize_traffic_profile
+
+        try:
+            args.traffic = normalize_traffic_profile(args.traffic)
+        except ConfigurationError as exc:
+            print(f"repro {args.command}: {exc}", file=sys.stderr)
+            return 2
     if args.command == "chaos":
         return _cmd_chaos(args)
     if args.command == "resume":
@@ -411,7 +458,9 @@ def _cmd_bench(world: SimulatedInternet, args) -> int:  # repro: allow[REP040] -
             return 2
     else:
         shard_counts = None
-    result = run_bench(world, warmup_days=args.warmup, label=args.label)
+    result = run_bench(
+        world, warmup_days=args.warmup, label=args.label, traffic=args.traffic
+    )
     if shard_counts:
         from .obs.bench import run_shard_scaling
 
@@ -436,6 +485,15 @@ def _cmd_bench(world: SimulatedInternet, args) -> int:  # repro: allow[REP040] -
         naive = comparison["naive"]["queries_per_resolved"]
         print(f"query path: batched {batched:.2f} vs naive {naive:.2f} "
               f"queries/resolved name")
+    traffic = result.get("traffic")
+    if traffic:
+        sheds = sum(
+            count
+            for name, count in traffic["defense_counters"].items()
+            if name.endswith(".shed") or name.endswith(".throttled")
+        )
+        print(f"traffic [{traffic['profile']}]: tier={traffic['tier']}, "
+              f"{sheds} measurement deliveries throttled/shed")
     scaling = result.get("shard_scaling")
     if scaling:
         print(f"shard scaling ({scaling['cpus']} cpu(s)):")
@@ -454,7 +512,15 @@ def _cmd_study(world: SimulatedInternet, args) -> int:
               file=sys.stderr)
         return 2
     config = StudyConfig(warmup_days=args.warmup, study_days=args.days)
-    report = SixWeekStudy(world, config).run()
+    study = SixWeekStudy(world, config)
+    runtime = study.begin()
+    if args.traffic is not None:
+        # Post-warmup, exactly like the checkpointed plane's _begin:
+        # background load shapes the measured weeks, not the warm-up.
+        world.install_traffic(args.traffic)
+    while not runtime.finished:
+        study.run_day(runtime)
+    report = study.finalise(runtime)
     return _print_study_report(report, args.export)
 
 
@@ -483,6 +549,7 @@ def _cmd_study_sharded(args) -> int:
             seed=args.seed,
             config=config,
             fault_profile=args.fault_profile,
+            traffic_profile=args.traffic,
             shard_count=args.shards,
             mode=args.shard_mode,
             checkpoint_dir=args.checkpoint,
@@ -505,6 +572,7 @@ def _cmd_study_checkpointed(args) -> int:
             seed=args.seed,
             config=config,
             fault_profile=args.fault_profile,
+            traffic_profile=args.traffic,
         )
     except CheckpointError as exc:
         print(f"repro study: {exc}", file=sys.stderr)
@@ -533,6 +601,7 @@ def _cmd_resume(args) -> int:
                 seed=args.seed,
                 config=config,
                 fault_profile=args.fault_profile,
+                traffic_profile=args.traffic,
                 mode=args.shard_mode,
             )
         else:
@@ -542,6 +611,7 @@ def _cmd_resume(args) -> int:
                 seed=args.seed,
                 config=config,
                 fault_profile=args.fault_profile,
+                traffic_profile=args.traffic,
             )
     except (CheckpointError, ShardError) as exc:
         print(f"repro resume: {exc}", file=sys.stderr)
@@ -562,6 +632,7 @@ def _cmd_kill_matrix(args) -> int:
         seed=args.seed,
         config=config,
         fault_profile=args.fault_profile,
+        traffic_profile=args.traffic,
         shards=args.shards,
         shard_mode=args.shard_mode,
     )
@@ -580,6 +651,56 @@ def _cmd_kill_matrix(args) -> int:
     if not payload["passed"]:
         print("kill matrix FAILED", file=sys.stderr)
         return 1
+    return 0
+
+
+def _cmd_traffic(args) -> int:
+    from .errors import ConfigurationError
+    from .obs.metrics import MetricsRegistry
+    from .traffic import TRAFFIC_PROFILES, normalize_traffic_profile
+
+    if args.profile is None:
+        print("background-traffic profiles:")
+        for name in sorted(TRAFFIC_PROFILES):
+            profile = TRAFFIC_PROFILES[name]
+            kind = "equivalence" if profile.expect_equivalence else "degradation"
+            surge = (f"surge x{profile.surge_multiplier:.1f} every "
+                     f"{profile.surge_period_days} day(s)"
+                     if profile.surge_period_days else "no surges")
+            print(f"  {name:<8} ({kind}): "
+                  f"{profile.base_daily_queries} queries/region/day, "
+                  f"utilization {profile.target_utilization:.2f}, {surge}")
+            print(f"           {profile.description}")
+        print("('none' disables background traffic)")
+        return 0
+    try:
+        name = normalize_traffic_profile(args.profile)
+    except ConfigurationError as exc:
+        print(f"repro traffic: {exc}", file=sys.stderr)
+        return 2
+    if name is None:
+        print("profile 'none': no background traffic to drive")
+        return 0
+    world = SimulatedInternet(
+        WorldConfig(population_size=args.population, seed=args.seed)
+    )
+    metrics = MetricsRegistry()
+    plane = world.install_traffic(name, metrics=metrics)
+    world.engine.run_days(args.days)
+    print(f"profile {name}: drove {args.days} day(s) at "
+          f"population {args.population}, seed {args.seed}")
+    print(f"  load tier now: {plane.tier}")
+    for key in sorted(plane.tallies):
+        print(f"  {key}: {plane.tallies[key]}")
+    open_breakers = [
+        bname
+        for bname, state, _failures, _trips, _open_until
+        in plane.drive_state()["breakers"]
+        if state != "closed"
+    ]
+    print(f"  breakers not closed: {len(open_breakers)}")
+    for bname in open_breakers[:10]:
+        print(f"    {bname}")
     return 0
 
 

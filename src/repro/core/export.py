@@ -19,7 +19,7 @@ from .study import StudyReport
 
 __all__ = ["report_to_dict", "save_report", "load_report_dict"]
 
-_SCHEMA_VERSION = 1
+_SCHEMA_VERSION = 2
 
 
 def report_to_dict(report: StudyReport) -> Dict[str, Any]:
@@ -118,6 +118,17 @@ def report_to_dict(report: StudyReport) -> Dict[str, Any]:
             "incapsula_totals": dict(report.incapsula_totals),
         },
         "fig9": exposure,
+        "degradation": {
+            "unmeasured_daily_counts": list(report.unmeasured_daily_counts),
+            "total_unmeasured": report.total_unmeasured,
+            "partial_days": list(report.partial_days),
+            "skipped_scan_weeks": list(report.skipped_scan_weeks),
+            "partial_scan_weeks": {
+                str(week): report.partial_scan_weeks[week]
+                for week in sorted(report.partial_scan_weeks)
+            },
+            "quarantined_nameservers": list(report.quarantined_nameservers),
+        },
         "multicdn_flagged": sorted(report.multicdn_flagged),
     }
 

@@ -137,6 +137,9 @@ class CloudflareScanner:  # repro: allow[REP063] -- constructed fresh inside eac
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.queries_answered = 0
         self.queries_ignored = 0
+        #: Hostnames whose sweep was throttled/shed from *every* vantage
+        #: point — unmeasured this week, never recorded as absent.
+        self.queries_throttled = 0
 
     def scan(
         self,
@@ -161,15 +164,35 @@ class CloudflareScanner:  # repro: allow[REP063] -- constructed fresh inside eac
         population.  A process scanning only a slice of the population
         therefore queries each hostname at exactly the (vantage,
         nameserver) pair the whole-population scan would.
+
+        Provider defenses may throttle a query; the admission verdict
+        keys on the client's region, so the scanner degrades gracefully
+        by rotating through the *other* vantage points before giving up.
+        A hostname refused from every vantage counts in
+        :attr:`queries_throttled` — an unmeasured sweep, never an
+        absence observation.  Rotation never runs in an unthrottled
+        sweep, so traffic-free scans stay byte-identical.
         """
         retrieved: List[RetrievedRecord] = []
         for index, hostname in enumerate(hostnames, start=start_index):
-            client = self._clients[index % len(self._clients)]
             ns_ip = self._rng.fork(str(DomainName(hostname))).choice(
                 self._nameserver_ips
             )
-            response = client.query(ns_ip, hostname, RecordType.A)
-            self.metrics.incr("scan.cloudflare.queries")
+            response = None
+            throttled_everywhere = True
+            for step in range(len(self._clients)):
+                client = self._clients[(index + step) % len(self._clients)]
+                response = client.query(ns_ip, hostname, RecordType.A)
+                self.metrics.incr("scan.cloudflare.queries")
+                # Duck-typed like the fabric's handlers: stub clients
+                # without throttle tracking are never throttled.
+                if not getattr(client, "last_throttled", False):
+                    throttled_everywhere = False
+                    break
+            if throttled_everywhere:
+                self.queries_throttled += 1
+                self.metrics.incr("scan.cloudflare.throttled")
+                continue
             if response is None or response.rcode is not Rcode.NOERROR or not response.answers:
                 self.queries_ignored += 1
                 self.metrics.incr("scan.cloudflare.ignored")

@@ -145,10 +145,13 @@ class StudyReport:
     # Degradation bookkeeping (all empty/zero on a fault-free run):
     # per-day UNMEASURED site counts, the days that were partial, weekly
     # Cloudflare sweeps skipped because no nameserver address resolved,
-    # and the nameservers still quarantined when the campaign ended.
+    # hostnames per week whose sweep was throttled from every vantage
+    # point (partial scans — unmeasured, never recorded as absent), and
+    # the nameservers still quarantined when the campaign ended.
     unmeasured_daily_counts: List[int] = field(default_factory=list)
     partial_days: List[int] = field(default_factory=list)
     skipped_scan_weeks: List[int] = field(default_factory=list)
+    partial_scan_weeks: Dict[int, int] = field(default_factory=dict)
     quarantined_nameservers: List[str] = field(default_factory=list)
 
     @property
@@ -403,6 +406,16 @@ class SixWeekStudy:
             retrieved = scanner.scan(
                 runtime.hostnames, start_index=runtime.shard_offset
             )
+            if scanner.queries_throttled:
+                # Provider defenses refused part of this week's sweep
+                # from every vantage point: a *partial* scan.  The count
+                # is recorded so the weekly series carries its own
+                # coverage; the throttled hostnames simply go unmeasured
+                # this week — never recorded as departed.
+                report.partial_scan_weeks[week] = (
+                    report.partial_scan_weeks.get(week, 0)
+                    + scanner.queries_throttled
+                )
             if fleet is not None:
                 for pop, count in fleet.pop_query_counts().items():
                     delta = count - before.get(pop, 0)

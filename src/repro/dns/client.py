@@ -49,6 +49,12 @@ class DnsClient:
         self._retry_rng = retry_rng
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.queries_sent = 0
+        #: Whether the most recent :meth:`query` was throttled or shed
+        #: by provider-side defenses.  Deliberately per-query transient
+        #: (reset on entry, never persisted): callers inspect it right
+        #: after a query to rotate vantage points instead of hammering
+        #: the same (server, region) path that just refused them.
+        self.last_throttled = False
 
     def _jitter_rng(self) -> SeededRng:
         if self._retry_rng is None:
@@ -86,9 +92,17 @@ class DnsClient:
         Returns None when every attempt times out (dark address, packet
         loss, outage) — the simulated equivalent of a timeout — or the
         last response when the server keeps answering ``SERVFAIL``.
+
+        A provider-defense ``throttled``/``shed`` delivery also returns
+        None, with :attr:`last_throttled` raised: the verdict is
+        deterministic per (day, server, name, region), so retrying the
+        same path in-day is futile, and a shed REFUSED is synthetic —
+        treating it as the residual-resolution signal would fabricate a
+        record-purge observation.
         """
         self.queries_sent += 1
         self.metrics.incr("client.queries")
+        self.last_throttled = False
         query = DnsQuery(DomainName(qname), qtype, recursion_desired=False)
         policy = self.retry_policy
         budget = policy.budget()
@@ -102,6 +116,10 @@ class DnsClient:
                 self.metrics.incr("client.retries")
             delivery = self._fabric.deliver_dns(server_ip, query, self.region)
             budget.charge(delivery.latency_ms)
+            if delivery.outcome in ("throttled", "shed"):
+                self.last_throttled = True
+                self.metrics.incr("client.throttled")
+                return None
             response = delivery.response
             if response is not None and response.rcode is not Rcode.SERVFAIL:
                 self.metrics.incr("client.answered")

@@ -461,6 +461,7 @@ class RecursiveResolver:
         budget = policy.budget()
         query = DnsQuery(name, rtype)
         saw_transient = False
+        saw_throttle = False
         for attempt in range(1, policy.max_attempts + 1):
             if attempt > 1:
                 budget.charge(policy.backoff_ms(attempt - 1, self._jitter_rng()))
@@ -477,6 +478,14 @@ class RecursiveResolver:
             if attempt == 1:
                 self.queries_sent += 1
                 self.metrics.incr("resolver.queries_sent")
+            if delivery.outcome in ("throttled", "shed"):
+                # Provider defenses, not server failure.  The verdict is
+                # deterministic per (day, server, name) — retry-after
+                # semantics — so same-day retries here are futile; honor
+                # it and let _query_any fail over to another server.
+                self.metrics.incr("resolver.throttled")
+                saw_throttle = True
+                break
             response = delivery.response
             if response is not None and response.rcode is not Rcode.SERVFAIL:
                 self.quarantine.release(ip)
@@ -486,5 +495,13 @@ class RecursiveResolver:
             self.metrics.incr("resolver.unanswered")
             self.quarantine.quarantine(ip)
             self.metrics.incr("resolver.quarantined")
+            self._transient_failures += 1
+        elif saw_throttle:
+            # A throttled server is healthy — quarantining it would
+            # punish future days for one day's load, so only the
+            # transient-failure marker is raised: if no other server
+            # answers, the resolution degrades to ``gave_up`` (the
+            # answer is unknown, never a fabricated negative).
+            self.metrics.incr("resolver.unanswered")
             self._transient_failures += 1
         return None

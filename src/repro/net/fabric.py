@@ -37,10 +37,13 @@ class Delivery(NamedTuple):
 
     ``response`` is the server's (or the fault plan's synthetic) answer,
     None for a timeout.  ``outcome`` says what happened: ``delivered``,
-    ``dark`` (no handler at the address), or a fault-plan outcome
-    (``loss``, ``outage``, ``rate-limited``, ``servfail``, ``lame``).
-    ``latency_ms`` is injected latency for the caller's retry budget —
-    accounting only, it never advances the simulation clock.
+    ``dark`` (no handler at the address), a fault-plan outcome
+    (``loss``, ``outage``, ``rate-limited``, ``servfail``, ``lame``),
+    or a traffic-defense outcome (``throttled`` — rate-limit drop, the
+    client sees a timeout; ``shed`` — breaker open / load shedding, the
+    client sees a synthetic REFUSED).  ``latency_ms`` is injected
+    latency for the caller's retry budget — accounting only, it never
+    advances the simulation clock.
     """
 
     response: Optional[object]
@@ -81,6 +84,13 @@ class NetworkFabric:
         self._http_anycast: Dict[IPv4Address, _AnycastBinding] = {}
         #: Optional fault-injection plan consulted by deliver_dns/_http.
         self.fault_plan: Optional[object] = None
+        #: Optional background-traffic plane whose provider-side defense
+        #: stack (token buckets, load tiers, circuit breakers) may
+        #: throttle or shed DNS deliveries to provider nameservers.
+        #: Duck-typed like the fault plan: ``admit_dns(addr, query,
+        #: region)`` returns None to admit or a verdict with
+        #: ``response`` / ``outcome`` / ``latency_ms``.
+        self.traffic_plane: Optional[object] = None
 
     # -- DNS plane ------------------------------------------------------
 
@@ -136,9 +146,11 @@ class NetworkFabric:
         """Deliver one DNS query through the (possibly faulty) fabric.
 
         The fault plan, when installed, rules first: it may drop the
-        packet or substitute a synthetic SERVFAIL/REFUSED.  Otherwise
-        the query reaches the server bound at ``ip`` (``dark`` outcome
-        when nothing listens there).
+        packet or substitute a synthetic SERVFAIL/REFUSED.  The traffic
+        plane's defense stack rules next: an overloaded provider may
+        throttle the query or shed it with a synthetic REFUSED.
+        Otherwise the query reaches the server bound at ``ip`` (``dark``
+        outcome when nothing listens there).
         """
         # Hot path: resolvers pass IPv4Address values already; skip the
         # re-wrapping allocation for those.
@@ -150,6 +162,15 @@ class NetworkFabric:
             if not verdict.delivered:
                 return Delivery(verdict.response, verdict.outcome, verdict.latency_ms)
             latency = verdict.latency_ms
+        traffic = self.traffic_plane
+        if traffic is not None:
+            defense = traffic.admit_dns(addr, query, client_region)
+            if defense is not None:
+                return Delivery(
+                    defense.response,
+                    defense.outcome,
+                    latency + defense.latency_ms,
+                )
         server = self.dns_server_at(addr, client_region)
         if server is None:
             return Delivery(None, "dark", latency)

@@ -14,11 +14,37 @@ capacity exhaustion (which drops both) behave differently.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable
+from typing import Iterable, List
 
 from ..errors import ConfigurationError
 
-__all__ = ["TrafficFlow", "DeliveryReport", "CapacityTarget", "combine_flows"]
+__all__ = [
+    "TrafficFlow",
+    "DeliveryReport",
+    "CapacityTarget",
+    "combine_flows",
+    "zipf_weights",
+]
+
+
+def zipf_weights(count: int, exponent: float = 1.1) -> List[float]:
+    """Normalised Zipf popularity weights for ``count`` ranked clients.
+
+    Weight of rank ``k`` (1-based) is proportional to ``1 / k**exponent``;
+    the list sums to 1.0.  This is the client-popularity skew the
+    background-load plane (:mod:`repro.traffic`) uses: a handful of large
+    resolver operators dominate a region's query volume, which is what
+    makes per-client token buckets meaningful.
+    """
+    if count < 1:
+        raise ConfigurationError(f"zipf_weights needs count >= 1: {count}")
+    if exponent <= 0:
+        raise ConfigurationError(
+            f"zipf exponent must be positive: {exponent}"
+        )
+    raw = [1.0 / (rank ** exponent) for rank in range(1, count + 1)]
+    total = sum(raw)
+    return [weight / total for weight in raw]
 
 
 @dataclass(frozen=True)

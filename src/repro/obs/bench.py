@@ -212,11 +212,25 @@ def run_bench(  # repro: allow[REP040] -- timing real hardware is the bench's pu
     world: SimulatedInternet,
     warmup_days: int = 7,
     label: Optional[str] = None,
+    traffic: Optional[str] = None,
 ) -> Dict[str, object]:
-    """Run the E1/E8 workloads and return the BENCH payload."""
+    """Run the E1/E8 workloads and return the BENCH payload.
+
+    ``traffic`` names a background-load profile to install before the
+    warm-up; the E1/E8 workloads then run against a fleet under load,
+    and the payload grows a ``traffic`` section with the plane's tallies
+    and defense counters.  With ``traffic=None`` (the default) the
+    payload — E1 counters included — is byte-identical to a pre-traffic
+    bench, which is exactly what the CI equivalence gate compares.
+    """
     bench_label = label or f"p{len(world.population)}"
     started = _wall_now()
     metrics = MetricsRegistry()
+
+    traffic_plane = None
+    traffic_metrics = MetricsRegistry()
+    if traffic is not None:
+        traffic_plane = world.install_traffic(traffic, metrics=traffic_metrics)
 
     with metrics.timer("bench.warmup", world.clock):
         world.engine.run_days(warmup_days)
@@ -307,7 +321,7 @@ def run_bench(  # repro: allow[REP040] -- timing real hardware is the bench's pu
         "wall_seconds": _wall_now() - e8_started,
     }
 
-    return {
+    payload = {
         "label": bench_label,
         "population": len(world.population),
         "seed": world.config.seed,
@@ -318,3 +332,14 @@ def run_bench(  # repro: allow[REP040] -- timing real hardware is the bench's pu
         "e8_residual_scan": e8,
         "wall_seconds_total": _wall_now() - started,
     }
+    if traffic_plane is not None:
+        payload["traffic"] = {
+            "profile": traffic,
+            "tier": traffic_plane.tier,
+            "tallies": {
+                name: traffic_plane.tallies[name]
+                for name in sorted(traffic_plane.tallies)
+            },
+            "defense_counters": traffic_metrics.snapshot(),
+        }
+    return payload

@@ -29,7 +29,23 @@ from typing import Dict, Optional
 from ..clock import SimulationClock
 from ..errors import SimulationError
 
-__all__ = ["MetricsRegistry", "SimTimer"]
+__all__ = ["MetricsRegistry", "SimTimer", "defense_counter"]
+
+
+def defense_counter(provider: str, tier: str, kind: str) -> str:
+    """Canonical name for a traffic-defense counter.
+
+    The background-traffic plane records every defense verdict against
+    a measurement delivery under
+    ``traffic.defense.<provider>.<tier>.<kind>`` — ``kind`` is one of
+    ``throttled`` (rate-limit drop), ``shed`` (breaker open / load
+    shedding), ``refused`` (synthetic REFUSED actually synthesised) or
+    ``breaker_open`` — split by provider and load tier so ``repro
+    bench`` and the E1/E8 exports can show *who* shed *under what
+    pressure*.  Keeping the scheme in one place means dashboards and
+    tests never drift from the emitting code.
+    """
+    return f"traffic.defense.{provider}.{tier}.{kind}"
 
 
 class SimTimer:

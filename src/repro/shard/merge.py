@@ -36,7 +36,7 @@ from ..faults.quarantine import NameserverQuarantine
 __all__ = ["worker_payload", "merge_payloads", "overlay_merged"]
 
 #: Bump on any incompatible change to the worker payload layout.
-PAYLOAD_VERSION = 1
+PAYLOAD_VERSION = 2
 
 
 def worker_payload(study: SixWeekStudy, runtime: StudyRuntime) -> Dict[str, object]:
@@ -48,6 +48,7 @@ def worker_payload(study: SixWeekStudy, runtime: StudyRuntime) -> Dict[str, obje
     """
     report = runtime.report
     resolver = runtime.collection_resolver
+    traffic_plane = study.world.fabric.traffic_plane
     return {
         "payload_version": PAYLOAD_VERSION,
         "shard": {"index": runtime.shard_index, "count": runtime.shard_count},
@@ -63,6 +64,13 @@ def worker_payload(study: SixWeekStudy, runtime: StudyRuntime) -> Dict[str, obje
         ),
         "quarantine": [list(entry) for entry in resolver.quarantine.snapshot()],
         "metrics": resolver.metrics.snapshot(),
+        # World-side state: the plane is driven identically by every
+        # replica, so this merges by agreement (see _validate_topology),
+        # never by summation — summing replicated tallies would inflate
+        # the background load by the shard count.
+        "traffic": (
+            traffic_plane.drive_state() if traffic_plane is not None else None
+        ),
     }
 
 
@@ -117,6 +125,7 @@ def merge_payloads(payloads: Sequence[Dict[str, object]]) -> Dict[str, object]:
         "scan_pop_totals": sorted([pop, pop_totals[pop]] for pop in pop_totals),
         "quarantine": [list(entry) for entry in quarantine],
         "metrics": {name: metrics[name] for name in sorted(metrics)},
+        "traffic": first["traffic"],
     }
 
 
@@ -155,6 +164,18 @@ def overlay_merged(
         for address, at, due in merged["quarantine"]
     )
     resolver.metrics.restore(merged["metrics"])
+    traffic_state = merged["traffic"]
+    traffic_plane = study.world.fabric.traffic_plane
+    if (traffic_state is None) != (traffic_plane is None):
+        raise ShardError(
+            "workers and the coordinator disagree about whether a traffic "
+            "plane is installed"
+        )
+    if traffic_plane is not None and traffic_plane.drive_state() != traffic_state:
+        raise ShardError(
+            "the coordinator's replayed traffic plane diverged from the "
+            "workers'; the replicas cannot have driven the same load"
+        )
 
 
 # -- internals -------------------------------------------------------------
@@ -191,6 +212,14 @@ def _validate_topology(
                 f"workers disagree on {key}: {sorted(values)}; they cannot "
                 "have replayed the same world in lockstep"
             )
+    # The traffic plane is world-side state every replica drives in
+    # lockstep; its drive_state joins the must-agree family.
+    traffic_states = [p["traffic"] for p in ordered]
+    if any(state != traffic_states[0] for state in traffic_states[1:]):
+        raise ShardError(
+            "workers disagree on the traffic plane's state; they cannot "
+            "have driven the same background load in lockstep"
+        )
     return ordered
 
 
@@ -243,6 +272,14 @@ def _merge_report_partials(
         {int(day) for p in partials for day in p["partial_days"]}
     )
 
+    # Per-week throttled-hostname counts sum: each shard's slice of the
+    # population is disjoint, so its throttled hostnames are too.
+    partial_scans: Dict[int, int] = {}
+    for p in partials:
+        for week, count in p["partial_scan_weeks"]:
+            week = int(week)
+            partial_scans[week] = partial_scans.get(week, 0) + int(count)
+
     # The skip decision is a function of broadcast state (the merged
     # harvest) and world state, both identical across workers; diverging
     # skip lists mean the lockstep broke.
@@ -259,6 +296,9 @@ def _merge_report_partials(
         "unmeasured_daily_counts": unmeasured,
         "partial_days": partial_days,
         "skipped_scan_weeks": skipped[0],
+        "partial_scan_weeks": sorted(
+            [week, partial_scans[week]] for week in partial_scans
+        ),
         "cloudflare_weekly": _merge_weekly(
             [p["cloudflare_weekly"] for p in partials]
         ),

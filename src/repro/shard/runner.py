@@ -88,6 +88,7 @@ class WorkerSpec:
     seed: int
     config: StudyConfig
     fault_profile: Optional[str] = None
+    traffic_profile: Optional[str] = None
     checkpoint_dir: Optional[str] = None
     crash_plan: Optional[CrashPlan] = None
     #: False: fresh run (create the store).  True: open the existing
@@ -126,6 +127,7 @@ class ShardWorker:
             population=spec.population,
             config=config_to_dict(spec.config),
             fault_profile=spec.fault_profile,
+            traffic_profile=spec.traffic_profile,
             shard={"index": spec.shard_index, "count": spec.shard_count},
         )
         if spec.resume:
@@ -145,6 +147,8 @@ class ShardWorker:
         runtime = study.begin(spec.shard_index, spec.shard_count)
         if spec.fault_profile is not None:
             world.install_faults(spec.fault_profile)
+        if spec.traffic_profile is not None:
+            world.install_traffic(spec.traffic_profile)
         return study, runtime
 
     def _seek(self, records: List[Dict[str, object]]) -> None:
@@ -362,6 +366,7 @@ def run_sharded_study(
     seed: int,
     config: Optional[StudyConfig] = None,
     fault_profile: Optional[str] = None,
+    traffic_profile: Optional[str] = None,
     shard_count: int = 1,
     mode: str = "inline",
     checkpoint_dir: "Path | str | None" = None,
@@ -387,6 +392,7 @@ def run_sharded_study(
             population=population,
             config=config_to_dict(config),
             fault_profile=fault_profile,
+            traffic_profile=traffic_profile,
             shard={"count": shard_count},
         )
     specs = [
@@ -397,6 +403,7 @@ def run_sharded_study(
             seed=seed,
             config=config,
             fault_profile=fault_profile,
+            traffic_profile=traffic_profile,
             checkpoint_dir=(
                 str(shard_directory(base, index, shard_count))
                 if base is not None
@@ -407,7 +414,9 @@ def run_sharded_study(
         for index in range(shard_count)
     ]
     payloads = _drive_lockstep(specs, config, mode, start_barrier=0)
-    return _finalise_merged(population, seed, config, fault_profile, payloads)
+    return _finalise_merged(
+        population, seed, config, fault_profile, traffic_profile, payloads
+    )
 
 
 def resume_sharded_study(
@@ -417,6 +426,7 @@ def resume_sharded_study(
     seed: int,
     config: Optional[StudyConfig] = None,
     fault_profile: Optional[str] = None,
+    traffic_profile: Optional[str] = None,
     mode: str = "inline",
     shard_count: Optional[int] = None,
     crash_plan: Optional[CrashPlan] = None,
@@ -451,6 +461,7 @@ def resume_sharded_study(
         population=population,
         config=config_to_dict(config),
         fault_profile=fault_profile,
+        traffic_profile=traffic_profile,
         shard={"count": count},
     )
 
@@ -469,6 +480,7 @@ def resume_sharded_study(
             seed=seed,
             config=config,
             fault_profile=fault_profile,
+            traffic_profile=traffic_profile,
             checkpoint_dir=str(shard_directory(base, index, count)),
             crash_plan=crash_plan,
             resume=True,
@@ -478,7 +490,9 @@ def resume_sharded_study(
     ]
     start = seek_barrier if seek_barrier >= 0 else 0
     payloads = _drive_lockstep(specs, config, mode, start_barrier=start)
-    return _finalise_merged(population, seed, config, fault_profile, payloads)
+    return _finalise_merged(
+        population, seed, config, fault_profile, traffic_profile, payloads
+    )
 
 
 # -- internals -------------------------------------------------------------
@@ -527,6 +541,7 @@ def _finalise_merged(
     seed: int,
     config: StudyConfig,
     fault_profile: Optional[str],
+    traffic_profile: Optional[str],
     payloads: List[Dict[str, object]],
 ) -> StudyReport:
     """Merge worker payloads and run the post-loop analyses.
@@ -543,6 +558,8 @@ def _finalise_merged(
     runtime = study.begin()
     if fault_profile is not None:
         world.install_faults(fault_profile)
+    if traffic_profile is not None:
+        world.install_traffic(traffic_profile)
     for _ in range(int(merged["day_index"])):
         world.engine.run_day()
     try:

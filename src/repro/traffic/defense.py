@@ -1,0 +1,286 @@
+"""Provider-side defense primitives for the background-traffic plane.
+
+Three small, independently testable mechanisms that real DNS operators
+stack in front of authoritative fleets:
+
+* :class:`TokenBucket` — per-client rate limiting at day granularity.
+  Integer arithmetic throughout, so bucket levels are exact and replay
+  byte-identically across processes and shard counts.
+* :class:`AdaptiveLimiter` — fleet-wide load tiers (``normal`` /
+  ``high`` / ``critical``).  Under load the per-client refill rate is
+  cut 50% / 75%, and the measurement plane's queries are shed with the
+  matching probability.
+* :class:`CircuitBreaker` — per-nameserver overload breaker with the
+  classic closed → open → half-open cycle.  Backoff grows exponentially
+  per trip with *seeded* jitter derived from :func:`~repro.rng.stable_hash`
+  (never a drawing RNG stream), so breaker timing is a pure function of
+  (name, trip count) and needs no stream state in a checkpoint.
+
+All three expose ``state_dict`` / ``restore_state`` and are listed in
+:data:`repro.checkpoint.serde.SERDE_REGISTRY`; the
+:class:`~repro.traffic.plane.TrafficPlane` carries them across
+checkpoint barriers byte-identically.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional, Tuple
+
+from ..errors import ConfigurationError
+from ..rng import stable_hash
+
+__all__ = ["TokenBucket", "AdaptiveLimiter", "CircuitBreaker", "TIERS"]
+
+#: Load tiers, mildest first.
+TIERS: Tuple[str, str, str] = ("normal", "high", "critical")
+
+#: Per-client refill multiplier per tier — limits cut 50% / 75% under load.
+_TIER_RATE_MULTIPLIERS: Mapping[str, float] = {
+    "normal": 1.0,
+    "high": 0.5,
+    "critical": 0.25,
+}
+
+#: Probability a measurement-plane query is throttled per tier.
+_TIER_THROTTLE_PROBABILITIES: Mapping[str, float] = {
+    "normal": 0.0,
+    "high": 0.5,
+    "critical": 0.75,
+}
+
+
+class TokenBucket:
+    """A per-client query budget refilled once per simulated day.
+
+    ``capacity`` bounds burst carry-over; ``rate_per_day`` is the
+    steady-state allowance, scaled down by the adaptive limiter's tier
+    multiplier on each refill.  Everything is integer, so levels are
+    exact under replay.
+    """
+
+    __slots__ = ("capacity", "rate_per_day", "level")
+
+    def __init__(
+        self,
+        capacity: int,
+        rate_per_day: int,
+        level: Optional[int] = None,
+    ) -> None:
+        if capacity < 1:
+            raise ConfigurationError(f"bucket capacity must be >= 1: {capacity}")
+        if rate_per_day < 1:
+            raise ConfigurationError(
+                f"bucket rate_per_day must be >= 1: {rate_per_day}"
+            )
+        self.capacity = capacity
+        self.rate_per_day = rate_per_day
+        self.level = capacity if level is None else int(level)
+        if not 0 <= self.level <= capacity:
+            raise ConfigurationError(
+                f"bucket level out of range [0, {capacity}]: {self.level}"
+            )
+
+    def refill(self, rate_multiplier: float = 1.0) -> None:
+        """Start-of-day refill; the tier multiplier cuts the rate under load."""
+        grant = int(self.rate_per_day * rate_multiplier)
+        self.level = min(self.capacity, self.level + grant)
+
+    def consume(self, demand: int) -> int:
+        """Admit up to ``demand`` queries; returns how many got through."""
+        if demand < 0:
+            raise ConfigurationError(f"negative demand: {demand}")
+        admitted = demand if demand <= self.level else self.level
+        self.level -= admitted
+        return admitted
+
+    # -- checkpoint support -------------------------------------------
+
+    def state_dict(self) -> Dict[str, int]:
+        """Mutable state only; capacity/rate are profile configuration."""
+        return {"level": self.level}
+
+    def restore_state(self, state: Dict[str, int]) -> None:
+        """Reinstate a level captured by :meth:`state_dict`."""
+        self.level = int(state["level"])
+
+
+class AdaptiveLimiter:
+    """Fleet-wide load tier derived from daily capacity utilisation.
+
+    ``update`` maps the day's utilisation onto ``normal`` / ``high`` /
+    ``critical``; the tier then scales every client bucket's refill and
+    sets the probability that measurement queries are throttled.
+    """
+
+    __slots__ = ("high_watermark", "critical_watermark", "tier")
+
+    def __init__(
+        self,
+        high_watermark: float = 0.7,
+        critical_watermark: float = 0.9,
+        tier: str = "normal",
+    ) -> None:
+        if not 0.0 < high_watermark < critical_watermark:
+            raise ConfigurationError(
+                f"watermarks must satisfy 0 < high < critical: "
+                f"{high_watermark}, {critical_watermark}"
+            )
+        if tier not in TIERS:
+            raise ConfigurationError(f"unknown load tier: {tier!r}")
+        self.high_watermark = high_watermark
+        self.critical_watermark = critical_watermark
+        self.tier = tier
+
+    def update(self, utilization: float) -> str:
+        """Re-derive the tier from one day's offered-load utilisation."""
+        if utilization >= self.critical_watermark:
+            self.tier = "critical"
+        elif utilization >= self.high_watermark:
+            self.tier = "high"
+        else:
+            self.tier = "normal"
+        return self.tier
+
+    @property
+    def rate_multiplier(self) -> float:
+        """Per-client refill multiplier for the current tier."""
+        return _TIER_RATE_MULTIPLIERS[self.tier]
+
+    @property
+    def throttle_probability(self) -> float:
+        """Probability one measurement query is shed at the current tier."""
+        return _TIER_THROTTLE_PROBABILITIES[self.tier]
+
+    # -- checkpoint support -------------------------------------------
+
+    def state_dict(self) -> Dict[str, str]:
+        """Mutable state only; watermarks are profile configuration."""
+        return {"tier": self.tier}
+
+    def restore_state(self, state: Dict[str, str]) -> None:
+        """Reinstate a tier captured by :meth:`state_dict`."""
+        tier = str(state["tier"])
+        if tier not in TIERS:
+            raise ConfigurationError(f"unknown load tier: {tier!r}")
+        self.tier = tier
+
+
+class CircuitBreaker:
+    """A per-nameserver overload breaker at day granularity.
+
+    State machine: ``closed`` counts consecutive overloaded days and
+    trips to ``open`` at the failure threshold; an open breaker sheds
+    every query until its backoff window elapses, then goes
+    ``half-open``; the next day's load either closes it again or
+    re-trips it with a doubled backoff.
+
+    Backoff jitter is derived from :func:`~repro.rng.stable_hash` of
+    (name, trip count) — a pure function, not an RNG stream — so two
+    replicas of the same world compute identical open windows without
+    sharing any stream position (the thundering-herd jitter stays
+    seeded-deterministic).
+
+    The delivery path reads :meth:`is_open` only; every state transition
+    happens in :meth:`record_day`, which the traffic plane calls once
+    per simulated day.  Admission is therefore a pure read — order-free
+    within a day, as the shard lockstep requires.
+    """
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half-open"
+
+    __slots__ = (
+        "name",
+        "failure_threshold",
+        "base_backoff_days",
+        "jitter_fraction",
+        "max_backoff_days",
+        "state",
+        "failures",
+        "trips",
+        "open_until",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        failure_threshold: int = 3,
+        base_backoff_days: int = 2,
+        jitter_fraction: float = 0.5,
+        max_backoff_days: int = 14,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ConfigurationError(
+                f"failure_threshold must be >= 1: {failure_threshold}"
+            )
+        if base_backoff_days < 1:
+            raise ConfigurationError(
+                f"base_backoff_days must be >= 1: {base_backoff_days}"
+            )
+        if not 0.0 <= jitter_fraction <= 1.0:
+            raise ConfigurationError(
+                f"jitter_fraction out of [0, 1]: {jitter_fraction}"
+            )
+        self.name = name
+        self.failure_threshold = failure_threshold
+        self.base_backoff_days = base_backoff_days
+        self.jitter_fraction = jitter_fraction
+        self.max_backoff_days = max_backoff_days
+        self.state = self.CLOSED
+        self.failures = 0
+        self.trips = 0
+        self.open_until = 0
+
+    def is_open(self, day: int) -> bool:
+        """Whether queries are shed on ``day``.  Pure read, never mutates."""
+        return self.state == self.OPEN and day < self.open_until
+
+    def record_day(self, day: int, overloaded: bool) -> None:
+        """Advance the state machine with one day's overload verdict."""
+        if self.state == self.OPEN and day >= self.open_until:
+            self.state = self.HALF_OPEN
+        if self.state == self.CLOSED:
+            if overloaded:
+                self.failures += 1
+                if self.failures >= self.failure_threshold:
+                    self._trip(day)
+            else:
+                self.failures = 0
+        elif self.state == self.HALF_OPEN:
+            if overloaded:
+                self._trip(day)
+            else:
+                self.state = self.CLOSED
+                self.failures = 0
+
+    def _trip(self, day: int) -> None:
+        self.trips += 1
+        exponent = min(self.trips - 1, 6)
+        backoff = self.base_backoff_days * (2 ** exponent)
+        jitter = stable_hash("breaker-jitter", self.name, self.trips) % 10_000
+        backoff = int(backoff * (1.0 + self.jitter_fraction * jitter / 10_000.0))
+        self.state = self.OPEN
+        self.open_until = day + 1 + min(max(1, backoff), self.max_backoff_days)
+        self.failures = 0
+
+    # -- checkpoint support -------------------------------------------
+
+    def state_dict(self) -> Dict[str, object]:
+        """Mutable state only; thresholds are profile configuration."""
+        return {
+            "state": self.state,
+            "failures": self.failures,
+            "trips": self.trips,
+            "open_until": self.open_until,
+        }
+
+    def restore_state(self, state: Dict[str, object]) -> None:
+        """Reinstate a position captured by :meth:`state_dict`."""
+        kind = str(state["state"])
+        if kind not in (self.CLOSED, self.OPEN, self.HALF_OPEN):
+            raise ConfigurationError(f"unknown breaker state: {kind!r}")
+        self.state = kind
+        self.failures = int(state["failures"])
+        self.trips = int(state["trips"])
+        self.open_until = int(state["open_until"])

@@ -67,6 +67,13 @@ class WorldEngine:
             site.rotate_public_address(day)
         self._flip_multicdn(day)
         self.events.extend(todays)
+        # Background traffic is part of the day's world dynamics: every
+        # replica of this world (shard workers, checkpoint replays)
+        # drives the identical load sequence, so the plane's buckets,
+        # breakers and load tier stay byte-identical everywhere.
+        traffic = self.world.fabric.traffic_plane
+        if traffic is not None:
+            traffic.drive_day()
         self.clock.advance(interval_hours * SECONDS_PER_HOUR)
         # Stale-record purging is a start-of-day platform job: records
         # whose horizon elapses on day N are gone before day N's queries.

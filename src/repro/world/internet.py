@@ -39,6 +39,8 @@ from ..net.ipaddr import AddressAllocator
 from ..net.routeviews import RouteViewsDb
 from ..obs.metrics import MetricsRegistry
 from ..rng import SeededRng
+from ..traffic.plane import TrafficPlane
+from ..traffic.profiles import TrafficProfile, traffic_profile as lookup_traffic
 from ..web.http import HttpClient
 from .admin import AdminBehaviorModel
 from .config import WorldConfig
@@ -244,6 +246,36 @@ class SimulatedInternet:
     def clear_faults(self) -> None:
         """Remove any installed fault plan (deliveries become perfect)."""
         self.fabric.fault_plan = None
+
+    def install_traffic(
+        self,
+        profile: "TrafficProfile | TrafficPlane | str",
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> TrafficPlane:
+        """Install a background-traffic plane and return it.
+
+        Accepts a profile name (see
+        :data:`repro.traffic.TRAFFIC_PROFILES`), a
+        :class:`~repro.traffic.profiles.TrafficProfile`, or a ready-built
+        :class:`~repro.traffic.plane.TrafficPlane`.  From then on the
+        world engine drives one day of background load per day step, and
+        the provider defense stack may throttle or shed measurement
+        deliveries through the fabric.  The plane's RNG is forked from
+        the world's root RNG — installation never perturbs world
+        dynamics.
+        """
+        if isinstance(profile, str):
+            profile = lookup_traffic(profile)
+        if isinstance(profile, TrafficProfile):
+            plane = profile.build(self, metrics)
+        else:
+            plane = profile
+        self.fabric.traffic_plane = plane
+        return plane
+
+    def clear_traffic(self) -> None:
+        """Remove any installed traffic plane (background load stops)."""
+        self.fabric.traffic_plane = None
 
     def vantage_point(self, region_name: str) -> VantagePoint:
         """One of the five measurement vantage points (Fig. 7)."""

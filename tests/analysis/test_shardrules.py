@@ -433,12 +433,13 @@ class TestRealTreeRegistry:
         from repro.dns import client, resolver
         from repro.faults import plan, quarantine
         from repro.obs import metrics
+        from repro.traffic import defense, plane
         from repro.web import http
 
         modules = [
             collector, exposure, htmlverify, pipeline, residual_scan,
             status, study, client, resolver, plan, quarantine, metrics,
-            http,
+            defense, plane, http,
         ]
         for name in SERDE_REGISTRY:
             assert any(

@@ -25,6 +25,7 @@ class TestKillMatrix:
         assert refusal_verdicts == {
             "mismatched-seed": True,
             "mismatched-profile": True,
+            "mismatched-traffic": True,
             "torn-journal-tail": True,
             "corrupt-snapshot": True,
         }

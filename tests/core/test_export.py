@@ -27,7 +27,7 @@ class TestExport:
         for key in ("fig2", "fig3", "fig5", "fig6", "fig7", "table5",
                     "table6", "fig9"):
             assert key in payload, key
-        assert payload["schema_version"] == 1
+        assert payload["schema_version"] == 2
         assert payload["population_size"] == 300
 
     def test_fig3_includes_ground_truth(self, small_report):

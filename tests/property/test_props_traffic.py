@@ -1,0 +1,180 @@
+"""Property-based tests for the traffic plane's determinism contracts.
+
+Three REP06x-critical invariants, driven by hypothesis:
+
+* same seed ⇒ same drive sequence (bucket levels, breaker states, shed
+  tallies are pure functions of the seed and the day count);
+* admission verdicts are order-free (any permutation of the delivery
+  stream sees the identical per-query verdicts);
+* every piece of mutable traffic-plane state survives a serde round
+  trip byte-identically, at any point in the drive.
+"""
+
+from dataclasses import replace
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.clock import SimulationClock
+from repro.dns.message import DnsQuery
+from repro.dns.name import DomainName
+from repro.dns.records import RecordType
+from repro.net.geo import region
+from repro.net.ipaddr import IPv4Address
+from repro.obs.metrics import MetricsRegistry
+from repro.rng import SeededRng
+from repro.traffic import TRAFFIC_PROFILES, TrafficPlane
+from repro.traffic.defense import AdaptiveLimiter, CircuitBreaker, TokenBucket
+
+FLEETS = {
+    "cloudflare": [IPv4Address("10.1.0.1"), IPv4Address("10.1.0.2")],
+    "incapsula": [IPv4Address("10.2.0.1")],
+}
+
+
+def build_plane(seed, profile_name="flood", **overrides):
+    profile = TRAFFIC_PROFILES[profile_name]
+    if overrides:
+        profile = replace(profile, **overrides)
+    clock = SimulationClock()
+    plane = TrafficPlane(
+        profile,
+        clock,
+        SeededRng(seed).fork("props-traffic"),
+        {name: list(ips) for name, ips in FLEETS.items()},
+        metrics=MetricsRegistry(),
+    )
+    return plane, clock
+
+
+def drive(plane, clock, days):
+    for _ in range(days):
+        plane.drive_day()
+        clock.advance_days(1)
+
+
+class TestTokenBucketProperties:
+    @given(
+        capacity=st.integers(1, 10_000),
+        rate=st.integers(1, 10_000),
+        ops=st.lists(st.integers(0, 20_000), max_size=30),
+    )
+    def test_level_stays_in_range_and_conserves(self, capacity, rate, ops):
+        bucket = TokenBucket(capacity=capacity, rate_per_day=rate)
+        for index, demand in enumerate(ops):
+            if index % 2 == 0:
+                bucket.refill(0.25 * (1 + index % 4))
+            admitted = bucket.consume(demand)
+            assert 0 <= admitted <= demand
+            assert 0 <= bucket.level <= capacity
+
+    @given(
+        capacity=st.integers(1, 10_000),
+        rate=st.integers(1, 10_000),
+        ops=st.lists(st.integers(0, 20_000), max_size=30),
+    )
+    def test_replay_is_byte_identical(self, capacity, rate, ops):
+        a = TokenBucket(capacity=capacity, rate_per_day=rate)
+        b = TokenBucket(capacity=capacity, rate_per_day=rate)
+        for demand in ops:
+            a.refill(0.5)
+            b.refill(0.5)
+            assert a.consume(demand) == b.consume(demand)
+        assert a.state_dict() == b.state_dict()
+
+
+class TestCircuitBreakerProperties:
+    @given(
+        overloads=st.lists(st.booleans(), min_size=1, max_size=60),
+        threshold=st.integers(1, 5),
+    )
+    def test_same_overload_sequence_same_states(self, overloads, threshold):
+        a = CircuitBreaker("10.0.0.1", failure_threshold=threshold)
+        b = CircuitBreaker("10.0.0.1", failure_threshold=threshold)
+        for day, overloaded in enumerate(overloads):
+            a.record_day(day, overloaded)
+            b.record_day(day, overloaded)
+            assert a.is_open(day) == b.is_open(day)
+        assert a.state_dict() == b.state_dict()
+
+    @given(
+        overloads=st.lists(st.booleans(), min_size=1, max_size=60),
+        threshold=st.integers(1, 5),
+        split=st.integers(0, 59),
+    )
+    def test_serde_round_trip_mid_sequence(self, overloads, threshold, split):
+        """Restoring a breaker mid-history continues the original's
+        exact trajectory (the checkpoint/resume contract)."""
+        original = CircuitBreaker("10.0.0.1", failure_threshold=threshold)
+        restored = CircuitBreaker("10.0.0.1", failure_threshold=threshold)
+        split = min(split, len(overloads))
+        for day, overloaded in enumerate(overloads[:split]):
+            original.record_day(day, overloaded)
+        restored.restore_state(original.state_dict())
+        for day, overloaded in enumerate(overloads[split:], start=split):
+            original.record_day(day, overloaded)
+            restored.record_day(day, overloaded)
+        assert original.state_dict() == restored.state_dict()
+
+    @given(utilizations=st.lists(st.floats(0.0, 2.0), min_size=1, max_size=30))
+    def test_limiter_tier_depends_only_on_last_utilization(self, utilizations):
+        limiter = AdaptiveLimiter()
+        for utilization in utilizations:
+            limiter.update(utilization)
+        fresh = AdaptiveLimiter()
+        fresh.update(utilizations[-1])
+        assert limiter.tier == fresh.tier
+
+
+class TestPlaneProperties:
+    @given(seed=st.integers(0, 2**32 - 1), days=st.integers(1, 8))
+    @settings(max_examples=25, deadline=None)
+    def test_same_seed_same_shed_sequence(self, seed, days):
+        a, clock_a = build_plane(seed)
+        b, clock_b = build_plane(seed)
+        drive(a, clock_a, days)
+        drive(b, clock_b, days)
+        assert a.drive_state() == b.drive_state()
+
+    @given(
+        seed=st.integers(0, 2**32 - 1),
+        days=st.integers(0, 6),
+        qnames=st.lists(
+            st.integers(0, 10_000), min_size=1, max_size=40, unique=True
+        ),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_admission_is_order_free(self, seed, days, qnames):
+        plane, clock = build_plane(seed)
+        drive(plane, clock, days)
+        plane._limiter.update(1.0)  # force throttling so verdicts vary
+        deliveries = [
+            (address, DnsQuery(DomainName(f"www.s{n}.com"), RecordType.A))
+            for n in qnames
+            for address in plane.monitored_addresses()
+        ]
+        forward = {
+            (str(address), str(query.qname)): plane.admit_dns(
+                address, query, region("london")
+            )
+            for address, query in deliveries
+        }
+        backward = {
+            (str(address), str(query.qname)): plane.admit_dns(
+                address, query, region("london")
+            )
+            for address, query in reversed(deliveries)
+        }
+        assert forward == backward
+
+    @given(seed=st.integers(0, 2**32 - 1), days=st.integers(0, 8))
+    @settings(max_examples=25, deadline=None)
+    def test_serde_round_trip_at_any_barrier(self, seed, days):
+        plane, clock = build_plane(seed)
+        drive(plane, clock, days)
+        for index in range(10):
+            query = DnsQuery(DomainName(f"www.s{index}.com"), RecordType.A)
+            plane.admit_dns(plane.monitored_addresses()[0], query, None)
+        fresh, _ = build_plane(seed)
+        fresh.restore_state(plane.state_dict())
+        assert fresh.state_dict() == plane.state_dict()

@@ -38,6 +38,7 @@ class TestShardedKillMatrix:
         assert refusal_verdicts == {
             "mismatched-seed": True,
             "mismatched-profile": True,
+            "mismatched-traffic": True,
             "torn-journal-tail": True,
             "corrupt-snapshot": True,
         }

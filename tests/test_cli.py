@@ -271,3 +271,52 @@ class TestShardFlags:
         assert code == 0
         assert "SIX-WEEK STUDY" in printed or "study" in printed.lower()
         assert json.loads(export.read_text())["population_size"] == 60
+
+
+class TestTrafficFlags:
+    def test_traffic_defaults_to_none(self):
+        for command in (["study"], ["bench"], ["kill-matrix"]):
+            assert build_parser().parse_args(command).traffic is None
+
+    def test_unknown_profile_rejected(self, capsys):
+        code = main([
+            "study", "--population", "60", "--days", "1", "--warmup", "1",
+            "--traffic", "tsunami",
+        ])
+        assert code == 2
+        assert "unknown traffic profile" in capsys.readouterr().err
+
+    def test_traffic_list_command(self, capsys):
+        assert main(["traffic"]) == 0
+        out = capsys.readouterr().out
+        for name in ("steady", "surge", "flood"):
+            assert name in out
+
+    def test_traffic_drive_command(self, capsys):
+        code = main([
+            "traffic", "--profile", "flood",
+            "--population", "200", "--days", "3",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "profile flood" in out
+        assert "load tier now" in out
+
+    def test_traffic_none_profile_is_a_no_op(self, capsys):
+        assert main(["traffic", "--profile", "none"]) == 0
+        assert "no background traffic" in capsys.readouterr().out
+
+    def test_study_with_traffic_matches_plain_run_when_steady(
+        self, capsys, tmp_path
+    ):
+        plain, steady = tmp_path / "plain.json", tmp_path / "steady.json"
+        base = [
+            "study", "--population", "60", "--seed", "5",
+            "--days", "2", "--warmup", "3",
+        ]
+        assert main(base + ["--export", str(plain)]) == 0
+        assert main(
+            base + ["--traffic", "steady", "--export", str(steady)]
+        ) == 0
+        capsys.readouterr()
+        assert plain.read_text() == steady.read_text()

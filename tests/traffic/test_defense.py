@@ -1,0 +1,217 @@
+"""Unit tests for the provider-side defense primitives."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.traffic.defense import (
+    TIERS,
+    AdaptiveLimiter,
+    CircuitBreaker,
+    TokenBucket,
+)
+
+
+class TestTokenBucket:
+    def test_starts_full_and_consumes_exactly(self):
+        bucket = TokenBucket(capacity=100, rate_per_day=40)
+        assert bucket.level == 100
+        assert bucket.consume(30) == 30
+        assert bucket.level == 70
+
+    def test_consume_caps_at_level(self):
+        bucket = TokenBucket(capacity=50, rate_per_day=10)
+        assert bucket.consume(80) == 50
+        assert bucket.level == 0
+        assert bucket.consume(5) == 0
+
+    def test_refill_caps_at_capacity(self):
+        bucket = TokenBucket(capacity=100, rate_per_day=40)
+        bucket.consume(10)
+        bucket.refill()
+        assert bucket.level == 100
+
+    def test_tier_multiplier_cuts_refill(self):
+        bucket = TokenBucket(capacity=1000, rate_per_day=100)
+        bucket.consume(1000)
+        bucket.refill(0.25)
+        assert bucket.level == 25
+
+    def test_integer_arithmetic_is_exact(self):
+        a = TokenBucket(capacity=977, rate_per_day=313)
+        b = TokenBucket(capacity=977, rate_per_day=313)
+        for day in range(30):
+            a.refill(0.5)
+            b.refill(0.5)
+            demand = (day * 191) % 977
+            assert a.consume(demand) == b.consume(demand)
+        assert a.level == b.level
+
+    def test_state_round_trip(self):
+        bucket = TokenBucket(capacity=100, rate_per_day=40)
+        bucket.consume(63)
+        clone = TokenBucket(capacity=100, rate_per_day=40)
+        clone.restore_state(bucket.state_dict())
+        assert clone.level == 37
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"capacity": 0, "rate_per_day": 1},
+            {"capacity": 10, "rate_per_day": 0},
+            {"capacity": 10, "rate_per_day": 5, "level": 11},
+            {"capacity": 10, "rate_per_day": 5, "level": -1},
+        ],
+    )
+    def test_bad_configuration_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            TokenBucket(**kwargs)
+
+    def test_negative_demand_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TokenBucket(capacity=10, rate_per_day=5).consume(-1)
+
+
+class TestAdaptiveLimiter:
+    def test_tier_thresholds(self):
+        limiter = AdaptiveLimiter(high_watermark=0.7, critical_watermark=0.9)
+        assert limiter.update(0.1) == "normal"
+        assert limiter.update(0.7) == "high"
+        assert limiter.update(0.89) == "high"
+        assert limiter.update(0.9) == "critical"
+        assert limiter.update(0.2) == "normal"
+
+    def test_rate_multiplier_and_throttle_probability_track_tier(self):
+        limiter = AdaptiveLimiter()
+        assert limiter.rate_multiplier == 1.0
+        assert limiter.throttle_probability == 0.0
+        limiter.update(0.8)
+        assert limiter.rate_multiplier == 0.5
+        assert limiter.throttle_probability == 0.5
+        limiter.update(1.2)
+        assert limiter.rate_multiplier == 0.25
+        assert limiter.throttle_probability == 0.75
+
+    def test_state_round_trip(self):
+        limiter = AdaptiveLimiter()
+        limiter.update(0.95)
+        clone = AdaptiveLimiter()
+        clone.restore_state(limiter.state_dict())
+        assert clone.tier == "critical"
+
+    def test_bad_watermarks_rejected(self):
+        with pytest.raises(ConfigurationError):
+            AdaptiveLimiter(high_watermark=0.9, critical_watermark=0.7)
+        with pytest.raises(ConfigurationError):
+            AdaptiveLimiter(high_watermark=0.0, critical_watermark=0.5)
+
+    def test_unknown_tier_rejected(self):
+        with pytest.raises(ConfigurationError):
+            AdaptiveLimiter(tier="panic")
+        with pytest.raises(ConfigurationError):
+            AdaptiveLimiter().restore_state({"tier": "panic"})
+
+    def test_tier_ordering_constant(self):
+        assert TIERS == ("normal", "high", "critical")
+
+
+class TestCircuitBreaker:
+    def make(self, **kwargs):
+        defaults = dict(
+            failure_threshold=2,
+            base_backoff_days=2,
+            jitter_fraction=0.5,
+            max_backoff_days=14,
+        )
+        defaults.update(kwargs)
+        return CircuitBreaker("10.0.0.1", **defaults)
+
+    def test_trips_after_consecutive_overloads(self):
+        breaker = self.make()
+        breaker.record_day(0, overloaded=True)
+        assert not breaker.is_open(0)
+        breaker.record_day(1, overloaded=True)
+        assert breaker.state == CircuitBreaker.OPEN
+        assert breaker.is_open(2)
+
+    def test_calm_day_resets_failure_count(self):
+        breaker = self.make()
+        breaker.record_day(0, overloaded=True)
+        breaker.record_day(1, overloaded=False)
+        breaker.record_day(2, overloaded=True)
+        assert breaker.state == CircuitBreaker.CLOSED
+
+    def test_half_open_closes_on_calm_day(self):
+        breaker = self.make()
+        breaker.record_day(0, overloaded=True)
+        breaker.record_day(1, overloaded=True)
+        reopen_day = breaker.open_until
+        breaker.record_day(reopen_day, overloaded=False)
+        assert breaker.state == CircuitBreaker.CLOSED
+        assert not breaker.is_open(reopen_day)
+
+    def test_half_open_retrips_with_longer_backoff(self):
+        breaker = self.make(jitter_fraction=0.0)
+        breaker.record_day(0, overloaded=True)
+        breaker.record_day(1, overloaded=True)
+        first_window = breaker.open_until - 2
+        reopen_day = breaker.open_until
+        breaker.record_day(reopen_day, overloaded=True)
+        second_window = breaker.open_until - (reopen_day + 1)
+        assert breaker.state == CircuitBreaker.OPEN
+        assert second_window > first_window
+
+    def test_backoff_capped_at_max(self):
+        breaker = self.make(jitter_fraction=0.0, max_backoff_days=5)
+        day = 0
+        for _ in range(6):
+            breaker.record_day(day, overloaded=True)
+            day = max(day + 1, breaker.open_until)
+        assert breaker.open_until - day <= 5 + 1
+
+    def test_jitter_is_a_pure_function_of_name_and_trips(self):
+        kwargs = dict(base_backoff_days=100, max_backoff_days=1000)
+        a, b = self.make(**kwargs), self.make(**kwargs)
+        for breaker in (a, b):
+            breaker.record_day(0, overloaded=True)
+            breaker.record_day(1, overloaded=True)
+        assert a.open_until == b.open_until
+        other = CircuitBreaker(
+            "10.0.0.2", failure_threshold=2, **kwargs
+        )
+        other.record_day(0, overloaded=True)
+        other.record_day(1, overloaded=True)
+        # Distinct names draw distinct jitter (thundering-herd spread);
+        # a wide backoff window keeps integer truncation from masking it.
+        assert other.open_until != a.open_until
+
+    def test_is_open_is_a_pure_read(self):
+        breaker = self.make()
+        breaker.record_day(0, overloaded=True)
+        breaker.record_day(1, overloaded=True)
+        before = breaker.state_dict()
+        for day in range(0, 30):
+            breaker.is_open(day)
+        assert breaker.state_dict() == before
+
+    def test_state_round_trip(self):
+        breaker = self.make()
+        breaker.record_day(0, overloaded=True)
+        breaker.record_day(1, overloaded=True)
+        clone = self.make()
+        clone.restore_state(breaker.state_dict())
+        assert clone.state_dict() == breaker.state_dict()
+        assert clone.is_open(2) == breaker.is_open(2)
+
+    def test_bad_configuration_rejected(self):
+        with pytest.raises(ConfigurationError):
+            self.make(failure_threshold=0)
+        with pytest.raises(ConfigurationError):
+            self.make(base_backoff_days=0)
+        with pytest.raises(ConfigurationError):
+            self.make(jitter_fraction=1.5)
+
+    def test_unknown_state_rejected_on_restore(self):
+        with pytest.raises(ConfigurationError):
+            self.make().restore_state(
+                {"state": "melted", "failures": 0, "trips": 0, "open_until": 0}
+            )
