@@ -15,6 +15,11 @@ A payload may also carry a ``shard_scaling`` section (``repro bench
 printed when present — wall times and CPU counts are hardware facts,
 and the curve's population may differ from the gated workload's — but
 never gated.
+
+Likewise a ``lint_wall`` section (``benchmarks/lint_wall.py
+--merge-into``): the self-lint's cold/warm wall time and cache speedup.
+Printed when present, never gated — the correctness properties (zero
+warm re-parses, identical findings) are tier-1 tests.
 """
 
 from __future__ import annotations
@@ -62,6 +67,8 @@ def compare(baseline: Dict[str, object], candidate: Dict[str, object]) -> int:
 
     _report_shard_scaling("baseline", baseline)
     _report_shard_scaling("candidate", candidate)
+    _report_lint_wall("baseline", baseline)
+    _report_lint_wall("candidate", candidate)
 
     if drift:
         print(
@@ -75,6 +82,21 @@ def compare(baseline: Dict[str, object], candidate: Dict[str, object]) -> int:
         "byte-identical to the baseline"
     )
     return 0
+
+
+def _report_lint_wall(role: str, payload: Dict[str, object]) -> None:
+    lint = payload.get("lint_wall")
+    if not lint:
+        return
+    cold = lint["cold"]
+    warm = lint["warm"]
+    print(
+        f"bench-compare: {role} lint wall ({lint['target']}, "
+        f"{cold['files']} files, reported only): "
+        f"cold {float(cold['wall_seconds']):.3f}s -> "
+        f"warm {float(warm['wall_seconds']):.3f}s "
+        f"({float(lint['speedup']):.1f}x)"
+    )
 
 
 def _report_shard_scaling(role: str, payload: Dict[str, object]) -> None:

@@ -3,11 +3,16 @@
 Measures ``repro lint`` over ``src/repro`` twice against a fresh cache
 file — the first run parses and summarizes every module, the second
 replays findings and summaries from the content-hash cache and only
-re-runs the whole-program REP04x pass.  Writes ``BENCH_pr4.json``.
+re-runs the whole-program passes (REP04x taint, REP06x shard safety,
+and the REP07x effect-inference fixpoint).  Writes ``BENCH_pr4.json``,
+or merges a ``lint_wall`` section into an existing BENCH payload with
+``--merge-into`` so one file carries both the query-path counters and
+the lint-wall trajectory.
 
 Run from the repo root:
 
     PYTHONPATH=src python benchmarks/lint_wall.py [--repeat N]
+    PYTHONPATH=src python benchmarks/lint_wall.py --merge-into BENCH_pr9.json
 
 Not a pytest bench on purpose: wall-time assertions are flaky in CI,
 and the cache-correctness properties (zero re-parses warm, identical
@@ -72,11 +77,24 @@ def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--repeat", type=int, default=3)
     parser.add_argument("--output", default=os.path.join(REPO_ROOT, "BENCH_pr4.json"))
+    parser.add_argument(
+        "--merge-into", default=None, metavar="BENCH_JSON",
+        help="write the result as the 'lint_wall' key of an existing"
+             " BENCH payload instead of a standalone file",
+    )
     args = parser.parse_args(argv)
     payload = run(repeat=args.repeat)
-    with open(args.output, "w", encoding="utf-8") as handle:
-        json.dump(payload, handle, indent=2, sort_keys=True)
-        handle.write("\n")
+    if args.merge_into is not None:
+        with open(args.merge_into, "r", encoding="utf-8") as handle:
+            bench = json.load(handle)
+        bench["lint_wall"] = payload
+        with open(args.merge_into, "w", encoding="utf-8") as handle:
+            json.dump(bench, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+    else:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
     print(
         "lint %s: cold %.3fs (%d parsed) -> warm %.3fs (%d cache hits), %.1fx"
         % (

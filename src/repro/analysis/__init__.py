@@ -20,6 +20,9 @@ AST-based lint engine instead of review-time convention:
 * :mod:`repro.analysis.shardrules` — the REP06x shard-safety rules
   auditing the declared shard boundary (``repro.markers``) ahead of the
   multiprocess study runner;
+* :mod:`repro.analysis.effects` — the REP07x purity decade: an
+  interprocedural effect-inference pass enforcing the declared
+  ``@pure_function`` contract that shard merging and resume depend on;
 * :mod:`repro.analysis.suppressions` — inline ``# repro: allow[...]``
   comments and the REP050 stale-suppression rule;
 * :mod:`repro.analysis.baseline` — the grandfathered-violation allowlist;
@@ -51,18 +54,20 @@ from .rules import (
     RuleRegistry,
     default_registry,
 )
+from .effects import EffectsResult, infer_effects
 from .sarif import render_sarif
 from .suppressions import Suppression, scan_suppressions
 from .taint import TaintResult, propagate_taint
 
 # Importing the rule packs registers their rules with the default registry.
 from . import clockrules, determinism, hygiene, robustness  # noqa: F401  (side effect)
-from . import graphrules, shardrules, suppressions  # noqa: F401  (side effect)
+from . import effects, graphrules, shardrules, suppressions  # noqa: F401  (side effect)
 
 __all__ = [
     "Analyzer",
     "Baseline",
     "BaselineEntry",
+    "EffectsResult",
     "Finding",
     "LintResult",
     "LintStats",
@@ -76,6 +81,7 @@ __all__ = [
     "Suppression",
     "TaintResult",
     "default_registry",
+    "infer_effects",
     "propagate_taint",
     "render_json",
     "render_sarif",

@@ -146,6 +146,28 @@ class Baseline:
             entry for entry in self.entries() if entry.fingerprint not in live
         ]
 
+    def stale_reasons(
+        self,
+        findings: Sequence[Finding],
+        inline_suppressed: Sequence[Finding] = (),
+    ) -> List[Tuple[BaselineEntry, str]]:
+        """``(entry, reason)`` pairs for entries no live finding matches.
+
+        ``reason`` is ``"gone"`` when the violation no longer exists in
+        the tree, and ``"inline"`` when it still exists but is already
+        covered by a ``# repro: allow`` comment — a finding must not be
+        excused twice, so either way the entry is dead weight that
+        ``--update-baseline`` drops.  The distinction matters for the
+        human reading the report: a ``gone`` entry means the code was
+        fixed; an ``inline`` entry means the justification moved into
+        the source and the baseline copy is the redundant one.
+        """
+        inline = {finding.fingerprint for finding in inline_suppressed}
+        return [
+            (entry, "inline" if entry.fingerprint in inline else "gone")
+            for entry in self.stale_entries(findings)
+        ]
+
     @classmethod
     def from_findings(
         cls, findings: Sequence[Finding], previous: "Baseline" = None

@@ -32,7 +32,9 @@ __all__ = ["LintCache", "content_hash", "ruleset_signature"]
 #: Bump when the cached shape (findings/summary serialization) changes.
 #: v2: ModuleSummary grew the REP06x shard-safety evidence (globals,
 #: string sets, loads, self writes, merge hazards, mutable defaults).
-CACHE_SCHEMA_VERSION = 2
+#: v3: FunctionSummary grew the REP07x effect evidence (effect sites,
+#: per-name first-read lines).
+CACHE_SCHEMA_VERSION = 3
 
 
 def content_hash(data: bytes) -> str:

@@ -36,6 +36,7 @@ from .suppressions import Suppression, scan_suppressions
 __all__ = [
     "CallRef",
     "ClassSummary",
+    "EffectSite",
     "ExportInfo",
     "ForkLabel",
     "FunctionSummary",
@@ -96,6 +97,27 @@ _ORDERED_ITER_CALLS = frozenset({"sorted", "range"})
 _ORDER_PRESERVING_CALLS = frozenset({
     "enumerate", "reversed", "list", "tuple", "zip",
 })
+
+#: Container methods that mutate their receiver in place (REP07x
+#: effect evidence; overlaps `_FOLD_METHODS` deliberately).
+_MUTATING_METHODS = frozenset({
+    "add", "append", "appendleft", "clear", "discard", "extend",
+    "insert", "pop", "popitem", "popleft", "remove", "reverse",
+    "setdefault", "sort", "update", "write", "writelines",
+})
+#: Builtin callables that perform I/O when called by name.
+_IO_NAME_CALLS = frozenset({"input", "open", "print"})
+#: ``os.*`` attributes that touch the filesystem or spawn processes.
+_OS_IO_ATTRS = frozenset({
+    "chmod", "chown", "makedirs", "mkdir", "popen", "remove",
+    "removedirs", "rename", "replace", "rmdir", "system", "unlink",
+})
+#: Method names that are file I/O on any receiver (pathlib idiom).
+_IO_ATTR_CALLS = frozenset({
+    "read_bytes", "read_text", "write_bytes", "write_text",
+})
+#: Attribute roots whose calls are I/O outright.
+_IO_ROOTS = frozenset({"shutil", "subprocess"})
 
 
 def module_name_for(display_path: str) -> str:
@@ -341,6 +363,53 @@ class MergeHazard:
         )
 
 
+@dataclass(frozen=True)
+class EffectSite:
+    """One syntactic effect inside a function body (REP07x evidence).
+
+    ``kind`` is the *syntactic* shape — ``store`` (assignment/augmented
+    assignment through an attribute, subscript, or ``global`` name),
+    ``del`` (a delete through the same), ``method`` (an in-place
+    mutating method call), or ``io`` (an I/O call).  Ownership of the
+    written root (self / parameter / global / closure capture) is
+    classified later by :mod:`repro.analysis.effects`, which has the
+    project graph in hand; ``target`` keeps the receiver display form
+    (``self._breakers[...].open_until``) whose first segment is the
+    root.  Sites whose root is a locally-bound name are filtered out at
+    collection time — mutating a fresh local object is not an effect
+    that outlives the call (aliasing through locals is out of scope).
+    """
+
+    kind: str
+    target: str
+    detail: str
+    line: int
+    column: int
+    source: str
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "target": self.target,
+            "detail": self.detail,
+            "line": self.line,
+            "column": self.column,
+            "source": self.source,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "EffectSite":
+        return cls(
+            data["kind"], data["target"], data["detail"],
+            data["line"], data["column"], data["source"],
+        )
+
+    @property
+    def root(self) -> str:
+        """First segment of the receiver (``self``, a name, ...)."""
+        return self.target.split(".", 1)[0].split("[", 1)[0]
+
+
 @dataclass
 class FunctionSummary:
     """Everything the graph rules need to know about one function."""
@@ -362,6 +431,11 @@ class FunctionSummary:
     self_writes: Tuple[str, ...] = ()
     mutable_defaults: List[StateSite] = field(default_factory=list)
     merge_hazards: List[MergeHazard] = field(default_factory=list)
+    #: Syntactic effect evidence (stores/deletes/mutating calls/IO)
+    #: whose receiver root is not a plain local (REP07x).
+    effects: List[EffectSite] = field(default_factory=list)
+    #: First read line per free name in :attr:`loads` (REP072 anchors).
+    load_lines: Dict[str, int] = field(default_factory=dict)
 
     def to_dict(self) -> Dict[str, Any]:
         return {
@@ -380,6 +454,8 @@ class FunctionSummary:
             "self_writes": list(self.self_writes),
             "mutable_defaults": [s.to_dict() for s in self.mutable_defaults],
             "merge_hazards": [h.to_dict() for h in self.merge_hazards],
+            "effects": [e.to_dict() for e in self.effects],
+            "load_lines": dict(self.load_lines),
         }
 
     @classmethod
@@ -404,6 +480,12 @@ class FunctionSummary:
             merge_hazards=[
                 MergeHazard.from_dict(h) for h in data["merge_hazards"]
             ],
+            effects=[
+                EffectSite.from_dict(e) for e in data.get("effects", [])
+            ],
+            load_lines={
+                k: int(v) for k, v in data.get("load_lines", {}).items()
+            },
         )
 
     def param(self, name: str) -> Optional[ParamInfo]:
@@ -423,6 +505,10 @@ class FunctionSummary:
     @property
     def is_merge_point(self) -> bool:
         return "merge_point" in self.decorators
+
+    @property
+    def is_pure_function(self) -> bool:
+        return "pure_function" in self.decorators
 
 
 @dataclass
@@ -594,6 +680,28 @@ def _attr_root(node: ast.Attribute) -> str:
     return value.id if isinstance(value, ast.Name) else ""
 
 
+def _store_root(node: ast.AST) -> Tuple[str, str]:
+    """(root name, display form) for a store/delete/mutation receiver.
+
+    ``self._breakers[key].open_until`` → ``("self",
+    "self._breakers[...].open_until")``; an unrooted receiver (a call
+    result, a literal) yields ``("", "")``.
+    """
+    parts: List[str] = []
+    while True:
+        if isinstance(node, ast.Attribute):
+            parts.append("." + node.attr)
+            node = node.value
+        elif isinstance(node, ast.Subscript):
+            parts.append("[...]")
+            node = node.value
+        elif isinstance(node, ast.Name):
+            parts.append(node.id)
+            return node.id, "".join(reversed(parts))
+        else:
+            return "", ""
+
+
 def _decorator_names(node) -> Tuple[str, ...]:
     names: List[str] = []
     for decorator in node.decorator_list:
@@ -709,6 +817,9 @@ class _FunctionCollector:
         self._stores: Set[str] = set()
         self._global_decls: Set[str] = set()
         self._self_writes: Set[str] = set()
+        self._load_lines: Dict[str, int] = {}
+        #: (receiver root, site) pairs; local-rooted ones drop at collect().
+        self._effect_candidates: List[Tuple[str, EffectSite]] = []
 
     # -- classification -------------------------------------------------
 
@@ -721,7 +832,33 @@ class _FunctionCollector:
         params = {param.name for param in self.fn.params}
         free = (self._loads - self._stores - params) | self._global_decls
         self.fn.loads = tuple(sorted(free))
+        self.fn.load_lines = {
+            name: self._load_lines[name]
+            for name in free
+            if name in self._load_lines
+        }
         self.fn.self_writes = tuple(sorted(self._self_writes))
+        # Effect sites: keep I/O unconditionally; keep stores/mutations
+        # whose root outlives the call (self, a parameter, a declared
+        # global, or a free name).  A root that is locally bound and not
+        # declared global is a fresh local — not an escaping effect.
+        seen_effects: Set[Tuple[str, str, int, int]] = set()
+        kept: List[EffectSite] = []
+        for root, site in self._effect_candidates:
+            if site.kind != "io":
+                if not root:
+                    continue
+                if (
+                    root != "self"
+                    and root in self._stores
+                    and root not in self._global_decls
+                ):
+                    continue
+            key = (site.kind, site.target, site.line, site.column)
+            if key not in seen_effects:
+                seen_effects.add(key)
+                kept.append(site)
+        self.fn.effects[:] = kept
         # Nested loops can surface one fold site twice (once per
         # enclosing loop); keep the first occurrence only.
         seen: Set[Tuple[str, str, int, int]] = set()
@@ -749,6 +886,14 @@ class _FunctionCollector:
             return  # local classes are out of scope for the call graph
         if isinstance(node, ast.Assign):
             self._record_assignment(node)
+            self._record_store_effects(node.targets, node, "store")
+        elif isinstance(node, ast.AnnAssign):
+            if node.value is not None:
+                self._record_store_effects([node.target], node, "store")
+        elif isinstance(node, ast.AugAssign):
+            self._record_store_effects([node.target], node, "store")
+        elif isinstance(node, ast.Delete):
+            self._record_store_effects(node.targets, node, "del")
         elif isinstance(node, ast.If):
             self._record_if_shadow(node)
         elif isinstance(node, ast.Global):
@@ -760,6 +905,7 @@ class _FunctionCollector:
         if isinstance(node, ast.Name):
             if isinstance(node.ctx, ast.Load):
                 self._loads.add(node.id)
+                self._load_lines.setdefault(node.id, node.lineno)
             else:
                 self._stores.add(node.id)
         if isinstance(node, ast.Attribute):
@@ -941,6 +1087,72 @@ class _FunctionCollector:
             )
             return
 
+    # -- REP07x effect evidence ------------------------------------------
+
+    def _effect(self, root: str, kind: str, target: str, detail: str,
+                node: ast.AST) -> None:
+        line = getattr(node, "lineno", self.fn.line)
+        self._effect_candidates.append(
+            (
+                root,
+                EffectSite(
+                    kind=kind,
+                    target=target,
+                    detail=detail,
+                    line=line,
+                    column=getattr(node, "col_offset", 0),
+                    source=self.summarizer.source_line(line),
+                ),
+            )
+        )
+
+    def _record_store_effects(self, targets: Sequence[ast.AST],
+                              node: ast.stmt, kind: str) -> None:
+        verb = "deletes" if kind == "del" else "assigns"
+        for target in targets:
+            if isinstance(target, (ast.Tuple, ast.List)):
+                self._record_store_effects(target.elts, node, kind)
+                continue
+            if isinstance(target, ast.Starred):
+                self._record_store_effects([target.value], node, kind)
+                continue
+            if isinstance(target, ast.Name):
+                # A plain-name (re)binding only escapes under ``global``.
+                if target.id in self._global_decls:
+                    self._effect(
+                        target.id, kind, target.id,
+                        f"{verb} global '{target.id}'", node,
+                    )
+                continue
+            if isinstance(target, (ast.Attribute, ast.Subscript)):
+                root, display = _store_root(target)
+                if display:
+                    self._effect(
+                        root, kind, display, f"{verb} '{display}'", node,
+                    )
+
+    def _record_effect_call(self, func: ast.Attribute, node: ast.Call) -> None:
+        root = _attr_root(func)
+        if (
+            root in _IO_ROOTS
+            or (root == "os" and func.attr in _OS_IO_ATTRS)
+            or (root == "sys" and func.attr in ("write", "flush"))
+            or func.attr in _IO_ATTR_CALLS
+        ):
+            display = f"{root}.{func.attr}" if root else func.attr
+            self._effect(
+                root, "io", display, f"calls {display}()", node,
+            )
+            return
+        if func.attr in _MUTATING_METHODS:
+            recv_root, display = _store_root(func.value)
+            if display:
+                self._effect(
+                    recv_root, "method", display,
+                    f"'{display}.{func.attr}()' mutates '{display}'",
+                    node,
+                )
+
     # -- call sites ------------------------------------------------------
 
     def _record_call(self, node: ast.Call) -> None:
@@ -948,8 +1160,13 @@ class _FunctionCollector:
         line = node.lineno
         if isinstance(func, ast.Name):
             self._record_name_call(func, line)
+            if func.id in _IO_NAME_CALLS:
+                self._effect(
+                    "", "io", func.id, f"calls {func.id}()", node,
+                )
         elif isinstance(func, ast.Attribute):
             self._record_attr_call(func, node, line)
+            self._record_effect_call(func, node)
         self._record_rng_args(node)
 
     def _record_name_call(self, func: ast.Name, line: int) -> None:

@@ -51,11 +51,14 @@ def render_text(
         )
     if baseline is not None:
         live = list(findings) + list(suppressed)
-        for entry in baseline.stale_entries(live):
-            lines.append(
-                f"stale baseline entry (violation no longer exists): "
-                f"{entry.render()}"
+        for entry, reason in baseline.stale_reasons(live, inline_suppressed):
+            why = (
+                "covered by an inline suppression — remove the redundant"
+                " baseline entry"
+                if reason == "inline"
+                else "violation no longer exists"
             )
+            lines.append(f"stale baseline entry ({why}): {entry.render()}")
     return "\n".join(lines)
 
 
@@ -68,7 +71,11 @@ def render_json(
 ) -> str:
     """Machine-readable report for CI gating."""
     live = list(findings) + list(suppressed)
-    stale = baseline.stale_entries(live) if baseline is not None else []
+    stale = (
+        baseline.stale_reasons(live, inline_suppressed)
+        if baseline is not None
+        else []
+    )
     payload = {
         "version": 1,
         "count": len(findings),
@@ -87,8 +94,9 @@ def render_json(
                 "path": entry.path,
                 "fingerprint": entry.fingerprint,
                 "comment": entry.comment,
+                "reason": reason,
             }
-            for entry in stale
+            for entry, reason in stale
         ],
     }
     if stats is not None:

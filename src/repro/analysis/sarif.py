@@ -119,8 +119,11 @@ def sarif_payload(
                 "path": entry.path,
                 "fingerprint": entry.fingerprint,
                 "comment": entry.comment,
+                "reason": reason,
             }
-            for entry in baseline.stale_entries(live)
+            for entry, reason in baseline.stale_reasons(
+                live, inline_suppressed
+            )
         ]
 
     run: Dict[str, Any] = {

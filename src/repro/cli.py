@@ -336,12 +336,18 @@ def _cmd_lint(args) -> int:
         result = analyzer.analyze(args.paths or _default_lint_paths())
         baseline = Baseline.load(args.baseline)
         if args.update_baseline:
-            Baseline.from_findings(result.findings, previous=baseline).save(
-                args.baseline
+            updated = Baseline.from_findings(
+                result.findings, previous=baseline
+            )
+            updated.save(args.baseline)
+            dropped = sum(
+                1
+                for entry in baseline.entries()
+                if entry.fingerprint not in updated
             )
             print(
-                f"baseline updated: {len(result.findings)} entry(ies) -> "
-                f"{args.baseline}"
+                f"baseline updated: {len(result.findings)} entry(ies), "
+                f"{dropped} stale entry(ies) dropped -> {args.baseline}"
             )
             return 0
         new, suppressed = baseline.split(result.findings)

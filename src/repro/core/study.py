@@ -24,7 +24,7 @@ from typing import Dict, List, Optional, Set
 
 from ..clock import DAYS_PER_WEEK
 from ..dps.portal import ReroutingMethod
-from ..markers import merge_point, shard_entry
+from ..markers import merge_point, pure_function, shard_entry
 from ..net.geo import PAPER_VANTAGE_REGIONS
 from ..world.admin import BehaviorEvent, BehaviorKind
 from ..world.internet import SimulatedInternet
@@ -48,6 +48,7 @@ __all__ = [
 ]
 
 
+@pure_function
 def shard_bounds(total: int, shard_index: int, shard_count: int) -> "tuple[int, int]":
     """The half-open ``[start, end)`` slice of shard ``shard_index``.
 

@@ -14,6 +14,7 @@ from __future__ import annotations
 from typing import Iterable, List, Tuple
 
 from ..errors import NameError_
+from ..rng import stable_hash
 
 __all__ = ["DomainName", "ROOT"]
 
@@ -37,14 +38,14 @@ class DomainName:
             labels = tuple(label.lower() for label in name)
             _validate(labels, repr(name))
         self._labels = labels
-        self._hash = hash(labels)
+        self._hash = stable_hash(labels)
 
     @classmethod
     def _from_labels(cls, labels: Tuple[str, ...]) -> "DomainName":
         """Fast internal constructor for already-validated labels."""
         name = cls.__new__(cls)
         name._labels = labels
-        name._hash = hash(labels)
+        name._hash = stable_hash(labels)
         return name
 
     # -- structure ------------------------------------------------------
@@ -144,6 +145,9 @@ class DomainName:
         return self._labels[::-1] < other._labels[::-1]
 
     def __hash__(self) -> int:
+        # Precomputed via stable_hash: unlike salted builtin hash, the
+        # value — and therefore DomainName set/dict layout — is
+        # identical in every worker process.
         return self._hash
 
     def __len__(self) -> int:

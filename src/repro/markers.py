@@ -19,6 +19,15 @@ mutable state is shared across processes (REP060), which aggregation
 order matters (REP061), and which RNG streams may not cross the
 boundary (REP062).
 
+The purity/effect decade (REP070–REP073) adds the last contract the
+shard story rests on: verdict-style functions (traffic admission,
+stable hashing, shard bounds, breaker backoff) must be pure functions
+of their arguments, or byte-identical merges and order-free admission
+silently stop holding.  :func:`pure_function` declares that boundary;
+the effect-inference pass (:mod:`repro.analysis.effects`) then proves
+it, flagging any inferred write, RNG draw, clock read, I/O, or
+module-global read reachable from the declared function.
+
 All decorators are no-ops at runtime — they exist purely as durable,
 greppable annotations that the analyzer and human reviewers share.
 """
@@ -29,7 +38,7 @@ from typing import Callable, TypeVar
 
 F = TypeVar("F", bound=Callable)
 
-__all__ = ["merge_point", "nondeterministic", "shard_entry"]
+__all__ = ["merge_point", "nondeterministic", "pure_function", "shard_entry"]
 
 
 def nondeterministic(func: F) -> F:
@@ -64,5 +73,21 @@ def merge_point(func: F) -> F:
     output must not depend on shard arrival order: REP061 flags
     unsorted dict/set iteration and arrival-order folds inside it, and
     REP062 flags shard-owned RNG streams flowing into it.
+    """
+    return func
+
+
+def pure_function(func: F) -> F:
+    """Declare ``func`` a pure function for the REP07x effect analysis.
+
+    A pure function's result may depend only on its arguments: no
+    writes that outlive the call (parameters, ``self``, globals,
+    captured closures), no RNG draws or clock reads, no I/O, and no
+    reads of module-level mutable state that is not passed in.  The
+    effect-inference pass verifies the declaration interprocedurally —
+    REP070/REP071 flag direct and transitive effects, REP072 flags
+    ambient state reads (the ``admit_dns`` regression class).  Apply it
+    to every verdict-style function the shard merge or resume story
+    relies on; constructing and returning fresh objects is fine.
     """
     return func

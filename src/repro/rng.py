@@ -22,11 +22,14 @@ import hashlib
 import random
 from typing import Iterable, List, Sequence, TypeVar
 
+from .markers import pure_function
+
 T = TypeVar("T")
 
 __all__ = ["SeededRng", "stable_hash"]
 
 
+@pure_function
 def stable_hash(*parts: object) -> int:
     """Return a 64-bit hash of ``parts`` that is stable across processes.
 

@@ -32,6 +32,7 @@ from ..checkpoint.serde import report_partial_to_dict, restore_report_partial
 from ..core.study import SixWeekStudy, StudyRuntime
 from ..errors import ShardError
 from ..faults.quarantine import NameserverQuarantine
+from ..markers import pure_function
 
 __all__ = ["worker_payload", "merge_payloads", "overlay_merged"]
 
@@ -74,6 +75,7 @@ def worker_payload(study: SixWeekStudy, runtime: StudyRuntime) -> Dict[str, obje
     }
 
 
+@pure_function
 def merge_payloads(payloads: Sequence[Dict[str, object]]) -> Dict[str, object]:
     """Fold per-shard payloads into one monolithic-shaped payload.
 
@@ -223,6 +225,7 @@ def _validate_topology(
     return ordered
 
 
+@pure_function
 def _merge_report_partials(
     partials: Sequence[Dict[str, object]],
 ) -> Dict[str, object]:
@@ -308,6 +311,7 @@ def _merge_report_partials(
     }
 
 
+@pure_function
 def _merge_weekly(
     per_shard_weeks: Sequence[List[Dict[str, object]]],
 ) -> List[Dict[str, object]]:
@@ -343,6 +347,7 @@ def _merge_weekly(
     return merged
 
 
+@pure_function
 def _merge_exposure(
     per_shard_weeks: Sequence[List[List[str]]],
 ) -> List[List[str]]:

@@ -27,9 +27,16 @@ from __future__ import annotations
 from typing import Dict, Mapping, Optional, Tuple
 
 from ..errors import ConfigurationError
+from ..markers import pure_function
 from ..rng import stable_hash
 
-__all__ = ["TokenBucket", "AdaptiveLimiter", "CircuitBreaker", "TIERS"]
+__all__ = [
+    "TokenBucket",
+    "AdaptiveLimiter",
+    "CircuitBreaker",
+    "TIERS",
+    "breaker_backoff_days",
+]
 
 #: Load tiers, mildest first.
 TIERS: Tuple[str, str, str] = ("normal", "high", "critical")
@@ -47,6 +54,28 @@ _TIER_THROTTLE_PROBABILITIES: Mapping[str, float] = {
     "high": 0.5,
     "critical": 0.75,
 }
+
+
+@pure_function
+def breaker_backoff_days(
+    name: str,
+    trips: int,
+    base_backoff_days: int,
+    jitter_fraction: float,
+    max_backoff_days: int,
+) -> int:
+    """Clamped, jittered exponential backoff for trip number ``trips``.
+
+    Every input arrives as a parameter and the jitter comes from
+    :func:`~repro.rng.stable_hash`, so two shards that observe the same
+    trip history compute the same open window — the contract the
+    checkpoint/resume path relies on when it replays breaker state.
+    """
+    exponent = min(trips - 1, 6)
+    backoff = base_backoff_days * (2 ** exponent)
+    jitter = stable_hash("breaker-jitter", name, trips) % 10_000
+    backoff = int(backoff * (1.0 + jitter_fraction * jitter / 10_000.0))
+    return min(max(1, backoff), max_backoff_days)
 
 
 class TokenBucket:
@@ -256,12 +285,15 @@ class CircuitBreaker:
 
     def _trip(self, day: int) -> None:
         self.trips += 1
-        exponent = min(self.trips - 1, 6)
-        backoff = self.base_backoff_days * (2 ** exponent)
-        jitter = stable_hash("breaker-jitter", self.name, self.trips) % 10_000
-        backoff = int(backoff * (1.0 + self.jitter_fraction * jitter / 10_000.0))
+        backoff = breaker_backoff_days(
+            self.name,
+            self.trips,
+            self.base_backoff_days,
+            self.jitter_fraction,
+            self.max_backoff_days,
+        )
         self.state = self.OPEN
-        self.open_until = day + 1 + min(max(1, backoff), self.max_backoff_days)
+        self.open_until = day + 1 + backoff
         self.failures = 0
 
     # -- checkpoint support -------------------------------------------

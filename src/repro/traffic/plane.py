@@ -40,6 +40,7 @@ from typing import Dict, List, NamedTuple, Optional, TYPE_CHECKING, Tuple
 from ..clock import SimulationClock
 from ..dns.message import DnsQuery, DnsResponse
 from ..errors import CheckpointCorruptError, ConfigurationError
+from ..markers import pure_function
 from ..net.geo import Region
 from ..net.ipaddr import IPv4Address
 from ..net.traffic import zipf_weights
@@ -223,6 +224,7 @@ class TrafficPlane:
 
     # -- measurement side: fabric admission ----------------------------
 
+    @pure_function
     def admit_dns(
         self,
         address: IPv4Address,

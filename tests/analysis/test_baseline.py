@@ -81,6 +81,71 @@ class TestSuppression:
         assert len(baseline.stale_entries(clean)) == len(findings)
 
 
+class TestDualCoverage:
+    """A finding must not be excused twice (inline + baseline)."""
+
+    def analyze(self, tmp_path):
+        path = tmp_path / "mod.py"
+        path.write_text(
+            "import random  # repro: allow[REP001] -- fixture exception\n",
+            encoding="utf-8",
+        )
+        return Analyzer(root=str(tmp_path), select=["REP001"]).analyze(
+            [str(path)]
+        )
+
+    def test_inline_covered_entry_is_stale_with_reason(self, tmp_path):
+        result = self.analyze(tmp_path)
+        assert result.findings == []
+        assert len(result.inline_suppressed) == 1
+        covered = result.inline_suppressed[0]
+        baseline = Baseline([
+            BaselineEntry(
+                covered.rule_id, covered.path, covered.fingerprint,
+                "redundant copy of the inline justification",
+            ),
+        ])
+        reasons = baseline.stale_reasons(
+            result.findings, result.inline_suppressed
+        )
+        assert [(e.fingerprint, r) for e, r in reasons] == [
+            (covered.fingerprint, "inline"),
+        ]
+
+    def test_gone_and_inline_reasons_are_distinguished(self, tmp_path):
+        result = self.analyze(tmp_path)
+        covered = result.inline_suppressed[0]
+        baseline = Baseline([
+            BaselineEntry(covered.rule_id, covered.path,
+                          covered.fingerprint, "inline-covered"),
+            BaselineEntry("REP010", "mod.py", "feedfacefeedface",
+                          "violation long since fixed"),
+        ])
+        reasons = dict(
+            (entry.fingerprint, reason)
+            for entry, reason in baseline.stale_reasons(
+                result.findings, result.inline_suppressed
+            )
+        )
+        assert reasons == {
+            covered.fingerprint: "inline",
+            "feedfacefeedface": "gone",
+        }
+
+    def test_update_baseline_drops_the_dual_covered_entry(self, tmp_path):
+        # from_findings only covers live findings, so the regenerated
+        # baseline can never retain an inline-covered entry.
+        result = self.analyze(tmp_path)
+        covered = result.inline_suppressed[0]
+        stale = Baseline([
+            BaselineEntry(covered.rule_id, covered.path,
+                          covered.fingerprint, "dual-covered"),
+        ])
+        updated = Baseline.from_findings(result.findings, previous=stale)
+        assert covered.fingerprint not in updated
+        assert len(updated) == 0
+
+
 class TestFileFormat:
     def test_missing_file_is_empty(self, tmp_path):
         baseline = Baseline.load(str(tmp_path / "absent.txt"))

@@ -127,3 +127,55 @@ class TestBaselineFlow:
         assert (project / target).exists()
         capsys.readouterr()
         assert main(["lint", "pkg", "--baseline", target]) == 0
+
+
+class TestDualCoverage:
+    """Baseline entries covered by an inline suppression are stale."""
+
+    def write_dual_covered(self, project):
+        # The violating line carries its own allow comment; a baseline
+        # entry for the same fingerprint is the redundant excuse.
+        from repro.analysis import Analyzer
+
+        (project / "pkg" / "dirty.py").write_text(
+            "import random  # repro: allow[REP001] -- fixture exception\n",
+            encoding="utf-8",
+        )
+        result = Analyzer(root=str(project), select=["REP001"]).analyze(
+            [str(project / "pkg")]
+        )
+        covered = result.inline_suppressed[0]
+        (project / "lint-baseline.txt").write_text(
+            f"{covered.rule_id} {covered.path} {covered.fingerprint}"
+            "  # redundant copy of the inline justification\n",
+            encoding="utf-8",
+        )
+
+    def test_report_names_the_inline_coverage(self, project, capsys):
+        self.write_dual_covered(project)
+        assert main(["lint", "pkg"]) == 0
+        out = capsys.readouterr().out
+        assert "covered by an inline suppression" in out
+        assert "remove the redundant baseline entry" in out
+        assert "violation no longer exists" not in out
+
+    def test_json_report_carries_the_reason(self, project, capsys):
+        self.write_dual_covered(project)
+        main(["lint", "pkg", "--format", "json"])
+        payload = json.loads(capsys.readouterr().out)
+        stale = payload["stale_baseline_entries"]
+        assert len(stale) == 1
+        assert stale[0]["reason"] == "inline"
+
+    def test_update_baseline_drops_and_reports_the_entry(
+        self, project, capsys
+    ):
+        self.write_dual_covered(project)
+        assert main(["lint", "pkg", "--update-baseline"]) == 0
+        out = capsys.readouterr().out
+        assert "1 stale entry(ies) dropped" in out
+        text = (project / "lint-baseline.txt").read_text(encoding="utf-8")
+        assert "REP001" not in text
+        # The regenerated baseline is clean and stays that way.
+        assert main(["lint", "pkg"]) == 0
+        assert "stale baseline entry" not in capsys.readouterr().out

@@ -1,0 +1,463 @@
+"""REP070-REP073: the purity decade over declared @pure_function code.
+
+Mirrors ``test_shardrules.py``: every fixture declares the contract the
+way real code does (``@pure_function`` on verdict helpers,
+``@merge_point`` on combiners), and with no declaration the decade must
+be inert.  The seeded-mutation tests stage a copy of the *real*
+``traffic/plane.py`` and inject the regression class REP072 exists for:
+an ``admit_dns`` that consults module state not passed as a parameter.
+"""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.analysis import Analyzer
+from repro.analysis.cache import ruleset_signature
+from repro.analysis.effects import (
+    AmbientStateReadRule,
+    ImpureMergeHelperRule,
+    PureFunctionEffectRule,
+    TransitiveImpurityRule,
+)
+from repro.analysis.findings import Severity
+from repro.analysis.sarif import sarif_payload
+
+from .test_graph import write_package
+from .test_graphrules import by_rule, lint_package
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[2]
+PLANE = REPO_ROOT / "src" / "repro" / "traffic" / "plane.py"
+
+DECADE = ["REP070", "REP071", "REP072", "REP073"]
+
+
+class TestRuleDecade:
+    def test_rule_ids_titles_and_severities(self):
+        assert PureFunctionEffectRule.rule_id == "REP070"
+        assert TransitiveImpurityRule.rule_id == "REP071"
+        assert AmbientStateReadRule.rule_id == "REP072"
+        assert ImpureMergeHelperRule.rule_id == "REP073"
+        for rule in (
+            PureFunctionEffectRule,
+            TransitiveImpurityRule,
+            AmbientStateReadRule,
+            ImpureMergeHelperRule,
+        ):
+            assert rule.title
+            assert rule.severity is Severity.ERROR
+
+    def test_decade_is_inert_without_declarations(self, tmp_path):
+        # Every effect in the lattice, but nothing declared pure and no
+        # merge point: zero findings.
+        findings = lint_package(tmp_path, {
+            "pkg/__init__.py": "",
+            "pkg/work.py": """
+                import random
+
+                LEDGER = []
+
+
+                def chaos(value):
+                    LEDGER.append(random.random())
+                    print(value)
+                    return LEDGER
+            """,
+        }, select=DECADE)
+        assert findings == []
+
+
+class TestRep070DirectEffects:
+    def test_global_write_is_anchored_at_the_statement(self, tmp_path):
+        findings = lint_package(tmp_path, {
+            "pkg/__init__.py": "",
+            "pkg/verdict.py": """
+                from repro.markers import pure_function
+
+                LEDGER = []
+
+
+                @pure_function
+                def decide(value):
+                    LEDGER.append(value)
+                    return value > 0
+            """,
+        }, select=DECADE)
+        flagged = by_rule(findings, "REP070")
+        assert len(flagged) == 1
+        assert "writes-global" in flagged[0].message
+        assert "decide" in flagged[0].message
+        assert "LEDGER" in flagged[0].source
+
+    def test_rng_draw_inside_pure_function(self, tmp_path):
+        findings = lint_package(tmp_path, {
+            "pkg/__init__.py": "",
+            "pkg/verdict.py": """
+                import random
+
+                from repro.markers import pure_function
+
+
+                @pure_function
+                def decide(value):
+                    return value + random.random() > 1.0
+            """,
+        }, select=DECADE)
+        flagged = by_rule(findings, "REP070")
+        assert len(flagged) == 1
+        assert "draws-rng" in flagged[0].message
+
+    def test_injected_rng_parameter_is_not_flagged(self, tmp_path):
+        findings = lint_package(tmp_path, {
+            "pkg/__init__.py": "",
+            "pkg/verdict.py": """
+                from repro.markers import pure_function
+
+
+                @pure_function
+                def decide(rng, value):
+                    return value + rng.uniform(0.0, 1.0) > 1.0
+            """,
+        }, select=DECADE)
+        assert findings == []
+
+    def test_inline_suppression_silences_the_finding(self, tmp_path):
+        findings = lint_package(tmp_path, {
+            "pkg/__init__.py": "",
+            "pkg/verdict.py": """
+                from repro.markers import pure_function
+
+                LEDGER = []
+
+
+                @pure_function
+                def decide(value):
+                    LEDGER.append(value)  # repro: allow[REP070] -- fixture exception
+                    return value > 0
+            """,
+        }, select=DECADE)
+        assert by_rule(findings, "REP070") == []
+
+
+class TestRep071TransitiveImpurity:
+    def test_impure_callee_reported_with_call_chain(self, tmp_path):
+        findings = lint_package(tmp_path, {
+            "pkg/__init__.py": "",
+            "pkg/verdict.py": """
+                from repro.markers import pure_function
+
+                LEDGER = []
+
+
+                def _note(value):
+                    LEDGER.append(value)
+
+
+                def _relay(value):
+                    _note(value)
+
+
+                @pure_function
+                def decide(value):
+                    _relay(value)
+                    return value > 0
+            """,
+        }, select=DECADE)
+        flagged = by_rule(findings, "REP071")
+        assert len(flagged) == 1
+        message = flagged[0].message
+        assert "decide -> " in message and "_note" in message
+        assert "writes-global" in message
+        # The direct carrier is not declared pure, so REP070 stays quiet.
+        assert by_rule(findings, "REP070") == []
+
+
+class TestRep072AmbientReads:
+    def test_direct_read_of_module_state(self, tmp_path):
+        findings = lint_package(tmp_path, {
+            "pkg/__init__.py": "",
+            "pkg/verdict.py": """
+                from repro.markers import pure_function
+
+                OVERRIDES = {}
+
+
+                @pure_function
+                def decide(value):
+                    return OVERRIDES.get(value, value > 0)
+            """,
+        }, select=DECADE)
+        flagged = by_rule(findings, "REP072")
+        assert len(flagged) == 1
+        assert "OVERRIDES" in flagged[0].message
+        assert "not passed as a parameter" in flagged[0].message
+
+    def test_read_through_a_helper_carries_the_chain(self, tmp_path):
+        findings = lint_package(tmp_path, {
+            "pkg/__init__.py": "",
+            "pkg/verdict.py": """
+                from repro.markers import pure_function
+
+                OVERRIDES = {}
+
+
+                def _consult(value):
+                    return OVERRIDES.get(value)
+
+
+                @pure_function
+                def decide(value):
+                    return _consult(value) or value > 0
+            """,
+        }, select=DECADE)
+        flagged = by_rule(findings, "REP072")
+        assert len(flagged) == 1
+        assert "through a helper" in flagged[0].message
+        assert "decide -> " in flagged[0].message
+
+    def test_reading_a_frozen_constant_is_clean(self, tmp_path):
+        # resolve_global only tracks *mutable* module state; a frozen
+        # tuple threshold is configuration, not ambient state.
+        findings = lint_package(tmp_path, {
+            "pkg/__init__.py": "",
+            "pkg/verdict.py": """
+                from repro.markers import pure_function
+
+                TIERS = ("normal", "high", "critical")
+
+
+                @pure_function
+                def decide(tier):
+                    return TIERS.index(tier)
+            """,
+        }, select=DECADE)
+        assert by_rule(findings, "REP072") == []
+
+
+class TestRep073MergeHelpers:
+    def test_helper_writing_a_global_escapes_the_merge(self, tmp_path):
+        findings = lint_package(tmp_path, {
+            "pkg/__init__.py": "",
+            "pkg/combine.py": """
+                from repro.markers import merge_point
+
+                SEEN = []
+
+
+                def _tally(payload):
+                    SEEN.append(payload)
+                    return len(SEEN)
+
+
+                @merge_point
+                def merge(payloads):
+                    return [_tally(payload) for payload in payloads]
+            """,
+        }, select=DECADE)
+        flagged = by_rule(findings, "REP073")
+        assert len(flagged) == 1
+        message = flagged[0].message
+        assert "merge" in message and "_tally" in message
+        assert "escape the merge" in message
+
+    def test_merge_points_own_direct_write_is_not_rep073(self, tmp_path):
+        # A merge point mutating a global itself is REP060/REP070
+        # territory; REP073 audits only the helpers it calls.
+        findings = lint_package(tmp_path, {
+            "pkg/__init__.py": "",
+            "pkg/combine.py": """
+                from repro.markers import merge_point
+
+                SEEN = []
+
+
+                @merge_point
+                def merge(payloads):
+                    SEEN.extend(payloads)
+                    return list(SEEN)
+            """,
+        }, select=DECADE)
+        assert by_rule(findings, "REP073") == []
+
+
+class TestSeededMutation:
+    """Stage the real admit_dns and inject the REP072 regression class."""
+
+    def stage(self, tmp_path, mutate=None):
+        source = PLANE.read_text(encoding="utf-8")
+        anchor = "        provider = self._provider_of.get(address)"
+        assert anchor in source
+        if mutate is not None:
+            source = source.replace(
+                "from .defense import AdaptiveLimiter",
+                "_ADMIT_OVERRIDES = {}\n\nfrom .defense import AdaptiveLimiter",
+                1,
+            )
+            source = source.replace(anchor, mutate + "\n" + anchor, 1)
+        staged_pkg = tmp_path / "traffic"
+        staged_pkg.mkdir()
+        staged = staged_pkg / "plane.py"
+        staged.write_text(source, encoding="utf-8")
+        return staged, source
+
+    def run(self, tmp_path, staged):
+        return Analyzer(root=str(tmp_path), select=DECADE).run([str(staged)])
+
+    def test_unmutated_admit_dns_is_clean(self, tmp_path):
+        staged, _ = self.stage(tmp_path)
+        assert self.run(tmp_path, staged) == []
+
+    def test_injected_ambient_read_is_rep072_with_witness(self, tmp_path):
+        mutation = (
+            "        if str(address) in _ADMIT_OVERRIDES:\n"
+            "            return _ADMIT_OVERRIDES[str(address)]"
+        )
+        staged, _ = self.stage(tmp_path, mutate=mutation)
+        findings = self.run(tmp_path, staged)
+        flagged = by_rule(findings, "REP072")
+        assert len(flagged) == 1
+        finding = flagged[0]
+        assert finding.path == "traffic/plane.py"
+        assert "admit_dns" in finding.message
+        assert "_ADMIT_OVERRIDES" in finding.message
+
+    def test_injected_global_write_is_rep070_at_the_statement(self, tmp_path):
+        mutation = "        _ADMIT_OVERRIDES[str(address)] = region"
+        staged, source = self.stage(tmp_path, mutate=mutation)
+        findings = self.run(tmp_path, staged)
+        flagged = by_rule(findings, "REP070")
+        assert len(flagged) == 1
+        finding = flagged[0]
+        assert "writes-global" in finding.message
+        expected_line = source.splitlines().index(mutation.splitlines()[0]) + 1
+        assert finding.line == expected_line
+
+
+FIXTURE = {
+    "pkg/__init__.py": "",
+    "pkg/verdict.py": """
+        from repro.markers import pure_function
+
+        LEDGER = []
+
+
+        @pure_function
+        def decide(value):
+            LEDGER.append(value)
+            return value > 0
+    """,
+}
+
+
+def fingerprints(findings):
+    return [(f.rule_id, f.fingerprint, f.line, f.message) for f in findings]
+
+
+class TestDeterminism:
+    def test_warm_cache_run_is_byte_identical(self, tmp_path):
+        write_package(tmp_path, FIXTURE)
+        cache = str(tmp_path / "cache.json")
+        target = [str(tmp_path / "pkg")]
+        cold = Analyzer(
+            root=str(tmp_path), select=DECADE, cache_path=cache
+        ).analyze(target)
+        warm = Analyzer(
+            root=str(tmp_path), select=DECADE, cache_path=cache
+        ).analyze(target)
+        assert warm.stats.parsed == 0
+        assert fingerprints(warm.findings) == fingerprints(cold.findings)
+        # The fixture's LEDGER.append both reads and writes the global.
+        assert {f.rule_id for f in warm.findings} == {"REP070", "REP072"}
+
+    def test_parallel_run_is_byte_identical(self, tmp_path):
+        write_package(tmp_path, FIXTURE)
+        target = [str(tmp_path / "pkg")]
+        serial = Analyzer(root=str(tmp_path), select=DECADE).run(target)
+        parallel = Analyzer(
+            root=str(tmp_path), select=DECADE, jobs=2
+        ).run(target)
+        assert fingerprints(parallel) == fingerprints(serial)
+
+    def test_pre_rep07x_cache_is_fully_discarded(self, tmp_path):
+        # A cache written before the purity decade carries summaries
+        # without effect sites; the signature (schema v2 + the 21-rule
+        # pack) can never match today's, so the run re-parses fully.
+        write_package(tmp_path, FIXTURE)
+        cache_path = tmp_path / "cache.json"
+        target = [str(tmp_path / "pkg")]
+        Analyzer(root=str(tmp_path), cache_path=str(cache_path)).analyze(
+            target
+        )
+        payload = json.loads(cache_path.read_text(encoding="utf-8"))
+        pre_decade_rules = [
+            rule.rule_id
+            for rule in Analyzer(root=str(tmp_path)).rules
+            if not rule.rule_id.startswith("REP07")
+        ]
+        payload["signature"] = ruleset_signature(pre_decade_rules)
+        cache_path.write_text(json.dumps(payload), encoding="utf-8")
+        result = Analyzer(
+            root=str(tmp_path), cache_path=str(cache_path)
+        ).analyze(target)
+        assert result.stats.cache_hits == 0
+        assert result.stats.parsed == 2
+
+
+class TestSarif:
+    def test_rep07x_findings_validate_against_2_1_0_schema(self, tmp_path):
+        jsonschema = pytest.importorskip("jsonschema")
+        write_package(tmp_path, FIXTURE)
+        result = Analyzer(root=str(tmp_path), select=DECADE).analyze(
+            [str(tmp_path / "pkg")]
+        )
+        assert result.findings
+        payload = sarif_payload(
+            result.findings, (), None,
+            inline_suppressed=result.inline_suppressed,
+            stats=result.stats.to_dict(),
+        )
+        schema = {
+            "type": "object",
+            "required": ["version", "runs"],
+            "properties": {
+                "version": {"const": "2.1.0"},
+                "runs": {
+                    "type": "array",
+                    "minItems": 1,
+                    "items": {
+                        "type": "object",
+                        "required": ["tool", "results"],
+                        "properties": {
+                            "results": {
+                                "type": "array",
+                                "items": {
+                                    "type": "object",
+                                    "required": ["ruleId", "message"],
+                                    "properties": {
+                                        "message": {
+                                            "type": "object",
+                                            "required": ["text"],
+                                        },
+                                        "level": {
+                                            "enum": [
+                                                "none", "note",
+                                                "warning", "error",
+                                            ],
+                                        },
+                                    },
+                                },
+                            },
+                        },
+                    },
+                },
+            },
+        }
+        jsonschema.validate(payload, schema)
+        results = payload["runs"][0]["results"]
+        assert {r["ruleId"] for r in results} == {"REP070", "REP072"}
+        assert all(r["level"] == "error" for r in results)
+        rules = payload["runs"][0]["tool"]["driver"]["rules"]
+        assert {"REP070", "REP071", "REP072", "REP073"} <= {
+            r["id"] for r in rules
+        }

@@ -1,0 +1,247 @@
+"""Effect-summary inference: the REP07x fixpoint over fixture trees.
+
+These tests drive :func:`repro.analysis.effects.infer_effects` directly
+(no rules, no declarations) to pin down the effect lattice itself:
+which statements produce which atoms, which surfaces are sanitized, and
+that the per-kind fixpoint is deterministic and carries usable witness
+chains.  The rule-level behavior lives in ``test_effectrules.py``.
+"""
+
+from repro.analysis.effects import (
+    EFFECT_KINDS,
+    EffectsResult,
+    infer_effects,
+)
+
+from .test_graph import build_graph
+
+
+def kinds_of(graph, module, qualname):
+    return infer_effects(graph).kinds((module, qualname))
+
+
+class TestDirectAtoms:
+    def test_decorator_free_helper_called_from_pure_code_is_clean(
+        self, tmp_path
+    ):
+        # Purity needs no decorator to be *inferred*: a helper that only
+        # computes has an empty summary whether or not anyone declares.
+        graph = build_graph(tmp_path, {
+            "pkg/__init__.py": "",
+            "pkg/calc.py": """
+                from repro.markers import pure_function
+
+
+                def _scale(value, factor):
+                    return value * factor
+
+
+                @pure_function
+                def verdict(value):
+                    return _scale(value, 3) + 1
+            """,
+        })
+        assert kinds_of(graph, "pkg.calc", "_scale") == ()
+        assert kinds_of(graph, "pkg.calc", "verdict") == ()
+
+    def test_mutation_through_self_is_writes_self(self, tmp_path):
+        graph = build_graph(tmp_path, {
+            "pkg/__init__.py": "",
+            "pkg/counter.py": """
+                class Counter:
+                    def __init__(self):
+                        self.total = 0
+
+                    def bump(self):
+                        self.total += 1
+                        return self.total
+            """,
+        })
+        # __init__ constructs fresh state — not an effect; bump mutates.
+        assert kinds_of(graph, "pkg.counter", "Counter.__init__") == ()
+        assert kinds_of(graph, "pkg.counter", "Counter.bump") == (
+            "writes-self",
+        )
+
+    def test_injected_rng_draw_is_sanitized(self, tmp_path):
+        # A draw through an injected SeededRng parameter is the
+        # sanctioned way to consume randomness — no draws-rng atom.
+        graph = build_graph(tmp_path, {
+            "pkg/__init__.py": "",
+            "pkg/draws.py": """
+                def jitter(rng, base):
+                    return base + rng.uniform(0.0, 1.0)
+            """,
+        })
+        assert "draws-rng" not in kinds_of(graph, "pkg.draws", "jitter")
+
+    def test_ambient_rng_draw_is_flagged(self, tmp_path):
+        graph = build_graph(tmp_path, {
+            "pkg/__init__.py": "",
+            "pkg/draws.py": """
+                import random
+
+
+                def jitter(base):
+                    return base + random.random()
+            """,
+        })
+        assert "draws-rng" in kinds_of(graph, "pkg.draws", "jitter")
+
+    def test_closure_capturing_mutable_dict_is_writes_captured(
+        self, tmp_path
+    ):
+        graph = build_graph(tmp_path, {
+            "pkg/__init__.py": "",
+            "pkg/closures.py": """
+                def make_counter():
+                    seen = {}
+
+                    def note(key):
+                        seen[key] = True
+                        return len(seen)
+
+                    return note
+            """,
+        })
+        assert "writes-captured" in kinds_of(
+            graph, "pkg.closures", "make_counter.note"
+        )
+        # The write outlives note() but stays inside make_counter's
+        # frame: the maker itself inherits the kind transitively via
+        # the implicit contained edge.
+        result = infer_effects(graph)
+        trace = result.trace(
+            ("pkg.closures", "make_counter"), "writes-captured"
+        )
+        assert trace is not None
+        assert trace.carrier == ("pkg.closures", "make_counter.note")
+
+    def test_module_global_read_and_write(self, tmp_path):
+        graph = build_graph(tmp_path, {
+            "pkg/__init__.py": "",
+            "pkg/state.py": """
+                CACHE = {}
+
+
+                def lookup(key):
+                    return CACHE.get(key)
+
+
+                def remember(key, value):
+                    CACHE[key] = value
+            """,
+        })
+        assert "reads-global" in kinds_of(graph, "pkg.state", "lookup")
+        assert "writes-global" in kinds_of(graph, "pkg.state", "remember")
+
+    def test_local_accumulator_fold_is_clean(self, tmp_path):
+        # The merge_payloads shape: mutating a container the function
+        # itself created is not an effect — nothing outlives the call.
+        graph = build_graph(tmp_path, {
+            "pkg/__init__.py": "",
+            "pkg/fold.py": """
+                def merge(payloads):
+                    totals = {}
+                    for payload in payloads:
+                        for key, value in payload.items():
+                            totals[key] = totals.get(key, 0) + value
+                    return totals
+            """,
+        })
+        assert "writes-global" not in kinds_of(graph, "pkg.fold", "merge")
+        assert "writes-captured" not in kinds_of(graph, "pkg.fold", "merge")
+
+    def test_print_is_performs_io(self, tmp_path):
+        graph = build_graph(tmp_path, {
+            "pkg/__init__.py": "",
+            "pkg/noisy.py": """
+                def report(value):
+                    print(value)
+                    return value
+            """,
+        })
+        assert "performs-io" in kinds_of(graph, "pkg.noisy", "report")
+
+
+class TestPropagation:
+    FILES = {
+        "pkg/__init__.py": "",
+        "pkg/chain.py": """
+            LEDGER = []
+
+
+            def sink(value):
+                LEDGER.append(value)
+
+
+            def middle(value):
+                sink(value)
+
+
+            def top(value):
+                middle(value)
+        """,
+    }
+
+    def test_witness_chain_runs_caller_to_carrier(self, tmp_path):
+        graph = build_graph(tmp_path, self.FILES)
+        result = infer_effects(graph)
+        trace = result.trace(("pkg.chain", "top"), "writes-global")
+        assert trace is not None and not trace.is_direct
+        assert trace.chain == (
+            ("pkg.chain", "top"),
+            ("pkg.chain", "middle"),
+            ("pkg.chain", "sink"),
+        )
+        assert trace.carrier == ("pkg.chain", "sink")
+        assert result.trace(("pkg.chain", "sink"), "writes-global").is_direct
+
+    def test_calls_unknown_stays_local(self, tmp_path):
+        # Unknown-receiver calls are data, not a propagated hazard:
+        # the caller of a function with an unknown call stays clean.
+        graph = build_graph(tmp_path, {
+            "pkg/__init__.py": "",
+            "pkg/opaque.py": """
+                def probe(conn):
+                    return conn.fetchall()
+
+
+                def wrapper(conn):
+                    return probe(conn)
+            """,
+        })
+        assert "calls-unknown" in kinds_of(graph, "pkg.opaque", "probe")
+        assert "calls-unknown" not in kinds_of(graph, "pkg.opaque", "wrapper")
+
+    def test_fixpoint_is_deterministic_across_builds(self, tmp_path):
+        first = infer_effects(build_graph(tmp_path / "a", self.FILES))
+        second = infer_effects(build_graph(tmp_path / "b", self.FILES))
+        assert first.traces.keys() == second.traces.keys()
+        for key in first.traces:
+            assert first.traces[key] == second.traces[key]
+
+    def test_result_is_memoized_on_the_graph(self, tmp_path):
+        graph = build_graph(tmp_path, self.FILES)
+        result = infer_effects(graph)
+        assert isinstance(result, EffectsResult)
+        assert infer_effects(graph) is result
+
+    def test_kinds_report_in_lattice_order(self, tmp_path):
+        graph = build_graph(tmp_path, {
+            "pkg/__init__.py": "",
+            "pkg/multi.py": """
+                import random
+
+                LEDGER = []
+
+
+                def chaos(value):
+                    LEDGER.append(random.choice([value]))
+                    print(value)
+            """,
+        })
+        kinds = kinds_of(graph, "pkg.multi", "chaos")
+        assert set(kinds) >= {"writes-global", "draws-rng", "performs-io"}
+        positions = [EFFECT_KINDS.index(kind) for kind in kinds]
+        assert positions == sorted(positions)

@@ -12,6 +12,12 @@ from repro.analysis.clockrules import (
     MagicTimeLiteralRule,
     RawTimestampParameterRule,
 )
+from repro.analysis.effects import (
+    AmbientStateReadRule,
+    ImpureMergeHelperRule,
+    PureFunctionEffectRule,
+    TransitiveImpurityRule,
+)
 from repro.analysis.determinism import (
     AmbientRandomRule,
     OsEntropyRule,
@@ -61,6 +67,10 @@ EXPORTED_RULES = {
     "REP061": OrderSensitiveMergeRule,
     "REP062": RngStreamEscapeRule,
     "REP063": UnregisteredCheckpointStateRule,
+    "REP070": PureFunctionEffectRule,
+    "REP071": TransitiveImpurityRule,
+    "REP072": AmbientStateReadRule,
+    "REP073": ImpureMergeHelperRule,
 }
 
 
@@ -92,4 +102,5 @@ class TestRegistry:
         assert project_ids == {
             "REP040", "REP041", "REP042", "REP043",
             "REP060", "REP061", "REP062", "REP063",
+            "REP070", "REP071", "REP072", "REP073",
         }

@@ -354,11 +354,12 @@ class TestRep022MissingAll:
 
 
 class TestRegistry:
-    def test_default_pack_has_twenty_one_rules(self):
+    def test_default_pack_has_twenty_five_rules(self):
         # 10 per-module REP00x/01x/02x, REP030/REP031, the four REP04x
-        # project rules, REP050 (stale inline suppression), and the four
-        # REP06x shard-safety project rules.
-        assert len(default_registry()) == 21
+        # project rules, REP050 (stale inline suppression), the four
+        # REP06x shard-safety project rules, and the four REP07x
+        # purity/effect project rules.
+        assert len(default_registry()) == 25
 
     def test_unknown_select_raises(self, tmp_path):
         with pytest.raises(AnalysisError):
