@@ -20,6 +20,12 @@ Likewise a ``lint_wall`` section (``benchmarks/lint_wall.py
 --merge-into``): the self-lint's cold/warm wall time and cache speedup.
 Printed when present, never gated — the correctness properties (zero
 warm re-parses, identical findings) are tier-1 tests.
+
+And an ``attacks_overhead`` section: the E1 overhead curve of running
+the collection under an attack campaign versus attacks-off at the same
+(population, seed, warmup).  Printed when present, never gated — the
+attacks-on run legitimately does different work (outage retries,
+quarantine churn); the gated workload is always the attacks-off one.
 """
 
 from __future__ import annotations
@@ -69,6 +75,8 @@ def compare(baseline: Dict[str, object], candidate: Dict[str, object]) -> int:
     _report_shard_scaling("candidate", candidate)
     _report_lint_wall("baseline", baseline)
     _report_lint_wall("candidate", candidate)
+    _report_attacks_overhead("baseline", baseline)
+    _report_attacks_overhead("candidate", candidate)
 
     if drift:
         print(
@@ -97,6 +105,23 @@ def _report_lint_wall(role: str, payload: Dict[str, object]) -> None:
         f"warm {float(warm['wall_seconds']):.3f}s "
         f"({float(lint['speedup']):.1f}x)"
     )
+
+
+def _report_attacks_overhead(role: str, payload: Dict[str, object]) -> None:
+    overhead = payload.get("attacks_overhead")
+    if not overhead:
+        return
+    print(
+        f"bench-compare: {role} attacks overhead curve "
+        f"(p{overhead['population']}, reported only):"
+    )
+    for point in overhead["points"]:
+        print(
+            f"  attacks={point['profile'] or 'off'}: "
+            f"E1 {float(point['e1_wall_seconds']):.3f}s, "
+            f"{point['queries_sent']} queries, "
+            f"{point['unanswered']} unanswered"
+        )
 
 
 def _report_shard_scaling(role: str, payload: Dict[str, object]) -> None:

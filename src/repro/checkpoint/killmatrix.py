@@ -30,6 +30,7 @@ from ..errors import (
 )
 from ..faults.chaos import _collection_artifact, diff_artifacts
 from ..faults.crash import CRASH_MODES, CrashPlan
+from ..attacks.profiles import ATTACK_PROFILES
 from ..faults.profiles import PROFILES
 from ..traffic.profiles import TRAFFIC_PROFILES
 from .runner import resume_study, run_checkpointed_study
@@ -54,6 +55,7 @@ def run_kill_matrix(
     config: Optional[StudyConfig] = None,
     fault_profile: Optional[str] = None,
     traffic_profile: Optional[str] = None,
+    attack_profile: Optional[str] = None,
     shards: int = 1,
     shard_mode: str = "inline",
 ) -> Dict[str, object]:
@@ -78,6 +80,7 @@ def run_kill_matrix(
         config=config,
         fault_profile=fault_profile,
         traffic_profile=traffic_profile,
+        attack_profile=attack_profile,
     )
 
     if shards <= 1:
@@ -154,6 +157,7 @@ def run_kill_matrix(
         "study_days": config.study_days,
         "fault_profile": fault_profile,
         "traffic_profile": traffic_profile,
+        "attack_profile": attack_profile,
         "shards": shards,
         "reference_hash": content_hash(reference),
         "cases": cases,
@@ -237,6 +241,19 @@ def _refusal_checks(
             "mismatched-traffic",
             reference_dir,
             wrong_traffic,
+            CheckpointMismatchError,
+            reopen,
+        )
+    )
+    other_attack = sorted(
+        name for name in ATTACK_PROFILES if name != inputs["attack_profile"]
+    )[0]
+    wrong_attack = dict(inputs, attack_profile=other_attack)
+    checks.append(
+        _expect_refusal(
+            "mismatched-attacks",
+            reference_dir,
+            wrong_attack,
             CheckpointMismatchError,
             reopen,
         )

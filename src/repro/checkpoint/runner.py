@@ -41,6 +41,7 @@ def run_checkpointed_study(
     config: Optional[StudyConfig] = None,
     fault_profile: Optional[str] = None,
     traffic_profile: Optional[str] = None,
+    attack_profile: Optional[str] = None,
     crash_plan: Optional[CrashPlan] = None,
 ) -> StudyReport:
     """Run the study from scratch, committing a barrier per day.
@@ -58,8 +59,11 @@ def run_checkpointed_study(
         config=config_to_dict(config),
         fault_profile=fault_profile,
         traffic_profile=traffic_profile,
+        attack_profile=attack_profile,
     )
-    study, runtime = _begin(population, seed, config, fault_profile, traffic_profile)
+    study, runtime = _begin(
+        population, seed, config, fault_profile, traffic_profile, attack_profile
+    )
     return _drive(store, study, runtime, crash_plan, latest_barrier=-1)
 
 
@@ -71,6 +75,7 @@ def resume_study(
     config: Optional[StudyConfig] = None,
     fault_profile: Optional[str] = None,
     traffic_profile: Optional[str] = None,
+    attack_profile: Optional[str] = None,
     crash_plan: Optional[CrashPlan] = None,
 ) -> StudyReport:
     """Continue a crashed run on the exact deterministic trajectory.
@@ -90,6 +95,7 @@ def resume_study(
         config=config_to_dict(config),
         fault_profile=fault_profile,
         traffic_profile=traffic_profile,
+        attack_profile=attack_profile,
     )
     record = store.latest()
     if record is None:
@@ -99,7 +105,9 @@ def resume_study(
         )
     state = store.load_snapshot(record)
 
-    study, runtime = _begin(population, seed, config, fault_profile, traffic_profile)
+    study, runtime = _begin(
+        population, seed, config, fault_profile, traffic_profile, attack_profile
+    )
     # Replay the world's measurement-independent dynamics day by day up
     # to the snapshot's position, then overlay the measurement state.
     for _ in range(int(state["day_index"])):
@@ -125,15 +133,17 @@ def _begin(
     config: StudyConfig,
     fault_profile: Optional[str],
     traffic_profile: Optional[str] = None,
+    attack_profile: Optional[str] = None,
 ) -> "tuple[SixWeekStudy, StudyRuntime]":
     """Deterministically rebuild world + study and begin the campaign.
 
     The fault profile installs *after* warm-up, so its day-windowed
     rules are relative to the same clock day on every rebuild — this is
     what makes a resumed run's fault schedule identical to the
-    original's.  The traffic plane installs the same way: post-warmup,
-    so a resumed run replays the identical background-load trajectory
-    before the snapshot overlays the plane's exact state.
+    original's.  The traffic and attack planes install the same way:
+    post-warmup, so a resumed run regenerates the identical background
+    load and attack schedule before the snapshot overlays (and, for the
+    attack plane, cross-checks) the planes' exact state.
     """
     world = SimulatedInternet(WorldConfig(population_size=population, seed=seed))
     study = SixWeekStudy(world, config)
@@ -142,6 +152,8 @@ def _begin(
         world.install_faults(fault_profile)
     if traffic_profile is not None:
         world.install_traffic(traffic_profile)
+    if attack_profile is not None:
+        world.install_attacks(attack_profile)
     return study, runtime
 
 

@@ -48,6 +48,9 @@ SERDE_REGISTRY = frozenset({
     # Carried transitively: TrafficPlane.state_dict embeds every
     # bucket level, breaker state, and the adaptive limiter's tier.
     "AdaptiveLimiter",
+    # Carried via AttackPlane.state_dict: the schedule (verified, not
+    # trusted), attacked-address sets, surge, tallies and counters.
+    "AttackPlane",
     "CircuitBreaker",
     "DailySnapshot",
     "DnsClient",
@@ -253,6 +256,7 @@ def serialize_runtime(study: SixWeekStudy, runtime: StudyRuntime) -> Dict[str, o
     world = study.world
     fault_plan = world.fabric.fault_plan
     traffic_plane = world.fabric.traffic_plane
+    attack_plane = world.fabric.attack_plane
     return {
         "clock_now": world.clock.now,
         "day_index": runtime.day_index,
@@ -284,6 +288,9 @@ def serialize_runtime(study: SixWeekStudy, runtime: StudyRuntime) -> Dict[str, o
         "fault_plan": fault_plan.state_dict() if fault_plan is not None else None,
         "traffic_plane": (
             traffic_plane.state_dict() if traffic_plane is not None else None
+        ),
+        "attack_plane": (
+            attack_plane.state_dict() if attack_plane is not None else None
         ),
     }
 
@@ -348,6 +355,17 @@ def restore_runtime(
         )
     if traffic_plane is not None:
         traffic_plane.restore_state(traffic_state)
+
+    # Likewise attack-free for snapshots predating the attack plane.
+    attack_state = state.get("attack_plane")
+    attack_plane = study.world.fabric.attack_plane
+    if (attack_state is None) != (attack_plane is None):
+        raise CheckpointCorruptError(
+            "snapshot and rebuilt world disagree about whether an attack "
+            "plane is installed"
+        )
+    if attack_plane is not None:
+        attack_plane.restore_state(attack_state)
 
 
 def _restore_optional(obj: Optional[object], saved: Optional[object], name: str) -> None:

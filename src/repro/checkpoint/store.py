@@ -94,6 +94,7 @@ class CheckpointStore:
         config: Dict[str, object],
         fault_profile: Optional[str] = None,
         traffic_profile: Optional[str] = None,
+        attack_profile: Optional[str] = None,
         shard: Optional[Dict[str, int]] = None,
     ) -> "CheckpointStore":
         """Start a fresh checkpoint directory (refuses to reuse one).
@@ -121,6 +122,7 @@ class CheckpointStore:
             "fault_profile": fault_profile,
             "profile_hash": content_hash({"fault_profile": fault_profile}),
             "traffic_profile": traffic_profile,
+            "attack_profile": attack_profile,
             "shard": shard,
         }
         atomic_write_text(directory / MANIFEST_NAME, canonical_json(manifest) + "\n")
@@ -157,6 +159,7 @@ class CheckpointStore:
         config: Dict[str, object],
         fault_profile: Optional[str] = None,
         traffic_profile: Optional[str] = None,
+        attack_profile: Optional[str] = None,
         shard: Optional[Dict[str, int]] = None,
     ) -> None:
         """Refuse (loudly) to marry this store to different inputs.
@@ -165,14 +168,16 @@ class CheckpointStore:
         (``None`` for monolithic stores) — manifests written before the
         sharding plane carry no ``shard`` key, which reads back as
         ``None`` and stays resumable monolithically.  Likewise
-        ``traffic_profile``: pre-traffic manifests read back as ``None``
-        and stay resumable without background load.
+        ``traffic_profile`` and ``attack_profile``: manifests written
+        before those planes read back as ``None`` and stay resumable
+        without background load or attacks.
         """
         expected = {
             "seed": int(seed),
             "population": int(population),
             "fault_profile": fault_profile,
             "traffic_profile": traffic_profile,
+            "attack_profile": attack_profile,
             "config_hash": content_hash(config),
             "shard": shard,
         }

@@ -13,8 +13,11 @@
                            [--traffic PROFILE]
     python -m repro traffic [--profile NAME] [--population N] [--seed S]
                            [--days D]
+    python -m repro attacks [--profile NAME] [--population N] [--seed S]
+                           [--days D]
     python -m repro chaos  --profile NAME [--population N] [--seed S]
-                           [--warmup W] [--out PATH]
+                           [--warmup W] [--out PATH] [--traffic PROFILE]
+                           [--attacks PROFILE]
     python -m repro resume CHECKPOINT_DIR [--population N] [--seed S]
                            [--days D] [--warmup W] [--profile NAME]
                            [--export PATH] [--shard-mode inline|process]
@@ -65,6 +68,16 @@ shedding) may throttle the measurement plane, which degrades gracefully
 (UNMEASURED observations and partial scans, never fabricated
 transitions).  ``repro traffic`` lists the profiles or dry-drives one
 and prints its tallies.  docs/ROBUSTNESS.md documents the semantics.
+
+``--attacks PROFILE`` (on the same commands) schedules a deterministic
+DDoS campaign after warm-up: volumetric and amplification events strike
+site origins, provider fleets, and co-located hosting blocks, drive
+emergency JOIN / post-attack LEAVE/SWITCH waves through the world's
+behavior engine, surge the background-traffic load, and open transient
+outage windows on the victims' nameservers and origins — the
+measurement plane degrades gracefully while the study keeps running.
+``repro attacks`` lists the profiles or dry-drives one and prints its
+schedule and wave tallies.
 """
 
 from __future__ import annotations
@@ -124,6 +137,9 @@ def build_parser() -> argparse.ArgumentParser:
     study.add_argument("--traffic", metavar="PROFILE", default=None,
                        help="drive background load under a named traffic "
                             "profile ('none' disables; see 'repro traffic')")
+    study.add_argument("--attacks", metavar="PROFILE", default=None,
+                       help="schedule a named DDoS campaign after warm-up "
+                            "('none' disables; see 'repro attacks')")
     study.add_argument("--shards", type=int, default=1, metavar="N",
                        help="partition the population across N lockstep "
                             "workers and merge byte-identically (default 1)")
@@ -164,6 +180,9 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--traffic", metavar="PROFILE", default=None,
                        help="run the workloads under a named background-"
                             "traffic profile ('none' disables)")
+    bench.add_argument("--attacks", metavar="PROFILE", default=None,
+                       help="run the workloads under a named DDoS campaign "
+                            "('none' disables)")
     bench.add_argument("--shards", metavar="N[,N...]", default=None,
                        help="also measure the sharded E1 collection at "
                             "these worker counts (e.g. 1,2,4,8) and record "
@@ -186,6 +205,14 @@ def build_parser() -> argparse.ArgumentParser:
                             "(default 21)")
     chaos.add_argument("--out", metavar="PATH", default=None,
                        help="output path (default: CHAOS_<profile>.json)")
+    chaos.add_argument("--traffic", metavar="PROFILE", default=None,
+                       help="run BOTH worlds under this background-traffic "
+                            "profile, proving the fault check composes with "
+                            "load ('none' disables)")
+    chaos.add_argument("--attacks", metavar="PROFILE", default=None,
+                       help="run BOTH worlds under this attack campaign, "
+                            "proving the fault check composes with attacks "
+                            "('none' disables)")
 
     resume = subparsers.add_parser(
         "resume", help="continue a crashed checkpointed study"
@@ -202,6 +229,8 @@ def build_parser() -> argparse.ArgumentParser:
                         help="fault profile the original run used, if any")
     resume.add_argument("--traffic", metavar="PROFILE", default=None,
                         help="traffic profile the original run used, if any")
+    resume.add_argument("--attacks", metavar="PROFILE", default=None,
+                        help="attack profile the original run used, if any")
     resume.add_argument("--export", metavar="PATH", default=None,
                         help="also write the report as JSON to PATH")
     resume.add_argument("--shard-mode", choices=["inline", "process"],
@@ -227,6 +256,9 @@ def build_parser() -> argparse.ArgumentParser:
     killmatrix.add_argument("--traffic", metavar="PROFILE", default=None,
                             help="also run the matrix under a background-"
                                  "traffic profile")
+    killmatrix.add_argument("--attacks", metavar="PROFILE", default=None,
+                            help="also run the matrix under a DDoS attack "
+                                 "campaign")
     killmatrix.add_argument("--workdir", metavar="DIR", default=None,
                             help="where the matrix keeps its checkpoint "
                                  "directories (default: a fresh temp dir)")
@@ -252,6 +284,19 @@ def build_parser() -> argparse.ArgumentParser:
     traffic.add_argument("--days", type=int, default=7,
                          help="days of load to drive with --profile "
                               "(default 7)")
+
+    attacks = subparsers.add_parser(
+        "attacks",
+        help="inspect attack profiles (list, or dry-drive one)",
+    )
+    add_world_args(attacks)
+    attacks.add_argument("--profile", metavar="NAME", default=None,
+                         help="drive this campaign against a built world "
+                              "and print its schedule and wave tallies "
+                              "(default: list profiles)")
+    attacks.add_argument("--days", type=int, default=42,
+                         help="days of dynamics to drive with --profile "
+                              "(default 42)")
 
     lint = subparsers.add_parser(
         "lint", help="determinism & simulation-invariant static analysis"
@@ -375,12 +420,23 @@ def main(argv: Optional[List[str]] = None) -> int:  # repro: allow[REP040] -- re
         return _cmd_lint(args)
     if args.command == "traffic":
         return _cmd_traffic(args)
+    if args.command == "attacks":
+        return _cmd_attacks(args)
     if getattr(args, "traffic", None) is not None:
         from .errors import ConfigurationError
         from .traffic import normalize_traffic_profile
 
         try:
             args.traffic = normalize_traffic_profile(args.traffic)
+        except ConfigurationError as exc:
+            print(f"repro {args.command}: {exc}", file=sys.stderr)
+            return 2
+    if getattr(args, "attacks", None) is not None:
+        from .attacks import normalize_attack_profile
+        from .errors import ConfigurationError
+
+        try:
+            args.attacks = normalize_attack_profile(args.attacks)
         except ConfigurationError as exc:
             print(f"repro {args.command}: {exc}", file=sys.stderr)
             return 2
@@ -416,6 +472,8 @@ def _cmd_chaos(args) -> int:
         population=args.population,
         seed=args.seed,
         warmup_days=args.warmup,
+        traffic=args.traffic,
+        attacks=args.attacks,
     )
     out_path = args.out or f"CHAOS_{report['profile']}.json"
     atomic_write_json(out_path, report)
@@ -465,7 +523,11 @@ def _cmd_bench(world: SimulatedInternet, args) -> int:  # repro: allow[REP040] -
     else:
         shard_counts = None
     result = run_bench(
-        world, warmup_days=args.warmup, label=args.label, traffic=args.traffic
+        world,
+        warmup_days=args.warmup,
+        label=args.label,
+        traffic=args.traffic,
+        attacks=args.attacks,
     )
     if shard_counts:
         from .obs.bench import run_shard_scaling
@@ -524,6 +586,8 @@ def _cmd_study(world: SimulatedInternet, args) -> int:
         # Post-warmup, exactly like the checkpointed plane's _begin:
         # background load shapes the measured weeks, not the warm-up.
         world.install_traffic(args.traffic)
+    if args.attacks is not None:
+        world.install_attacks(args.attacks)
     while not runtime.finished:
         study.run_day(runtime)
     report = study.finalise(runtime)
@@ -556,6 +620,7 @@ def _cmd_study_sharded(args) -> int:
             config=config,
             fault_profile=args.fault_profile,
             traffic_profile=args.traffic,
+            attack_profile=args.attacks,
             shard_count=args.shards,
             mode=args.shard_mode,
             checkpoint_dir=args.checkpoint,
@@ -579,6 +644,7 @@ def _cmd_study_checkpointed(args) -> int:
             config=config,
             fault_profile=args.fault_profile,
             traffic_profile=args.traffic,
+            attack_profile=args.attacks,
         )
     except CheckpointError as exc:
         print(f"repro study: {exc}", file=sys.stderr)
@@ -608,6 +674,7 @@ def _cmd_resume(args) -> int:
                 config=config,
                 fault_profile=args.fault_profile,
                 traffic_profile=args.traffic,
+                attack_profile=args.attacks,
                 mode=args.shard_mode,
             )
         else:
@@ -618,6 +685,7 @@ def _cmd_resume(args) -> int:
                 config=config,
                 fault_profile=args.fault_profile,
                 traffic_profile=args.traffic,
+                attack_profile=args.attacks,
             )
     except (CheckpointError, ShardError) as exc:
         print(f"repro resume: {exc}", file=sys.stderr)
@@ -639,6 +707,7 @@ def _cmd_kill_matrix(args) -> int:
         config=config,
         fault_profile=args.fault_profile,
         traffic_profile=args.traffic,
+        attack_profile=args.attacks,
         shards=args.shards,
         shard_mode=args.shard_mode,
     )
@@ -707,6 +776,60 @@ def _cmd_traffic(args) -> int:
     print(f"  breakers not closed: {len(open_breakers)}")
     for bname in open_breakers[:10]:
         print(f"    {bname}")
+    return 0
+
+
+def _cmd_attacks(args) -> int:
+    from .attacks import ATTACK_PROFILES, normalize_attack_profile
+    from .errors import ConfigurationError
+    from .obs.metrics import MetricsRegistry
+
+    if args.profile is None:
+        print("attack profiles:")
+        for name in sorted(ATTACK_PROFILES):
+            profile = ATTACK_PROFILES[name]
+            kind = (
+                "equivalence" if profile.expect_equivalence else "degradation"
+            )
+            strikes = (
+                profile.site_strikes
+                + profile.block_strikes
+                + profile.provider_strikes
+                + profile.overwhelming_strikes
+            )
+            print(f"  {name:<9} ({kind}): {strikes} strike(s) — "
+                  f"{profile.site_strikes} site, "
+                  f"{profile.block_strikes} block, "
+                  f"{profile.provider_strikes} provider, "
+                  f"{profile.overwhelming_strikes} overwhelming")
+            print(f"            {profile.description}")
+        print("('none' disables attacks)")
+        return 0
+    try:
+        name = normalize_attack_profile(args.profile)
+    except ConfigurationError as exc:
+        print(f"repro attacks: {exc}", file=sys.stderr)
+        return 2
+    if name is None:
+        print("profile 'none': no attacks to drive")
+        return 0
+    world = SimulatedInternet(
+        WorldConfig(population_size=args.population, seed=args.seed)
+    )
+    metrics = MetricsRegistry()
+    plane = world.install_attacks(name, metrics=metrics)
+    print(f"profile {name}: schedule at population {args.population}, "
+          f"seed {args.seed}:")
+    for event in plane.events:
+        overwhelms = " OVERWHELMS" if event.overwhelms else ""
+        print(f"  day {event.start_day:>3} +{event.duration_days}d "
+              f"{event.kind.value:<13} {event.target_kind.value:<14} "
+              f"{event.target} @ {event.magnitude_gbps:g} Gbps{overwhelms}")
+    world.engine.run_days(args.days)
+    print(f"drove {args.days} day(s); surge now "
+          f"x{plane.traffic_surge:.2f}")
+    for key in sorted(plane.tallies):
+        print(f"  {key}: {plane.tallies[key]}")
     return 0
 
 

@@ -19,7 +19,7 @@ from .study import StudyReport
 
 __all__ = ["report_to_dict", "save_report", "load_report_dict"]
 
-_SCHEMA_VERSION = 2
+_SCHEMA_VERSION = 3
 
 
 def report_to_dict(report: StudyReport) -> Dict[str, Any]:
@@ -129,6 +129,15 @@ def report_to_dict(report: StudyReport) -> Dict[str, Any]:
             },
             "quarantined_nameservers": list(report.quarantined_nameservers),
         },
+        "attacks": (
+            {
+                "profile": report.attack_profile,
+                "events": list(report.attack_events),
+                "tallies": dict(report.attack_tallies),
+            }
+            if report.attack_profile is not None
+            else None
+        ),
         "multicdn_flagged": sorted(report.multicdn_flagged),
     }
 

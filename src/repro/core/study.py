@@ -155,6 +155,13 @@ class StudyReport:
     partial_scan_weeks: Dict[int, int] = field(default_factory=dict)
     quarantined_nameservers: List[str] = field(default_factory=list)
 
+    # Attack plane (all empty on an attack-free run): the campaign's
+    # event schedule and the per-event / per-wave counters, copied from
+    # the world's attack plane at finalise.
+    attack_profile: Optional[str] = None
+    attack_events: List[Dict[str, object]] = field(default_factory=list)
+    attack_tallies: Dict[str, int] = field(default_factory=dict)
+
     @property
     def total_unmeasured(self) -> int:
         """Site-days lost to exhausted retry budgets across the study."""
@@ -446,6 +453,13 @@ class SixWeekStudy:
             address
             for address, _, _ in runtime.collection_resolver.quarantine.snapshot()
         ]
+        attacks = world.fabric.attack_plane
+        if attacks is not None:
+            report.attack_profile = attacks.name
+            report.attack_events = [event.as_dict() for event in attacks.events]
+            report.attack_tallies = {
+                key: attacks.tallies[key] for key in sorted(attacks.tallies)
+            }
         self._analyse_usage_dynamics(
             report, runtime.study_start_day, runtime.verifier
         )

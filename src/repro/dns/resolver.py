@@ -486,6 +486,17 @@ class RecursiveResolver:
                 self.metrics.incr("resolver.throttled")
                 saw_throttle = True
                 break
+            if delivery.outcome == "attack-outage":
+                # The server is healthy; the flood drowning its packets
+                # is world state with a pure per-(day, server, name)
+                # verdict, so same-day retries are just as futile as a
+                # throttle's.  No quarantine either: blaming the server
+                # for attacker traffic would punish future days, and —
+                # the verdict being keyed per qname — would couple shard
+                # slices through the shared quarantine roster.
+                self.metrics.incr("resolver.attack_outage")
+                saw_throttle = True
+                break
             response = delivery.response
             if response is not None and response.rcode is not Rcode.SERVFAIL:
                 self.quarantine.release(ip)
@@ -497,8 +508,8 @@ class RecursiveResolver:
             self.metrics.incr("resolver.quarantined")
             self._transient_failures += 1
         elif saw_throttle:
-            # A throttled server is healthy — quarantining it would
-            # punish future days for one day's load, so only the
+            # A throttled or flooded server is healthy — quarantining it
+            # would punish future days for one day's load, so only the
             # transient-failure marker is raised: if no other server
             # answers, the resolution degrades to ``gave_up`` (the
             # answer is unknown, never a fabricated negative).

@@ -34,6 +34,7 @@ __all__ = [
     "CheckpointSchemaError",
     "SimulatedCrash",
     "ShardError",
+    "ShardWorkerError",
 ]
 
 
@@ -197,3 +198,11 @@ class ShardError(ReproError):
     worker payloads from mismatched topologies or positions, a worker
     process that died without reporting, or merge inputs that could not
     have come from one lockstep run."""
+
+
+class ShardWorkerError(ShardError):
+    """A forked shard worker stopped participating in the lockstep —
+    it died mid-protocol or failed to answer an operation within the
+    coordinator's deadline.  The coordinator terminates the straggler
+    and raises this (naming the shard and the operation) instead of
+    blocking forever on a pipe that will never fill."""

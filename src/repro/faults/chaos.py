@@ -37,6 +37,12 @@ __all__ = ["run_chaos", "diff_artifacts"]
 #: Divergences listed in the payload before truncation.
 _MAX_DIVERGENCES = 25
 
+#: Extra engine days driven after the planes install when an attack
+#: campaign rides along, so the first strikes land (and their emergency
+#: waves fire) before the workloads measure — mid-campaign, never
+#: pre-campaign.  Both worlds drive the identical extra days.
+_ATTACK_SOAK_DAYS = 9
+
 
 def diff_artifacts(
     baseline: Dict[str, object], chaotic: Dict[str, object]
@@ -96,13 +102,28 @@ def _run_workloads(
     seed: int,
     warmup_days: int,
     fault_profile: Optional[FaultProfile],
+    traffic: Optional[str] = None,
+    attacks: Optional[str] = None,
 ) -> Tuple[Dict[str, object], Dict[str, object]]:
-    """One world, E1 + E8, returning (artifacts, observability)."""
+    """One world, E1 + E8, returning (artifacts, observability).
+
+    ``traffic`` and ``attacks`` install on *both* the baseline and the
+    faulty world (the caller passes the same values twice), so the diff
+    keeps isolating the fault profile's effect: under load and under
+    attack, an equivalence profile must still produce byte-identical
+    artifacts.  With an attack campaign the world soaks a few extra
+    days after install so the workloads measure mid-campaign.
+    """
     world = SimulatedInternet(
         WorldConfig(population_size=population, seed=seed)
     )
     world.engine.run_days(warmup_days)
     metrics = MetricsRegistry()
+    if traffic is not None:
+        world.install_traffic(traffic)
+    if attacks is not None:
+        world.install_attacks(attacks)
+        world.engine.run_days(_ATTACK_SOAK_DAYS)
     if fault_profile is not None:
         world.install_faults(fault_profile, metrics)
     hostnames = [str(site.www) for site in world.population]
@@ -177,18 +198,25 @@ def run_chaos(
     population: int = 400,
     seed: int = 2018,
     warmup_days: int = 21,
+    traffic: Optional[str] = None,
+    attacks: Optional[str] = None,
 ) -> Dict[str, object]:
     """Run the chaos comparison and return the report payload.
 
     ``passed`` is False when an equivalence profile diverged, or when a
     budget-exceeding profile failed to degrade explicitly (faults were
     injected, results diverged, yet nothing was marked unmeasured or
-    quarantined and no query was given up on).
+    quarantined and no query was given up on).  ``traffic`` / ``attacks``
+    put *both* worlds under the same background load and attack
+    campaign, proving the fault check composes with the other planes.
     """
     fault_profile = lookup_profile(profile_name)
-    baseline_artifacts, _ = _run_workloads(population, seed, warmup_days, None)
+    baseline_artifacts, _ = _run_workloads(
+        population, seed, warmup_days, None, traffic=traffic, attacks=attacks
+    )
     chaotic_artifacts, observability = _run_workloads(
-        population, seed, warmup_days, fault_profile
+        population, seed, warmup_days, fault_profile,
+        traffic=traffic, attacks=attacks,
     )
     divergences = diff_artifacts(baseline_artifacts, chaotic_artifacts)
     identical = not divergences
@@ -219,6 +247,8 @@ def run_chaos(
         "population": population,
         "seed": seed,
         "warmup_days": warmup_days,
+        "traffic": traffic,
+        "attacks": attacks,
         "identical": identical,
         "divergences": divergences,
         "faults_injected": faults_injected,

@@ -102,6 +102,44 @@ def _rate_limited(world: object, metrics: MetricsRegistry) -> List[FaultRule]:
     ]
 
 
+def _attack_collateral(world: object, metrics: MetricsRegistry) -> List[FaultRule]:
+    """Ambient collateral damage while a DDoS campaign is in flight.
+
+    Transit congestion in the three weeks after install — the window
+    where the ``campaign`` attack profile lands its strikes — so
+    ``repro chaos --profile attack-collateral --attacks campaign``
+    stresses the degradation paths with floods and congested transit at
+    once.  Loss rates sit above the retry budget on purpose, and the
+    window opens on the install day itself so the chaos workloads
+    (which measure immediately after install) sit inside it.
+    """
+    start = world.clock.day
+    until = start + 3 * DAYS_PER_WEEK
+    return [
+        FaultRule(
+            FaultKind.LATENCY,
+            latency_ms=250,
+            plane="both",
+            from_day=start,
+            until_day=until,
+        ),
+        FaultRule(
+            FaultKind.LOSS,
+            probability=0.45,
+            plane="dns",
+            from_day=start,
+            until_day=until,
+        ),
+        FaultRule(
+            FaultKind.LOSS,
+            probability=0.35,
+            plane="http",
+            from_day=start,
+            until_day=until,
+        ),
+    ]
+
+
 def _regional_blackout(world: object, metrics: MetricsRegistry) -> List[FaultRule]:
     """The Sydney vantage loses connectivity for two weeks mid-study."""
     start = world.clock.day + DAYS_PER_WEEK
@@ -146,6 +184,14 @@ PROFILES: Dict[str, FaultProfile] = {
             "per-nameserver daily query caps on the Cloudflare fleet",
             expect_equivalence=False,
             _builder=_rate_limited,
+        ),
+        FaultProfile(
+            "attack-collateral",
+            "three weeks of congested transit (latency + heavy loss) in "
+            "the window where the 'campaign' attack profile strikes; the "
+            "study must degrade, not crash",
+            expect_equivalence=False,
+            _builder=_attack_collateral,
         ),
         FaultProfile(
             "regional-blackout",

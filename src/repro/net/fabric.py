@@ -91,6 +91,12 @@ class NetworkFabric:
         #: region)`` returns None to admit or a verdict with
         #: ``response`` / ``outcome`` / ``latency_ms``.
         self.traffic_plane: Optional[object] = None
+        #: Optional attack plane: active floods open transient outage
+        #: windows on the victim's nameservers (DNS) and origins
+        #: (HTTP).  Duck-typed: ``admit_dns(addr, query, region)`` /
+        #: ``admit_http(addr, host, region)`` return None to admit or
+        #: a verdict with ``response`` / ``outcome`` / ``latency_ms``.
+        self.attack_plane: Optional[object] = None
 
     # -- DNS plane ------------------------------------------------------
 
@@ -162,6 +168,13 @@ class NetworkFabric:
             if not verdict.delivered:
                 return Delivery(verdict.response, verdict.outcome, verdict.latency_ms)
             latency = verdict.latency_ms
+        attacks = self.attack_plane
+        if attacks is not None:
+            flood = attacks.admit_dns(addr, query, client_region)
+            if flood is not None:
+                return Delivery(
+                    flood.response, flood.outcome, latency + flood.latency_ms
+                )
         traffic = self.traffic_plane
         if traffic is not None:
             defense = traffic.admit_dns(addr, query, client_region)
@@ -237,6 +250,12 @@ class NetworkFabric:
             if not verdict.delivered:
                 return Delivery(None, verdict.outcome, verdict.latency_ms)
             latency = verdict.latency_ms
+        attacks = self.attack_plane
+        if attacks is not None:
+            host = getattr(request, "host", None)
+            flood = attacks.admit_http(addr, host, client_region)
+            if flood is not None:
+                return Delivery(None, flood.outcome, latency + flood.latency_ms)
         handler = self.http_handler_at(addr, client_region)
         if handler is None:
             return Delivery(None, "dark", latency)

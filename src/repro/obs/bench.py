@@ -213,14 +213,17 @@ def run_bench(  # repro: allow[REP040] -- timing real hardware is the bench's pu
     warmup_days: int = 7,
     label: Optional[str] = None,
     traffic: Optional[str] = None,
+    attacks: Optional[str] = None,
 ) -> Dict[str, object]:
     """Run the E1/E8 workloads and return the BENCH payload.
 
     ``traffic`` names a background-load profile to install before the
     warm-up; the E1/E8 workloads then run against a fleet under load,
     and the payload grows a ``traffic`` section with the plane's tallies
-    and defense counters.  With ``traffic=None`` (the default) the
-    payload — E1 counters included — is byte-identical to a pre-traffic
+    and defense counters.  ``attacks`` names a DDoS campaign to schedule
+    the same way; the payload then grows an ``attacks`` section with the
+    schedule and wave counters.  With both ``None`` (the default) the
+    payload — E1 counters included — is byte-identical to a pre-plane
     bench, which is exactly what the CI equivalence gate compares.
     """
     bench_label = label or f"p{len(world.population)}"
@@ -231,6 +234,10 @@ def run_bench(  # repro: allow[REP040] -- timing real hardware is the bench's pu
     traffic_metrics = MetricsRegistry()
     if traffic is not None:
         traffic_plane = world.install_traffic(traffic, metrics=traffic_metrics)
+    attack_plane = None
+    attack_metrics = MetricsRegistry()
+    if attacks is not None:
+        attack_plane = world.install_attacks(attacks, metrics=attack_metrics)
 
     with metrics.timer("bench.warmup", world.clock):
         world.engine.run_days(warmup_days)
@@ -341,5 +348,16 @@ def run_bench(  # repro: allow[REP040] -- timing real hardware is the bench's pu
                 for name in sorted(traffic_plane.tallies)
             },
             "defense_counters": traffic_metrics.snapshot(),
+        }
+    if attack_plane is not None:
+        payload["attacks"] = {
+            "profile": attacks,
+            "events": [event.as_dict() for event in attack_plane.events],
+            "surge": attack_plane.traffic_surge,
+            "tallies": {
+                name: attack_plane.tallies[name]
+                for name in sorted(attack_plane.tallies)
+            },
+            "flood_counters": attack_metrics.snapshot(),
         }
     return payload

@@ -14,6 +14,7 @@ count.  docs/SCALING.md walks through the argument.
 from .merge import merge_payloads, overlay_merged, worker_payload
 from .plan import ShardPlan
 from .runner import (
+    DEFAULT_OP_TIMEOUT,
     InlineExecutor,
     ProcessExecutor,
     ShardWorker,
@@ -24,6 +25,7 @@ from .runner import (
 )
 
 __all__ = [
+    "DEFAULT_OP_TIMEOUT",
     "ShardPlan",
     "worker_payload",
     "merge_payloads",

@@ -37,7 +37,7 @@ from ..markers import pure_function
 __all__ = ["worker_payload", "merge_payloads", "overlay_merged"]
 
 #: Bump on any incompatible change to the worker payload layout.
-PAYLOAD_VERSION = 2
+PAYLOAD_VERSION = 3
 
 
 def worker_payload(study: SixWeekStudy, runtime: StudyRuntime) -> Dict[str, object]:
@@ -50,6 +50,7 @@ def worker_payload(study: SixWeekStudy, runtime: StudyRuntime) -> Dict[str, obje
     report = runtime.report
     resolver = runtime.collection_resolver
     traffic_plane = study.world.fabric.traffic_plane
+    attack_plane = study.world.fabric.attack_plane
     return {
         "payload_version": PAYLOAD_VERSION,
         "shard": {"index": runtime.shard_index, "count": runtime.shard_count},
@@ -71,6 +72,11 @@ def worker_payload(study: SixWeekStudy, runtime: StudyRuntime) -> Dict[str, obje
         # the background load by the shard count.
         "traffic": (
             traffic_plane.drive_state() if traffic_plane is not None else None
+        ),
+        # Attack state is world-side too: the schedule and its waves are
+        # replicated per worker, merged by agreement, never summed.
+        "attacks": (
+            attack_plane.drive_state() if attack_plane is not None else None
         ),
     }
 
@@ -128,6 +134,7 @@ def merge_payloads(payloads: Sequence[Dict[str, object]]) -> Dict[str, object]:
         "quarantine": [list(entry) for entry in quarantine],
         "metrics": {name: metrics[name] for name in sorted(metrics)},
         "traffic": first["traffic"],
+        "attacks": first["attacks"],
     }
 
 
@@ -178,6 +185,18 @@ def overlay_merged(
             "the coordinator's replayed traffic plane diverged from the "
             "workers'; the replicas cannot have driven the same load"
         )
+    attack_state = merged["attacks"]
+    attack_plane = study.world.fabric.attack_plane
+    if (attack_state is None) != (attack_plane is None):
+        raise ShardError(
+            "workers and the coordinator disagree about whether an attack "
+            "plane is installed"
+        )
+    if attack_plane is not None and attack_plane.drive_state() != attack_state:
+        raise ShardError(
+            "the coordinator's replayed attack plane diverged from the "
+            "workers'; the replicas cannot have driven the same campaign"
+        )
 
 
 # -- internals -------------------------------------------------------------
@@ -221,6 +240,14 @@ def _validate_topology(
         raise ShardError(
             "workers disagree on the traffic plane's state; they cannot "
             "have driven the same background load in lockstep"
+        )
+    # Same agreement rule for the attack plane: every replica drives the
+    # identical schedule, waves and attacked-address sets.
+    attack_states = [p["attacks"] for p in ordered]
+    if any(state != attack_states[0] for state in attack_states[1:]):
+        raise ShardError(
+            "workers disagree on the attack plane's state; they cannot "
+            "have driven the same attack campaign in lockstep"
         )
     return ordered
 

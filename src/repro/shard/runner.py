@@ -50,6 +50,7 @@ from ..errors import (
     CheckpointError,
     CheckpointMismatchError,
     ShardError,
+    ShardWorkerError,
     SimulatedCrash,
     SimulationError,
 )
@@ -60,6 +61,7 @@ from .merge import merge_payloads, overlay_merged, worker_payload
 from .plan import ShardPlan
 
 __all__ = [
+    "DEFAULT_OP_TIMEOUT",
     "WorkerSpec",
     "ShardWorker",
     "InlineExecutor",
@@ -70,6 +72,23 @@ __all__ = [
 ]
 
 SHARD_MODES = ("inline", "process")
+
+#: Seconds the coordinator waits for one worker to answer one lockstep
+#: operation before declaring it hung.  Generous: a single operation is
+#: one study day over one shard's slice, which finishes in seconds even
+#: on large populations — a worker silent this long is stuck, not slow.
+DEFAULT_OP_TIMEOUT = 120.0
+
+#: Seconds a worker waits for the coordinator's next operation before
+#: concluding the coordinator itself is gone and exiting.  Larger than
+#: the coordinator's deadline so the coordinator always rules first.
+WORKER_IDLE_TIMEOUT = 600.0
+
+#: Granularity of the bounded waits.  Both deadlines are accounted by
+#: accumulating poll slices rather than reading the wall clock, so the
+#: watchdog stays deterministic to reason about: the budget is a count
+#: of slices, not a race against the scheduler.
+_POLL_SLICE = 0.05
 
 
 def shard_directory(base: "Path | str", shard_index: int, shard_count: int) -> Path:
@@ -89,6 +108,7 @@ class WorkerSpec:
     config: StudyConfig
     fault_profile: Optional[str] = None
     traffic_profile: Optional[str] = None
+    attack_profile: Optional[str] = None
     checkpoint_dir: Optional[str] = None
     crash_plan: Optional[CrashPlan] = None
     #: False: fresh run (create the store).  True: open the existing
@@ -128,6 +148,7 @@ class ShardWorker:
             config=config_to_dict(spec.config),
             fault_profile=spec.fault_profile,
             traffic_profile=spec.traffic_profile,
+            attack_profile=spec.attack_profile,
             shard={"index": spec.shard_index, "count": spec.shard_count},
         )
         if spec.resume:
@@ -149,6 +170,8 @@ class ShardWorker:
             world.install_faults(spec.fault_profile)
         if spec.traffic_profile is not None:
             world.install_traffic(spec.traffic_profile)
+        if spec.attack_profile is not None:
+            world.install_attacks(spec.attack_profile)
         return study, runtime
 
     def _seek(self, records: List[Dict[str, object]]) -> None:
@@ -257,10 +280,24 @@ class ProcessExecutor:
     campaign — the surviving processes are terminated and the crash is
     re-raised in the coordinator, exactly as the inline mode propagates
     it.
+
+    Every wait on a worker is bounded.  The coordinator never issues a
+    blind ``recv()``: it polls with a deadline (``op_timeout``), checks
+    the process is still alive, and on expiry terminates the stragglers
+    and raises :class:`~repro.errors.ShardWorkerError` naming them — a
+    hung or killed worker fails the campaign loudly instead of
+    deadlocking the study.
     """
 
-    def __init__(self, specs: Sequence[WorkerSpec]) -> None:
+    def __init__(
+        self,
+        specs: Sequence[WorkerSpec],
+        op_timeout: Optional[float] = None,
+    ) -> None:
         self._specs = list(specs)
+        self._op_timeout = (
+            float(op_timeout) if op_timeout is not None else DEFAULT_OP_TIMEOUT
+        )
         methods = multiprocessing.get_all_start_methods()
         self._context = multiprocessing.get_context(
             "fork" if "fork" in methods else "spawn"
@@ -281,23 +318,63 @@ class ProcessExecutor:
         self._gather("start")
 
     def call_all(self, op: str, argument: object = None) -> List[object]:
-        for connection in self._connections:
-            connection.send((op, argument))
-        return self._gather(op)
+        undeliverable: List[int] = []
+        for index, connection in enumerate(self._connections):
+            try:
+                connection.send((op, argument))
+            except (BrokenPipeError, OSError):
+                # The worker's pipe end is gone — it died between
+                # operations.  Recorded here, reported (with any other
+                # deaths) by the gather's refusal.
+                undeliverable.append(index)
+        return self._gather(op, undeliverable)
 
-    def _gather(self, op: str) -> List[object]:
+    def _await_reply(self, connection: object, process: object) -> bool:
+        """Bounded wait for one worker's next message.
+
+        Returns True when a message (or the EOF of a dead worker's
+        closed pipe) is ready to ``recv()``, False when the deadline
+        expired with the worker still alive and silent — a straggler.
+        The deadline is accounted by accumulating poll slices, never by
+        reading the wall clock.
+        """
+        waited = 0.0
+        while waited < self._op_timeout:
+            if connection.poll(_POLL_SLICE):
+                return True
+            if not process.is_alive():
+                # recv() still drains anything the worker wrote before
+                # exiting; on an empty closed pipe it raises EOFError
+                # and the caller maps that to the died-mid-protocol
+                # refusal.
+                return True
+            waited += _POLL_SLICE
+        return False
+
+    def _gather(
+        self, op: str, undeliverable: Sequence[int] = ()
+    ) -> List[object]:
         results: List[object] = []
         crashes: List[str] = []
         failures: List[object] = []
+        dead: List[int] = list(undeliverable)
+        stragglers: List[int] = []
         for index, connection in enumerate(self._connections):
+            if index in dead:
+                continue
+            if not self._await_reply(connection, self._processes[index]):
+                stragglers.append(index)
+                continue
             try:
                 kind, value = connection.recv()
             except (EOFError, OSError):
-                kind, value = "error", "worker process died without reporting"
+                kind, value = "dead", None
             if kind == "ok":
                 results.append(value)
             elif kind == "crashed":
                 crashes.append(f"shard {index}: {value}")
+            elif kind == "dead":
+                dead.append(index)
             else:
                 failures.append(value)
         if failures:
@@ -313,6 +390,22 @@ class ProcessExecutor:
         if crashes:
             self.close(force=True)
             raise SimulatedCrash("; ".join(crashes))
+        if dead or stragglers:
+            self.close(force=True)
+            parts = []
+            if dead:
+                named = ", ".join(f"shard {index}" for index in dead)
+                parts.append(f"{named} died mid-protocol without reporting")
+            if stragglers:
+                named = ", ".join(f"shard {index}" for index in stragglers)
+                parts.append(
+                    f"{named} did not answer within "
+                    f"{self._op_timeout:g}s and was terminated"
+                )
+            raise ShardWorkerError(
+                f"lockstep operation {op!r} lost worker(s): "
+                + "; ".join(parts)
+            )
         return results
 
     def close(self, force: bool = False) -> None:
@@ -338,7 +431,19 @@ def _worker_main(connection, spec: WorkerSpec) -> None:
         try:
             worker = ShardWorker(spec)
             connection.send(("ok", worker.latest_barrier))
-            while True:  # repro: allow[REP030] -- coordinator RPC loop over a local pipe, not a network delivery; the coordinator's "exit" op bounds it
+            while True:
+                # The worker-side half of the deadlock fix: never block
+                # forever on a coordinator that hung or was killed
+                # without closing the pipe.
+                waited = 0.0
+                while not connection.poll(_POLL_SLICE):
+                    waited += _POLL_SLICE
+                    if waited >= WORKER_IDLE_TIMEOUT:
+                        raise ShardWorkerError(
+                            f"shard {spec.shard_index} waited "
+                            f"{WORKER_IDLE_TIMEOUT:g}s for the "
+                            "coordinator's next operation; giving up"
+                        )
                 op, argument = connection.recv()
                 if op == "exit":
                     break
@@ -367,10 +472,12 @@ def run_sharded_study(
     config: Optional[StudyConfig] = None,
     fault_profile: Optional[str] = None,
     traffic_profile: Optional[str] = None,
+    attack_profile: Optional[str] = None,
     shard_count: int = 1,
     mode: str = "inline",
     checkpoint_dir: "Path | str | None" = None,
     crash_plan: Optional[CrashPlan] = None,
+    op_timeout: Optional[float] = None,
 ) -> StudyReport:
     """Run the campaign over ``shard_count`` lockstep workers and merge.
 
@@ -393,6 +500,7 @@ def run_sharded_study(
             config=config_to_dict(config),
             fault_profile=fault_profile,
             traffic_profile=traffic_profile,
+            attack_profile=attack_profile,
             shard={"count": shard_count},
         )
     specs = [
@@ -404,6 +512,7 @@ def run_sharded_study(
             config=config,
             fault_profile=fault_profile,
             traffic_profile=traffic_profile,
+            attack_profile=attack_profile,
             checkpoint_dir=(
                 str(shard_directory(base, index, shard_count))
                 if base is not None
@@ -413,9 +522,17 @@ def run_sharded_study(
         )
         for index in range(shard_count)
     ]
-    payloads = _drive_lockstep(specs, config, mode, start_barrier=0)
+    payloads = _drive_lockstep(
+        specs, config, mode, start_barrier=0, op_timeout=op_timeout
+    )
     return _finalise_merged(
-        population, seed, config, fault_profile, traffic_profile, payloads
+        population,
+        seed,
+        config,
+        fault_profile,
+        traffic_profile,
+        attack_profile,
+        payloads,
     )
 
 
@@ -427,9 +544,11 @@ def resume_sharded_study(
     config: Optional[StudyConfig] = None,
     fault_profile: Optional[str] = None,
     traffic_profile: Optional[str] = None,
+    attack_profile: Optional[str] = None,
     mode: str = "inline",
     shard_count: Optional[int] = None,
     crash_plan: Optional[CrashPlan] = None,
+    op_timeout: Optional[float] = None,
 ) -> StudyReport:
     """Continue a killed sharded campaign on its exact trajectory.
 
@@ -462,6 +581,7 @@ def resume_sharded_study(
         config=config_to_dict(config),
         fault_profile=fault_profile,
         traffic_profile=traffic_profile,
+        attack_profile=attack_profile,
         shard={"count": count},
     )
 
@@ -481,6 +601,7 @@ def resume_sharded_study(
             config=config,
             fault_profile=fault_profile,
             traffic_profile=traffic_profile,
+            attack_profile=attack_profile,
             checkpoint_dir=str(shard_directory(base, index, count)),
             crash_plan=crash_plan,
             resume=True,
@@ -489,9 +610,17 @@ def resume_sharded_study(
         for index in range(count)
     ]
     start = seek_barrier if seek_barrier >= 0 else 0
-    payloads = _drive_lockstep(specs, config, mode, start_barrier=start)
+    payloads = _drive_lockstep(
+        specs, config, mode, start_barrier=start, op_timeout=op_timeout
+    )
     return _finalise_merged(
-        population, seed, config, fault_profile, traffic_profile, payloads
+        population,
+        seed,
+        config,
+        fault_profile,
+        traffic_profile,
+        attack_profile,
+        payloads,
     )
 
 
@@ -510,10 +639,13 @@ def _drive_lockstep(
     config: StudyConfig,
     mode: str,
     start_barrier: int,
+    op_timeout: Optional[float] = None,
 ) -> List[Dict[str, object]]:
     """The coordinator's day loop: barrier → collect → (scan) → advance."""
     executor = (
-        ProcessExecutor(specs) if mode == "process" else InlineExecutor(specs)
+        ProcessExecutor(specs, op_timeout=op_timeout)
+        if mode == "process"
+        else InlineExecutor(specs)
     )
     executor.start()
     try:
@@ -542,6 +674,7 @@ def _finalise_merged(
     config: StudyConfig,
     fault_profile: Optional[str],
     traffic_profile: Optional[str],
+    attack_profile: Optional[str],
     payloads: List[Dict[str, object]],
 ) -> StudyReport:
     """Merge worker payloads and run the post-loop analyses.
@@ -560,6 +693,8 @@ def _finalise_merged(
         world.install_faults(fault_profile)
     if traffic_profile is not None:
         world.install_traffic(traffic_profile)
+    if attack_profile is not None:
+        world.install_attacks(attack_profile)
     for _ in range(int(merged["day_index"])):
         world.engine.run_day()
     try:

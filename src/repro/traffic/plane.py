@@ -151,7 +151,7 @@ class TrafficPlane:
 
     # -- world side: the daily background load -------------------------
 
-    def drive_day(self) -> None:
+    def drive_day(self, attack_surge: float = 1.0) -> None:
         """Play out one simulated day of background load.
 
         Called from the world engine's day step, so every replica of the
@@ -159,6 +159,11 @@ class TrafficPlane:
         sequence.  Randomness forks per (day, region) label off the
         plane's base stream — position-independent, so a resumed process
         regenerates the same draws without serialising stream state.
+
+        ``attack_surge`` couples the attack plane in: active floods
+        multiply the day's offered volume (post-attack query waves).
+        The default of 1.0 is an exact float identity, so an
+        attack-free world computes byte-identical volumes.
         """
         day = self._clock.day
         self._bump("days")
@@ -171,6 +176,7 @@ class TrafficPlane:
             volume = int(
                 self.profile.base_daily_queries
                 * surge
+                * attack_surge
                 * (0.8 + 0.4 * rng.random())
             )
             head_volume = int(volume * self.profile.head_fraction)

@@ -277,6 +277,46 @@ class SimulatedInternet:
         """Remove any installed traffic plane (background load stops)."""
         self.fabric.traffic_plane = None
 
+    def install_attacks(
+        self,
+        profile: "object | str",
+        metrics: Optional[MetricsRegistry] = None,
+    ):
+        """Install an attack plane and return it.
+
+        Accepts a profile name (see
+        :data:`repro.attacks.ATTACK_PROFILES`), an
+        :class:`~repro.attacks.profiles.AttackProfile`, or a ready-built
+        :class:`~repro.attacks.plane.AttackPlane`.  The schedule is
+        generated at install time from a label-forked RNG stream, so
+        event days are relative to the clock's current day and every
+        replica that installs at the same day rebuilds it
+        byte-identically.  Wave verdicts are pure hashes — installation
+        never perturbs baseline world dynamics.
+        """
+        # Imported here, not at module top: repro.attacks imports the
+        # world's admin/website modules, and this module is part of the
+        # same package's init chain.
+        from ..attacks.plane import AttackPlane
+        from ..attacks.profiles import AttackProfile, attack_profile as lookup_attack
+
+        if isinstance(profile, str):
+            profile = lookup_attack(profile)
+        if isinstance(profile, AttackProfile):
+            plane = profile.build(self, metrics)
+        elif isinstance(profile, AttackPlane):
+            plane = profile
+        else:
+            raise ConfigurationError(
+                f"cannot install attacks from {type(profile).__name__}"
+            )
+        self.fabric.attack_plane = plane
+        return plane
+
+    def clear_attacks(self) -> None:
+        """Remove any installed attack plane (the campaign stops)."""
+        self.fabric.attack_plane = None
+
     def vantage_point(self, region_name: str) -> VantagePoint:
         """One of the five measurement vantage points (Fig. 7)."""
         try:

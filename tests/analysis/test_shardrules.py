@@ -428,6 +428,7 @@ class TestRealTreeRegistry:
         # Keep the registry honest: every name must be a real class the
         # checkpoint plane actually carries (state_dict pair or an
         # inline converter in checkpoint.serde).
+        from repro.attacks import plane as attacks_plane
         from repro.core import collector, exposure, htmlverify, pipeline
         from repro.core import residual_scan, status, study
         from repro.dns import client, resolver
@@ -437,9 +438,9 @@ class TestRealTreeRegistry:
         from repro.web import http
 
         modules = [
-            collector, exposure, htmlverify, pipeline, residual_scan,
-            status, study, client, resolver, plan, quarantine, metrics,
-            defense, plane, http,
+            attacks_plane, collector, exposure, htmlverify, pipeline,
+            residual_scan, status, study, client, resolver, plan,
+            quarantine, metrics, defense, plane, http,
         ]
         for name in SERDE_REGISTRY:
             assert any(

@@ -1,0 +1,240 @@
+"""Tests for the attack plane: drive effects, outage admission,
+replica agreement, and checkpoint restore refusals."""
+
+import copy
+
+import pytest
+
+from repro.attacks.events import TargetKind
+from repro.errors import CheckpointCorruptError
+from repro.net.ipaddr import IPv4Address
+from repro.world import SimulatedInternet, WorldConfig
+
+POPULATION = 200
+SEED = 31
+WARMUP = 6
+#: Long enough for every campaign strike to land and finish.
+CAMPAIGN_DAYS = 45
+
+
+def make_world(seed=SEED):
+    world = SimulatedInternet(
+        WorldConfig(population_size=POPULATION, seed=seed)
+    )
+    world.engine.run_days(WARMUP)
+    return world
+
+
+def drive_until_attacked(world, plane, attribute, limit=60):
+    """Run engine days until the given attacked set is non-empty."""
+    for _ in range(limit):
+        if getattr(plane, attribute):
+            return
+        world.engine.run_days(1)
+    raise AssertionError(f"no day left {attribute} non-empty within {limit}")
+
+
+@pytest.fixture(scope="module")
+def driven():
+    """A world driven through a full campaign, plus its plane."""
+    world = make_world()
+    plane = world.install_attacks("campaign")
+    world.engine.run_days(CAMPAIGN_DAYS)
+    return world, plane
+
+
+class TestDriveDay:
+    def test_campaign_produces_waves(self, driven):
+        _, plane = driven
+        join_waves = sum(
+            count
+            for key, count in plane.tallies.items()
+            if key.startswith("waves.join.")
+        )
+        assert join_waves >= 1
+
+    def test_event_days_are_tallied_per_event(self, driven):
+        _, plane = driven
+        for event in plane.events:
+            assert (
+                plane.tallies.get(f"event_days.{event.event_id}", 0)
+                == event.duration_days
+            )
+
+    def test_surge_settles_back_to_one_after_the_campaign(self, driven):
+        world, plane = driven
+        last_strike_end = max(
+            event.start_day + event.duration_days for event in plane.events
+        )
+        assert world.clock.day >= last_strike_end
+        assert plane.traffic_surge == 1.0
+        assert plane.tallies.get("surge_days", 0) >= 1
+
+    def test_attacked_sets_clear_when_no_event_is_active(self, driven):
+        _, plane = driven
+        assert plane._attacked_dns == {}
+        assert plane._attacked_http == {}
+
+    def test_quiet_profile_never_moves_anything(self):
+        world = make_world()
+        plane = world.install_attacks("quiet")
+        world.engine.run_days(10)
+        assert plane.traffic_surge == 1.0
+        assert not any(
+            key.startswith(("waves.", "event_")) for key in plane.tallies
+        )
+
+
+class TestOutageAdmission:
+    def _provider_attack_day(self):
+        world = make_world()
+        plane = world.install_attacks("campaign")
+        drive_until_attacked(world, plane, "_attacked_dns")
+        return world, plane
+
+    def test_flooded_fleet_shares_one_fate_per_day(self):
+        # DNS fates are per (day, event): the flood either exceeds the
+        # fleet's absorption capacity that day or it doesn't.  Any
+        # finer-grained draw would let the warm monolithic pass and a
+        # cold shard try different fleet addresses to different fates.
+        world, plane = self._provider_attack_day()
+
+        class Query:
+            def __init__(self, qname):
+                self.qname = qname
+
+        verdicts = [
+            plane.admit_dns(
+                IPv4Address(address), Query(f"www.s-{i}.sim"), None
+            )
+            for i, address in enumerate(sorted(plane._attacked_dns))
+        ]
+        assert len({v is None for v in verdicts}) == 1
+        dropped = [v for v in verdicts if v is not None]
+        assert all(v.outcome == "attack-outage" for v in dropped)
+        assert all(v.latency_ms == plane.profile.attack_latency_ms
+                   for v in dropped)
+
+    def test_fleet_fate_varies_across_attack_days(self):
+        # Per event-day, not per event: across a multi-day flood the
+        # daily absorption draw must produce both fates somewhere in
+        # the schedule, or degradation would be all-or-nothing.  The
+        # blitz schedule has ten fleet attack-days — plenty to show
+        # both sides of the 0.65 coin.
+        world = make_world()
+        plane = world.install_attacks("blitz")
+        fates = []
+        for _ in range(50):
+            world.engine.run_days(1)
+            day = world.clock.day
+            for address, event_id in plane._attacked_dns.items():
+                fates.append(
+                    (day, event_id,
+                     plane.admit_dns(IPv4Address(address), None, None)
+                     is not None)
+                )
+                break  # one address per day is enough: fates are uniform
+        assert any(drowned for _, _, drowned in fates)
+        assert any(not drowned for _, _, drowned in fates)
+
+    def test_unattacked_addresses_pass_untouched(self):
+        world, plane = self._provider_attack_day()
+        quiet = IPv4Address("192.0.2.1")
+        assert str(quiet) not in plane._attacked_dns
+        assert plane.admit_dns(quiet, None, None) is None
+        assert plane.admit_http(quiet, None, None) is None
+
+    def test_same_day_retry_is_deterministically_futile(self):
+        world, plane = self._provider_attack_day()
+        address = IPv4Address(next(iter(plane._attacked_dns)))
+
+        class Query:
+            qname = "www.retry-me.sim"
+
+        first = plane.admit_dns(address, Query(), None)
+        again = plane.admit_dns(address, Query(), None)
+        assert (first is None) == (again is None)
+        if first is not None:
+            assert first.outcome == again.outcome
+
+    def test_flooded_origins_time_out_http(self):
+        world = make_world()
+        plane = world.install_attacks("campaign")
+        drive_until_attacked(world, plane, "_attacked_http")
+        verdicts = [
+            plane.admit_http(IPv4Address(address), "www.h.sim", None)
+            for address in sorted(plane._attacked_http)
+        ]
+        dropped = [v for v in verdicts if v is not None]
+        assert dropped, "origin outage probability 0.8 cannot drop nothing"
+        assert all(v.outcome == "attack-outage" for v in dropped)
+
+
+class TestReplicaAgreement:
+    def test_same_trajectory_replicas_agree_on_drive_state(self):
+        states = []
+        for _ in range(2):
+            world = make_world()
+            plane = world.install_attacks("campaign")
+            world.engine.run_days(12)
+            states.append(plane.drive_state())
+        assert states[0] == states[1]
+
+    def test_drive_state_is_json_primitives(self, driven):
+        import json
+
+        _, plane = driven
+        state = plane.drive_state()
+        assert json.loads(json.dumps(state)) == state
+
+
+class TestRestore:
+    def _replica_pair(self, days=12):
+        """Two same-trajectory planes: one snapshotted, one restoring."""
+        world_a = make_world()
+        plane_a = world_a.install_attacks("campaign")
+        world_a.engine.run_days(days)
+        world_b = make_world()
+        plane_b = world_b.install_attacks("campaign")
+        world_b.engine.run_days(days)
+        return plane_a.state_dict(), plane_b
+
+    def test_same_trajectory_snapshot_restores(self):
+        state, plane = self._replica_pair()
+        plane.restore_state(state)
+        assert plane.drive_state() == {
+            key: state[key]
+            for key in plane.drive_state()
+        }
+
+    def test_wrong_profile_is_refused(self):
+        state, plane = self._replica_pair()
+        state["profile"] = "blitz"
+        with pytest.raises(CheckpointCorruptError, match="profile"):
+            plane.restore_state(state)
+
+    def test_tampered_schedule_is_refused(self):
+        state, plane = self._replica_pair()
+        state = copy.deepcopy(state)
+        state["events"][0]["start_day"] += 1
+        with pytest.raises(
+            CheckpointCorruptError, match="different trajectories"
+        ):
+            plane.restore_state(state)
+
+    def test_foreign_attacked_sets_are_refused(self):
+        state, plane = self._replica_pair()
+        state = copy.deepcopy(state)
+        state["attacked_dns"] = [["198.51.100.1", 0]]
+        with pytest.raises(
+            CheckpointCorruptError, match="different trajectory"
+        ):
+            plane.restore_state(state)
+
+    def test_restore_carries_tallies_and_metrics(self):
+        state, plane = self._replica_pair()
+        plane.tallies = {}
+        plane.restore_state(state)
+        assert plane.tallies == {
+            key: value for key, value in state["tallies"]
+        }

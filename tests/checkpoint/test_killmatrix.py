@@ -26,8 +26,22 @@ class TestKillMatrix:
             "mismatched-seed": True,
             "mismatched-profile": True,
             "mismatched-traffic": True,
+            "mismatched-attacks": True,
             "torn-journal-tail": True,
             "corrupt-snapshot": True,
         }
         assert payload["passed"] is True
         assert payload["reference_hash"]
+
+    def test_matrix_passes_under_an_attack_campaign(self, tmp_path):
+        payload = run_kill_matrix(
+            tmp_path,
+            population=POPULATION,
+            seed=SEED,
+            config=small_config(),
+            attack_profile="skirmish",
+        )
+        assert payload["attack_profile"] == "skirmish"
+        assert all(case["passed"] for case in payload["cases"])
+        assert all(check["passed"] for check in payload["refusals"])
+        assert payload["passed"] is True

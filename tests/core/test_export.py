@@ -27,7 +27,8 @@ class TestExport:
         for key in ("fig2", "fig3", "fig5", "fig6", "fig7", "table5",
                     "table6", "fig9"):
             assert key in payload, key
-        assert payload["schema_version"] == 2
+        assert payload["schema_version"] == 3
+        assert payload["attacks"] is None
         assert payload["population_size"] == 300
 
     def test_fig3_includes_ground_truth(self, small_report):

@@ -39,6 +39,7 @@ class TestShardedKillMatrix:
             "mismatched-seed": True,
             "mismatched-profile": True,
             "mismatched-traffic": True,
+            "mismatched-attacks": True,
             "torn-journal-tail": True,
             "corrupt-snapshot": True,
         }

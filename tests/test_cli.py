@@ -320,3 +320,64 @@ class TestTrafficFlags:
         ) == 0
         capsys.readouterr()
         assert plain.read_text() == steady.read_text()
+
+
+class TestAttackFlags:
+    def test_attacks_defaults_to_none(self):
+        for command in (
+            ["study"],
+            ["bench"],
+            ["kill-matrix"],
+            ["chaos", "--profile", "lossy-default"],
+        ):
+            assert build_parser().parse_args(command).attacks is None
+
+    def test_unknown_profile_rejected(self, capsys):
+        code = main([
+            "study", "--population", "60", "--days", "1", "--warmup", "1",
+            "--attacks", "armageddon",
+        ])
+        assert code == 2
+        assert "unknown attack profile" in capsys.readouterr().err
+
+    def test_attacks_list_command(self, capsys):
+        assert main(["attacks"]) == 0
+        out = capsys.readouterr().out
+        for name in ("quiet", "skirmish", "campaign", "blitz"):
+            assert name in out
+
+    def test_attacks_drive_command(self, capsys):
+        code = main([
+            "attacks", "--profile", "campaign",
+            "--population", "200", "--days", "42",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "profile campaign: schedule" in out
+        assert "OVERWHELMS" in out
+        assert "drove 42 day(s)" in out
+
+    def test_attacks_none_profile_is_a_no_op(self, capsys):
+        assert main(["attacks", "--profile", "none"]) == 0
+        assert "no attacks to drive" in capsys.readouterr().out
+
+    def test_study_with_attacks_matches_plain_run_when_quiet(
+        self, capsys, tmp_path
+    ):
+        import json
+
+        plain, quiet = tmp_path / "plain.json", tmp_path / "quiet.json"
+        base = [
+            "study", "--population", "60", "--seed", "5",
+            "--days", "2", "--warmup", "3",
+        ]
+        assert main(base + ["--export", str(plain)]) == 0
+        assert main(
+            base + ["--attacks", "quiet", "--export", str(quiet)]
+        ) == 0
+        capsys.readouterr()
+        plain_payload = json.loads(plain.read_text())
+        quiet_payload = json.loads(quiet.read_text())
+        assert plain_payload.pop("attacks") is None
+        assert quiet_payload.pop("attacks")["events"] == []
+        assert plain_payload == quiet_payload
